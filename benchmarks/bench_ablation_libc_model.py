@@ -1,0 +1,103 @@
+"""Ablation — modelled libc summaries vs instruction-level tracing.
+
+Table VI exists because "instrumenting every instruction in these standard
+functions will take a long time and incur heavy overhead".  The ablated
+configuration bolts DroidScope-style byte-walking onto an NDroid platform
+(simulating tracing through each library call's body) and runs a
+memcpy-heavy native workload; the modelled configuration uses NDroid's
+summaries only.
+"""
+
+import pytest
+
+from repro.core import NDroid
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.framework import AndroidPlatform, Apk
+
+CLASS_NAME = "Lcom/ablation/MemHeavy;"
+
+
+def build_apk() -> Apk:
+    cls = ClassDef(CLASS_NAME)
+    cls.add_method(MethodBuilder(CLASS_NAME, "churn", "II", static=True,
+                                 native=True).build())
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=2)
+    main.const_string(0, "libmem.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.ret_void()
+    cls.add_method(main.build())
+    native = """
+    Java_com_ablation_MemHeavy_churn:     ; (env, jclass, n)
+        push {r4, r5, lr}
+        mov r4, r2
+        mov r5, #0
+    churn_loop:
+        cmp r5, r4
+        bge churn_done
+        ldr r0, =buf_a
+        ldr r1, =buf_b
+        mov r2, #128
+        ldr ip, =memcpy
+        blx ip
+        ldr r0, =buf_b
+        mov r1, #0
+        mov r2, #128
+        ldr ip, =memset
+        blx ip
+        add r5, r5, #1
+        b churn_loop
+    churn_done:
+        mov r0, r5
+        pop {r4, r5, pc}
+    .align 3
+    buf_a:
+        .space 128
+    buf_b:
+        .space 128
+    """
+    return Apk(package="com.ablation.memheavy", classes=[cls],
+               native_libraries={"libmem.so": native},
+               load_library_calls=["libmem.so"])
+
+
+def make_configured_platform(trace_libc):
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    if trace_libc:
+        # Bolt on instruction-level library walking (the cost NDroid's
+        # Table VI summaries avoid).
+        from repro.droidscope.system import DroidScopeSim
+        sim = DroidScopeSim(platform)
+        sim._hook_all_library_calls()
+    apk = build_apk()
+    platform.install(apk)
+    platform.run_app(apk)
+    return platform
+
+
+@pytest.mark.parametrize("trace_libc", [False, True],
+                         ids=["modelled", "traced"])
+def test_benchmark_libc_model(benchmark, trace_libc):
+    platform = make_configured_platform(trace_libc)
+
+    def run():
+        platform.vm.call_main(f"{CLASS_NAME}->churn", [Slot(120)])
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_modelled_is_faster_than_traced():
+    import time
+    timings = {}
+    for trace_libc in (False, True):
+        platform = make_configured_platform(trace_libc)
+        start = time.perf_counter()
+        for __ in range(2):
+            platform.vm.call_main(f"{CLASS_NAME}->churn", [Slot(150)])
+        timings[trace_libc] = time.perf_counter() - start
+    print()
+    print(f"modelled libc: {timings[False]*1000:7.1f} ms")
+    print(f"traced libc:   {timings[True]*1000:7.1f} ms "
+          f"({timings[True]/timings[False]:.2f}x)")
+    assert timings[True] > timings[False]

@@ -1,0 +1,54 @@
+"""Ablation — multilevel hooking (Fig. 5, Section V.B).
+
+"Since the methods dvmCallMethod* and dvmInterpret may also be invoked by
+other codes rather than the native codes under investigation, the overhead
+will be high if we hook these two functions whenever they are called."
+
+The ablated configuration fires every gated hook on every entry; the
+gated configuration only on native-provenance chains.  The workload mixes
+JNI exits (native → Java callbacks) with platform-internal users of the
+same functions (``ThrowNew`` → ``initException`` → ``dvmCallMethodV``).
+"""
+
+import pytest
+
+from repro.apps import poc_case3
+from repro.apps.base import run_scenario
+from repro.core import NDroid
+from repro.framework import AndroidPlatform
+
+
+def run_once(use_multilevel):
+    platform = AndroidPlatform()
+    ndroid = NDroid.attach(platform, use_multilevel=use_multilevel)
+    scenario = poc_case3.build()
+    run_scenario(scenario, platform)
+    return scenario, platform, ndroid
+
+
+def test_ablation_detection_unaffected():
+    """Gating must never cost detections, only instrumentation work."""
+    for use_multilevel in (True, False):
+        scenario, platform, __ = run_once(use_multilevel)
+        assert any(r.taint & scenario.expected_taint
+                   for r in platform.leaks.records), use_multilevel
+
+
+def test_gated_configuration_fires_fewer_hooks():
+    __, __, gated = run_once(True)
+    __, __, ablated = run_once(False)
+    assert gated.multilevel.fires <= ablated.multilevel.fires
+    print()
+    print(f"multilevel ON : gated hook fires = {gated.multilevel.fires} "
+          f"(checks = {gated.multilevel.checks})")
+    print(f"multilevel OFF: gated hook fires = {ablated.multilevel.fires}")
+
+
+@pytest.mark.parametrize("use_multilevel", [True, False],
+                         ids=["gated", "hook-everything"])
+def test_benchmark_multilevel(benchmark, use_multilevel):
+    def run():
+        return run_once(use_multilevel)
+
+    scenario, platform, __ = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert platform.leaks.records

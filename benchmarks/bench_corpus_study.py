@@ -1,0 +1,76 @@
+"""Section III + Fig. 2 — the large-scale JNI app study.
+
+Regenerates the paper's corpus statistics over the calibrated synthetic
+corpus and benchmarks the analysis pipeline's throughput.  The assertions
+pin the published marginals:
+
+* 37,506 Type I apps; 4,034 without libraries (48.1% AdMob);
+* 1,738 Type II apps, 394 with loadable embedded dex;
+* 16 Type III apps (11 games);
+* Fig. 2: Game ≈ 42% of Type I.
+"""
+
+import pytest
+
+from repro.corpus import CorpusGenerator, analyze_corpus
+
+# Full-scale generation is ~230k records; benchmarks use a fixed slice
+# scale for repeatable timing, plus one full-scale verification pass.
+BENCH_SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    records = CorpusGenerator(seed=2014, scale=1.0).generate()
+    return analyze_corpus(records)
+
+
+def test_full_scale_marginals_match_paper(full_report):
+    report = full_report
+    assert report.total_apps == 227_911
+    assert len(report.type1) == 37_506
+    assert report.type1_without_libs == 4_034
+    assert report.admob_share_of_libless_type1 == pytest.approx(0.481,
+                                                                abs=0.001)
+    assert len(report.type2) == 1_738
+    assert report.type2_loadable == 394
+    assert len(report.type3) == 16
+    assert report.type3_games == 11
+    assert report.type1_category_shares["Game"] == pytest.approx(0.42,
+                                                                 abs=0.01)
+    print()
+    print(report.format_summary())
+
+
+def test_fig2_category_distribution(full_report):
+    shares = full_report.type1_category_shares
+    ranked = sorted(shares.items(), key=lambda kv: -kv[1])
+    assert ranked[0][0] == "Game"
+    # The paper's named slices all land within a point of their labels.
+    for name, expected in [("Tools", 0.05), ("Entertainment", 0.05),
+                           ("Communication", 0.04),
+                           ("Personalization", 0.04),
+                           ("Music And Audio", 0.04)]:
+        assert shares[name] == pytest.approx(expected, abs=0.01), name
+
+
+def bench_generate(scale):
+    records = CorpusGenerator(seed=2014, scale=scale).generate()
+    return records
+
+
+def bench_analyze(records):
+    return analyze_corpus(records)
+
+
+def test_benchmark_corpus_generation(benchmark):
+    records = benchmark.pedantic(bench_generate, args=(BENCH_SCALE,),
+                                 rounds=3, iterations=1)
+    assert len(records) > 10_000
+
+
+def test_benchmark_static_analysis(benchmark):
+    records = CorpusGenerator(seed=2014, scale=BENCH_SCALE).generate()
+    report = benchmark.pedantic(bench_analyze, args=(records,),
+                                rounds=3, iterations=1)
+    assert report.jni_app_count > 1_500

@@ -1,0 +1,62 @@
+"""Fig. 9 — the PoC of case 3.
+
+Device info crosses into native code, gets re-wrapped by NewStringUTF
+(NDroid re-taints the new String object), and returns to Java through
+CallVoidMethod → dvmCallMethodV → dvmInterpret, where NDroid writes the
+taint into the callback's frame slot; the Java sink then fires.
+"""
+
+from repro.apps import poc_case3
+from repro.apps.base import run_scenario
+from repro.bench.harness import make_platform
+
+
+def run_once(config="ndroid"):
+    scenario = poc_case3.build()
+    platform = make_platform(config)
+    run_scenario(scenario, platform)
+    return scenario, platform
+
+
+def test_fig9_flow_and_taint():
+    scenario, platform = run_once()
+    hits = [r for r in platform.leaks.records
+            if r.taint & scenario.expected_taint]
+    assert hits, platform.leaks.summary()
+    # The transmitted blob includes the Fig. 9 fields.
+    sent = platform.kernel.network.transmissions_to(
+        "case3.collect.example.com")
+    assert sent
+    payload = b"".join(t.payload for t in sent)
+    assert platform.device.line1_number.encode() in payload
+    assert platform.device.network_operator.encode() in payload
+    # Fig. 9 sequence: NewStringUTF re-taint, the dvmCallMethodV ->
+    # dvmInterpret chain, and the frame-slot taint injection.
+    kinds = platform.event_log.kinds()
+    for expected in ("NewStringUTF.taint", "dvmCallMethodV",
+                     "dvmInterpret", "frame.taint"):
+        assert expected in kinds, expected
+    frame_event = platform.event_log.first("frame.taint")
+    assert frame_event.data["taint"] & scenario.expected_taint
+    print()
+    print("Fig. 9 reproduction — key events:")
+    for kind in ("NewStringUTF.taint", "CallStaticVoidMethod.args",
+                 "dvmInterpret", "frame.taint"):
+        event = platform.event_log.first(kind)
+        if event:
+            print(" ", event.format())
+
+
+def test_taintdroid_alone_misses_it():
+    scenario, platform = run_once("taintdroid")
+    assert not platform.leaks.detected_by("taintdroid",
+                                          scenario.expected_taint)
+    # The data still left the device (the evasion works).
+    assert platform.kernel.network.transmissions_to(
+        "case3.collect.example.com")
+
+
+def test_benchmark_poc3_under_ndroid(benchmark):
+    scenario, platform = benchmark.pedantic(run_once, rounds=3,
+                                            iterations=1)
+    assert platform.leaks.records

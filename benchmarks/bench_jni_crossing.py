@@ -1,0 +1,84 @@
+"""JNI boundary-crossing cost under each configuration.
+
+Isolates what NDroid adds to a single Java→native→Java round trip: the
+``dvmCallJNIMethod`` entry/exit hooks, SourcePolicy construction and
+application, and the return-taint override — the per-crossing price of
+Section V.B's machinery, separate from per-instruction tracing.
+"""
+
+import pytest
+
+from repro.bench.harness import make_platform
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.dalvik.instructions import Op
+from repro.framework import Apk
+
+CLASS_NAME = "Lcom/bench/Crossing;"
+
+
+def build_crossing_apk() -> Apk:
+    cls = ClassDef(CLASS_NAME)
+    cls.add_method(MethodBuilder(CLASS_NAME, "nop", "II", static=True,
+                                 native=True).build())
+    # Java loop calling the (trivial) native method n times.
+    loop = MethodBuilder(CLASS_NAME, "cross", "II", static=True,
+                         registers=6)
+    loop.const(0, 0).const(1, 0)
+    loop.label("loop")
+    loop.if_cmp(Op.IF_GE, 1, 5, "done")
+    loop.invoke_static(f"{CLASS_NAME}->nop", 1)
+    loop.move_result(2)
+    loop.binop(Op.ADD_INT, 0, 0, 2)
+    loop.add_lit(1, 1, 1)
+    loop.goto("loop")
+    loop.label("done")
+    loop.ret(0)
+    cls.add_method(loop.build())
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=1)
+    main.const_string(0, "libcross.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.ret_void()
+    cls.add_method(main.build())
+    native = """
+    Java_com_bench_Crossing_nop:
+        add r0, r2, #1
+        bx lr
+    """
+    return Apk(package="com.bench.crossing", classes=[cls],
+               native_libraries={"libcross.so": native},
+               load_library_calls=["libcross.so"])
+
+
+CROSSINGS = 150
+
+
+@pytest.mark.parametrize("config", ["vanilla", "taintdroid", "ndroid",
+                                    "droidscope"])
+def test_benchmark_jni_round_trips(benchmark, config):
+    platform = make_platform(config)
+    apk = build_crossing_apk()
+    platform.install(apk)
+    platform.run_app(apk)
+
+    def run():
+        return platform.vm.call_main(f"{CLASS_NAME}->cross",
+                                     [Slot(CROSSINGS)])
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    # sum of (i+1) for i in range(n)
+    assert result.value == CROSSINGS * (CROSSINGS + 1) // 2
+
+
+def test_source_policy_created_per_tainted_crossing():
+    from repro.common.taint import TAINT_IMEI
+    platform = make_platform("ndroid")
+    apk = build_crossing_apk()
+    platform.install(apk)
+    platform.run_app(apk)
+    # Clean crossings create no tainted-delivery records...
+    platform.vm.call_main(f"{CLASS_NAME}->cross", [Slot(10)])
+    assert not platform.ndroid.tainted_native_deliveries()
+    # ...tainted ones do.
+    platform.vm.call_main(f"{CLASS_NAME}->nop", [Slot(1, TAINT_IMEI)])
+    assert platform.ndroid.tainted_native_deliveries()

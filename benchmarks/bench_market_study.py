@@ -1,0 +1,52 @@
+"""Section VI — the 8-app manual study under Monkey-driven input.
+
+Claim reproduced: of the eight phone/SMS/contacts JNI apps, three deliver
+sensitive data to native code and exactly one (the ePhone analogue) sends
+it out through a native sink.
+"""
+
+import pytest
+
+from repro.apps.market import MARKET_APPS, run_market_study
+
+
+@pytest.fixture(scope="module")
+def observations():
+    return run_market_study(seed=7, events=12)
+
+
+def test_market_study_headline(observations):
+    delivering = [o for o in observations if o.delivered_to_native]
+    leaking = [o for o in observations if o.leaked]
+    print()
+    print(f"{'package':<26} {'delivers':<10} {'leaks':<7} coverage")
+    for o in observations:
+        print(f"{o.package:<26} {str(o.delivered_to_native):<10} "
+              f"{str(o.leaked):<7} {o.monkey_coverage:.0%}")
+    assert len(observations) == 8
+    assert len(delivering) == 3          # "3 apps delivered ... to native"
+    assert len(leaking) == 1             # "One app ... further sends out"
+    assert leaking[0].package == "com.market.ephone"
+
+
+def test_benchmark_full_study(benchmark):
+    observations = benchmark.pedantic(
+        lambda: run_market_study(seed=7, events=8), rounds=2, iterations=1)
+    assert len(observations) == 8
+
+
+@pytest.mark.parametrize("package", sorted(MARKET_APPS))
+def test_benchmark_single_app(benchmark, package):
+    from repro.core import NDroid
+    from repro.framework import AndroidPlatform, MonkeyRunner
+
+    def run():
+        platform = AndroidPlatform()
+        NDroid.attach(platform)
+        apk = MARKET_APPS[package]()
+        platform.install(apk)
+        MonkeyRunner(platform, seed=7).run(apk, events=8)
+        return platform
+
+    platform = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert platform is not None

@@ -1,0 +1,60 @@
+"""Table I / Fig. 3 — the {source, intermediate, sink} case matrix.
+
+Benchmarks end-to-end analysis of each case app under TaintDroid+NDroid
+and re-asserts the detection matrix: TaintDroid alone detects only case 1;
+NDroid detects every case.
+"""
+
+import pytest
+
+from repro.apps import ALL_SCENARIOS
+from repro.apps.base import run_scenario
+from repro.bench.harness import make_platform
+
+CASES = ["case1", "case1_prime", "case2", "case3", "case4"]
+
+
+def run_case(name, config):
+    scenario = ALL_SCENARIOS[name]()
+    platform = make_platform(config)
+    run_scenario(scenario, platform)
+    return scenario, platform
+
+
+def test_detection_matrix_shape():
+    """The headline Table I result, printed as the paper lays it out."""
+    rows = []
+    for name in CASES:
+        scenario, td = run_case(name, "taintdroid")
+        __, nd = run_case(name, "ndroid")
+        td_hit = td.leaks.detected_by("taintdroid", scenario.expected_taint)
+        nd_hit = any(r.taint & scenario.expected_taint
+                     for r in nd.leaks.records)
+        rows.append((scenario.case, td_hit, nd_hit))
+    print()
+    print(f"{'case':<8}{'TaintDroid':<12}{'NDroid':<8}")
+    for case, td_hit, nd_hit in rows:
+        print(f"{case:<8}{str(td_hit):<12}{str(nd_hit):<8}")
+    assert [r[1] for r in rows] == [True, False, False, False, False]
+    assert all(r[2] for r in rows)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_benchmark_case_under_ndroid(benchmark, name):
+    def run():
+        return run_case(name, "ndroid")
+
+    scenario, platform = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert any(r.taint & scenario.expected_taint
+               for r in platform.leaks.records)
+
+
+@pytest.mark.parametrize("name", ["case1", "case2"])
+def test_benchmark_case_under_taintdroid_only(benchmark, name):
+    def run():
+        return run_case(name, "taintdroid")
+
+    scenario, platform = benchmark.pedantic(run, rounds=3, iterations=1)
+    detected = platform.leaks.detected_by("taintdroid",
+                                          scenario.expected_taint)
+    assert detected == scenario.taintdroid_alone_detects

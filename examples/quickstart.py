@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a JNI information leak that TaintDroid misses.
+
+Builds a simulated Android device, installs the paper's case-2 PoC (an
+app whose native code writes the user's contacts to ``/sdcard/CONTACTS``
+through ``fopen``/``fprintf``), and runs it twice: once under TaintDroid
+alone, once with NDroid attached.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.apps import poc_case2
+from repro.apps.base import run_scenario
+from repro.core import NDroid
+from repro.framework import AndroidPlatform
+from repro.taintdroid import TaintDroid
+
+
+def run_under(attach):
+    platform = AndroidPlatform()
+    attach(platform)
+    scenario = poc_case2.build()
+    run_scenario(scenario, platform)
+    return platform
+
+
+def main():
+    print("=" * 64)
+    print("Scenario: the paper's PoC of case 2 (Fig. 8)")
+    print("  Java reads contact id/name/email (tainted 0x2),")
+    print("  native code writes them to /sdcard/CONTACTS via fprintf.")
+    print("=" * 64)
+
+    print("\n--- TaintDroid alone " + "-" * 42)
+    taintdroid_platform = run_under(TaintDroid.attach)
+    content = taintdroid_platform.kernel.filesystem.read_text(
+        "/sdcard/CONTACTS")
+    print(f"data written to /sdcard/CONTACTS: {content!r}")
+    print(f"leaks detected: {len(taintdroid_platform.leaks)}")
+    print("  -> the leak happened, but the native sink is invisible to "
+          "TaintDroid")
+
+    print("\n--- TaintDroid + NDroid " + "-" * 39)
+    ndroid_platform = run_under(NDroid.attach)
+    print(f"leaks detected: {len(ndroid_platform.leaks)}")
+    for record in ndroid_platform.leaks.records:
+        print(f"  {record.describe()}")
+
+    print("\n--- NDroid engine statistics " + "-" * 34)
+    for key, value in ndroid_platform.ndroid.statistics().items():
+        print(f"  {key:<24s} {value}")
+
+    assert len(taintdroid_platform.leaks) == 0
+    assert len(ndroid_platform.leaks) > 0
+    print("\nOK: NDroid caught the flow TaintDroid missed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; with this shim present, ``pip install -e . --no-build-isolation``
+falls back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

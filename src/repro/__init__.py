@@ -1,0 +1,31 @@
+"""NDroid reproduction — tracking information flows through JNI.
+
+A complete Python reproduction of "On Tracking Information Flows through
+JNI in Android Applications" (Qian, Luo, Shao, Chan — DSN 2014),
+including every substrate the system needs: an ARM/Thumb emulator, a
+simulated Linux kernel, a modelled libc, a Dalvik VM with TaintDroid's
+taint-carrying structures, the JNI layer, and the analysis systems
+themselves.
+
+Quick API tour::
+
+    from repro import AndroidPlatform, NDroid, TaintDroid
+
+    platform = AndroidPlatform()      # a simulated Android device
+    NDroid.attach(platform)           # the paper's system (+TaintDroid)
+    platform.install(apk)             # an Apk of Dalvik + ARM native code
+    platform.run_app(apk)
+    print(platform.leaks.summary())   # detected information leaks
+
+See ``DESIGN.md`` for the architecture and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.core.ndroid import NDroid
+from repro.framework.android import AndroidPlatform
+from repro.framework.apk import Apk
+from repro.taintdroid.system import TaintDroid
+
+__version__ = "1.0.0"
+
+__all__ = ["AndroidPlatform", "Apk", "NDroid", "TaintDroid", "__version__"]

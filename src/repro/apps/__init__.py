@@ -1,0 +1,43 @@
+"""Scenario applications.
+
+Executable reconstructions of every information flow the paper evaluates:
+
+* the Table I case matrix (cases 1, 1', 2, 3, 4) in :mod:`cases`;
+* QQPhoneBook v3.5 (Fig. 6) in :mod:`qqphonebook`;
+* ePhone v3.3 (Fig. 7) in :mod:`ephone`;
+* the case-2 PoC writing contacts to ``/sdcard/CONTACTS`` (Fig. 8) in
+  :mod:`poc_case2`;
+* the case-3 PoC routing device info through ``NewStringUTF`` and
+  ``CallVoidMethod`` (Fig. 9) in :mod:`poc_case3`;
+* a benign control app (no sensitive flow) in :mod:`benign`.
+
+Each module exposes ``build() -> Scenario``; ``Scenario.run(platform)``
+installs and executes the app.
+"""
+
+from repro.apps.base import Scenario, run_scenario
+from repro.apps import (
+    benign,
+    cases,
+    ephone,
+    poc_case2,
+    poc_case3,
+    qqphonebook,
+    thumb_app,
+)
+
+ALL_SCENARIOS = {
+    "case1": cases.build_case1,
+    "case1_prime": cases.build_case1_prime,
+    "case2": cases.build_case2,
+    "case3": cases.build_case3,
+    "case4": cases.build_case4,
+    "case2_thumb": thumb_app.build,
+    "qqphonebook": qqphonebook.build,
+    "ephone": ephone.build,
+    "poc_case2": poc_case2.build,
+    "poc_case3": poc_case3.build,
+    "benign": benign.build,
+}
+
+__all__ = ["Scenario", "run_scenario", "ALL_SCENARIOS"]

@@ -1,0 +1,73 @@
+"""Benign control app: uses JNI heavily but leaks nothing sensitive.
+
+Exercises the same machinery as the leak scenarios (GetStringUTFChars,
+libc string processing, a native ``send``), but over non-sensitive data —
+the false-positive check for both detectors.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+
+def build() -> Scenario:
+    """Build the benign control scenario."""
+    cls = ClassDef("Lcom/benign/App;")
+    cls.add_method(MethodBuilder(cls.name, "upload", "IL", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "I", static=True, registers=4)
+    main.const_string(0, "libbenign.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.const_string(1, "hello=world&version=3")   # not sensitive
+    main.invoke_static(f"{cls.name}->upload", 1)
+    main.move_result(2)
+    main.ret(2)
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_benign_App_upload:        ; (env, jclass, jstring) -> int
+        push {{r4, r5, r6, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; scratch = strdup(chars); strlen(scratch)
+        ldr ip, =strdup
+        blx ip
+        mov r5, r0
+        mov r0, #2
+        mov r1, #1
+        ldr ip, =socket
+        blx ip
+        mov r6, r0
+        ldr r1, =dest
+        ldr ip, =connect
+        blx ip
+        mov r0, r5
+        ldr ip, =strlen
+        blx ip
+        mov r2, r0
+        mov r0, r6
+        mov r1, r5
+        mov r3, #0
+        ldr ip, =send
+        blx ip
+        pop {{r4, r5, r6, pc}}
+    dest:
+        .asciz "stats.example.com:80"
+    """
+    apk = Apk(package="com.benign.app", category="Tools", classes=[cls],
+              native_libraries={"libbenign.so": native},
+              load_library_calls=["libbenign.so"])
+    return Scenario(
+        name="benign", apk=apk, case="benign", expected_taint=0,
+        expected_destination="",
+        taintdroid_alone_detects=False,
+        description="JNI-heavy app transmitting only non-sensitive data "
+                    "(false-positive control)")

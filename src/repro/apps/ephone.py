@@ -1,0 +1,124 @@
+"""ePhone v3.3 (paper Fig. 7) — a real-world case-2 flow.
+
+The Java code calls the native method ``callregister`` (class
+``Lcom/vnet/asip/general/general;``, shorty ``ILLLLLLLII``) with contact
+data in ``args[2]`` (taint ``0x2``).  The native code converts the Java
+string with ``GetStringUTFChars``, pushes it through ``memcpy``/
+``sprintf``-style processing into a SIP REGISTER packet, and transmits it
+with ``sendto`` to ``softphone.comwave.net`` — a native-context sink that
+TaintDroid never checks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import TAINT_CONTACTS
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+CLASS_NAME = "Lcom/vnet/asip/general/general;"
+DESTINATION = "softphone.comwave.net:5060"
+
+
+def build() -> Scenario:
+    """Build the ePhone 3.3 scenario (Fig. 7)."""
+    general = ClassDef(CLASS_NAME)
+    # Shorty ILLLLLLLII: int return; params L L L L L L L I I.
+    general.add_method(
+        MethodBuilder(CLASS_NAME, "callregister", "ILLLLLLLII",
+                      static=True, native=True).build())
+
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=12)
+    main.const_string(0, "libasip.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.invoke_static(
+        "Landroid/provider/ContactsContract;->queryAllContacts")
+    main.move_result_object(1)          # taint 0x2
+    main.const_string(2, "4804001849")  # account id
+    main.const_string(3, "sip.comwave.net")
+    main.move_object(4, 1)              # args[2] <- tainted contacts
+    main.const_string(5, "")
+    main.const_string(6, "")
+    main.const_string(7, "")
+    main.const_string(8, "")
+    main.const(9, 5060)
+    main.const(10, 1)
+    main.invoke_static(f"{CLASS_NAME}->callregister",
+                       2, 3, 4, 5, 6, 7, 8, 9, 10)
+    main.ret_void()
+    general.add_method(main.build())
+
+    native = f"""
+    Java_com_vnet_asip_general_general_callregister:
+        ; env=r0 jclass=r1 args[0]=r2 args[1]=r3 args[2..8]=[sp..]
+        ldr r2, [sp]                   ; args[2], tainted contacts jstring
+        push {{r4, r5, r6, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, args[2], NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; staging = malloc(256); memcpy(staging, chars, strlen+1)
+        mov r0, #256
+        ldr ip, =malloc
+        blx ip
+        mov r6, r0
+        mov r0, r5
+        ldr ip, =strlen
+        blx ip
+        add r2, r0, #1
+        mov r0, r6
+        mov r1, r5
+        ldr ip, =memcpy
+        blx ip
+        ; sprintf(packet, "REGISTER sip:...From: %s", staging)
+        ldr r0, =packet
+        ldr r1, =sip_format
+        mov r2, r6
+        ldr ip, =sprintf
+        blx ip
+        ; fd = socket(AF_INET, SOCK_DGRAM)
+        mov r0, #2
+        mov r1, #2
+        ldr ip, =socket
+        blx ip
+        mov r5, r0
+        ; n = strlen(packet)
+        ldr r0, =packet
+        ldr ip, =strlen
+        blx ip
+        mov r2, r0
+        ; sendto(fd, packet, n, 0, dest, 0)
+        mov r0, r5
+        ldr r1, =packet
+        mov r3, #0
+        ldr r5, =dest
+        str r5, [sp, #-8]!
+        ldr ip, =sendto
+        blx ip
+        add sp, sp, #8
+        mov r0, #0
+        pop {{r4, r5, r6, pc}}
+
+    sip_format:
+        .asciz "REGISTER sip:softphone.comwave.net Via: SIP/2.0/UDP From: %s"
+    dest:
+        .asciz "softphone.comwave.net:5060"
+    .align 2
+    packet:
+        .space 512
+    """
+    apk = Apk(package="com.vnet.asip.ephone", category="Communication",
+              classes=[general], native_libraries={"libasip.so": native},
+              load_library_calls=["libasip.so"])
+    return Scenario(
+        name="ephone", apk=apk, case="2",
+        expected_taint=TAINT_CONTACTS,
+        expected_destination="softphone.comwave.net",
+        taintdroid_alone_detects=False,
+        description="ePhone 3.3: contact data processed through memcpy/"
+                    "sprintf and sent natively via sendto (Fig. 7)")

@@ -1,0 +1,345 @@
+"""The Section VI manual app study: 8 phone/SMS/contacts apps.
+
+"Then, we manually generated input and executed 8 randomly selected apps,
+which use JNI and are related to phone/SMS/contacts.  NDroid found that 3
+apps delivered the contact and SMS information to native code.  One app
+(i.e., ephone3.3) further sends out the contact information through
+native code."
+
+The eight apps below recreate that population: all use JNI, all expose
+Monkey-drivable ``on*`` handlers, three pass contact/SMS data across the
+JNI boundary, and exactly one — the ePhone analogue — transmits it.
+:func:`run_market_study` drives each app under TaintDroid+NDroid with the
+Monkey and reports per-app observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.common.taint import TAINT_CONTACTS, TAINT_SMS
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+_GET_CHARS = jni_offset("GetStringUTFChars")
+
+# Native helpers shared by several of the apps.
+_PROCESS_ONLY_NATIVE = f"""
+{{symbol}}:                   ; (env, jclass, jstring) -> int: local use only
+    push {{{{r4, r5, lr}}}}
+    mov r4, r0
+    ldr ip, [r4]
+    ldr ip, [ip, #{_GET_CHARS}]
+    mov r1, r2
+    mov r2, #0
+    blx ip
+    mov r5, r0
+    ; strcpy(workbuf, chars); return strlen(chars)
+    mov r1, r5
+    ldr r0, =workbuf
+    ldr ip, =strcpy
+    blx ip
+    mov r0, r5
+    ldr ip, =strlen
+    blx ip
+    pop {{{{r4, r5, pc}}}}
+.align 2
+workbuf:
+    .space 128
+"""
+
+_CLEAN_NATIVE = """
+{symbol}:                     ; (env, jclass, n) -> n * 31 (pure compute)
+    mov r0, #31
+    mul r0, r0, r2
+    bx lr
+"""
+
+
+def _app(package: str, class_name: str) -> ClassDef:
+    return ClassDef(class_name)
+
+
+def _loader_main(builder: MethodBuilder, library: str) -> None:
+    builder.const_string(0, library)
+    builder.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    builder.ret_void()
+
+
+def build_market_ephone() -> Apk:
+    """App 1 — the leaker: contacts -> native -> sendto (ePhone 3.3)."""
+    cls = ClassDef("Lcom/market/ephone/Main;")
+    cls.add_method(MethodBuilder(cls.name, "callregister", "IL",
+                                 static=True, native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=1)
+    _loader_main(main, "libephone.so")
+    cls.add_method(main.build())
+    handler = MethodBuilder(cls.name, "onRegister", "V", static=True,
+                            registers=2)
+    handler.invoke_static(
+        "Landroid/provider/ContactsContract;->queryAllContacts")
+    handler.move_result_object(0)
+    handler.invoke_static(f"{cls.name}->callregister", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    native = f"""
+    Java_com_market_ephone_Main_callregister:
+        push {{r4, r5, r6, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{_GET_CHARS}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        mov r0, #2
+        mov r1, #2
+        ldr ip, =socket
+        blx ip
+        mov r6, r0
+        mov r0, r5
+        ldr ip, =strlen
+        blx ip
+        mov r2, r0
+        mov r0, r6
+        mov r1, r5
+        mov r3, #0
+        ldr r4, =dest
+        str r4, [sp, #-8]!
+        ldr ip, =sendto
+        blx ip
+        add sp, sp, #8
+        mov r0, #0
+        pop {{r4, r5, r6, pc}}
+    dest:
+        .asciz "softphone.comwave.net:5060"
+    """
+    return Apk(package="com.market.ephone", category="Communication",
+               classes=[cls], native_libraries={"libephone.so": native},
+               load_library_calls=["libephone.so"])
+
+
+def build_market_smsbackup() -> Apk:
+    """App 2 — delivers SMS to native, processes locally, no sink."""
+    cls = ClassDef("Lcom/market/smsbackup/Main;")
+    cls.add_method(MethodBuilder(cls.name, "checksum", "IL",
+                                 static=True, native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=1)
+    _loader_main(main, "libsmsbak.so")
+    cls.add_method(main.build())
+    handler = MethodBuilder(cls.name, "onBackup", "V", static=True,
+                            registers=2)
+    handler.invoke_static("Landroid/provider/Telephony$Sms;->getAllMessages")
+    handler.move_result_object(0)
+    handler.invoke_static(f"{cls.name}->checksum", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    native = _PROCESS_ONLY_NATIVE.format(
+        symbol="Java_com_market_smsbackup_Main_checksum")
+    return Apk(package="com.market.smsbackup", category="Tools",
+               classes=[cls], native_libraries={"libsmsbak.so": native},
+               load_library_calls=["libsmsbak.so"])
+
+
+def build_market_contactsync() -> Apk:
+    """App 3 — delivers contacts to native for normalisation, no sink."""
+    cls = ClassDef("Lcom/market/contactsync/Main;")
+    cls.add_method(MethodBuilder(cls.name, "normalize", "IL",
+                                 static=True, native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=1)
+    _loader_main(main, "libcsync.so")
+    cls.add_method(main.build())
+    handler = MethodBuilder(cls.name, "onSync", "V", static=True,
+                            registers=2)
+    handler.invoke_static(
+        "Landroid/provider/ContactsContract;->queryAllContacts")
+    handler.move_result_object(0)
+    handler.invoke_static(f"{cls.name}->normalize", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    native = _PROCESS_ONLY_NATIVE.format(
+        symbol="Java_com_market_contactsync_Main_normalize")
+    return Apk(package="com.market.contactsync", category="Productivity",
+               classes=[cls], native_libraries={"libcsync.so": native},
+               load_library_calls=["libcsync.so"])
+
+
+def _clean_jni_app(package: str, class_name: str, library: str,
+                   handler_name: str, symbol: str,
+                   category: str = "Tools") -> Apk:
+    """An app that uses JNI on non-sensitive data only."""
+    cls = ClassDef(class_name)
+    cls.add_method(MethodBuilder(cls.name, "compute", "II", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=1)
+    _loader_main(main, library)
+    cls.add_method(main.build())
+    handler = MethodBuilder(cls.name, handler_name, "V", static=True,
+                            registers=2)
+    handler.const(0, 12345)
+    handler.invoke_static(f"{cls.name}->compute", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    native = _CLEAN_NATIVE.format(symbol=symbol)
+    return Apk(package=package, category=category, classes=[cls],
+               native_libraries={library: native},
+               load_library_calls=[library])
+
+
+def build_market_dialer() -> Apk:
+    """App 4 — native tone generation over constants."""
+    return _clean_jni_app("com.market.dialer", "Lcom/market/dialer/Main;",
+                          "libtone.so", "onDial",
+                          "Java_com_market_dialer_Main_compute",
+                          category="Communication")
+
+
+def build_market_smsfilter() -> Apk:
+    """App 5 — SMS handled in Java only; JNI for unrelated utilities."""
+    apk = _clean_jni_app("com.market.smsfilter",
+                         "Lcom/market/smsfilter/Main;", "libfilter.so",
+                         "onFilter", "Java_com_market_smsfilter_Main_compute",
+                         category="Communication")
+    cls = apk.classes[0]
+    # A Java-only handler that reads SMS but never crosses into native.
+    handler = MethodBuilder(cls.name, "onScan", "V", static=True,
+                            registers=2)
+    handler.invoke_static("Landroid/provider/Telephony$Sms;->getAllMessages")
+    handler.move_result_object(0)
+    handler.invoke_static("Ljava/lang/String;->length", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    return apk
+
+
+def build_market_callrecorder() -> Apk:
+    """App 6 — native writes an untainted config file."""
+    cls = ClassDef("Lcom/market/callrec/Main;")
+    cls.add_method(MethodBuilder(cls.name, "saveConfig", "I", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=1)
+    _loader_main(main, "librec.so")
+    cls.add_method(main.build())
+    handler = MethodBuilder(cls.name, "onRecord", "V", static=True,
+                            registers=1)
+    handler.invoke_static(f"{cls.name}->saveConfig")
+    handler.ret_void()
+    cls.add_method(handler.build())
+    native = """
+    Java_com_market_callrec_Main_saveConfig:
+        push {r4, lr}
+        ldr r0, =path
+        ldr r1, =mode
+        ldr ip, =fopen
+        blx ip
+        mov r4, r0
+        ldr r0, =config
+        mov r1, #1
+        mov r2, #10
+        mov r3, r4
+        ldr ip, =fwrite
+        blx ip
+        mov r0, r4
+        ldr ip, =fclose
+        blx ip
+        mov r0, #0
+        pop {r4, pc}
+    path:
+        .asciz "/sdcard/rec.cfg"
+    mode:
+        .asciz "w"
+    config:
+        .asciz "rate=8000"
+    """
+    return Apk(package="com.market.callrec", category="Tools",
+               classes=[cls], native_libraries={"librec.so": native},
+               load_library_calls=["librec.so"])
+
+
+def build_market_contactwidget() -> Apk:
+    """App 7 — contacts stay in the Java context; JNI unrelated."""
+    apk = _clean_jni_app("com.market.contactwidget",
+                         "Lcom/market/widget/Main;", "libwidget.so",
+                         "onDraw", "Java_com_market_widget_Main_compute",
+                         category="Personalization")
+    cls = apk.classes[0]
+    handler = MethodBuilder(cls.name, "onRefresh", "V", static=True,
+                            registers=2)
+    handler.invoke_static(
+        "Landroid/provider/ContactsContract;->queryAllContacts")
+    handler.move_result_object(0)
+    handler.invoke_static("Ljava/lang/String;->length", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    return apk
+
+
+def build_market_phoneinfo() -> Apk:
+    """App 8 — phone number displayed in Java; native provides a version."""
+    apk = _clean_jni_app("com.market.phoneinfo",
+                         "Lcom/market/info/Main;", "libinfo.so",
+                         "onAbout", "Java_com_market_info_Main_compute")
+    cls = apk.classes[0]
+    handler = MethodBuilder(cls.name, "onShowNumber", "V", static=True,
+                            registers=2)
+    handler.invoke_static(
+        "Landroid/telephony/TelephonyManager;->getLine1Number")
+    handler.move_result_object(0)
+    handler.invoke_static("Ljava/lang/String;->length", 0)
+    handler.ret_void()
+    cls.add_method(handler.build())
+    return apk
+
+
+MARKET_APPS: Dict[str, Callable[[], Apk]] = {
+    "com.market.ephone": build_market_ephone,
+    "com.market.smsbackup": build_market_smsbackup,
+    "com.market.contactsync": build_market_contactsync,
+    "com.market.dialer": build_market_dialer,
+    "com.market.smsfilter": build_market_smsfilter,
+    "com.market.callrec": build_market_callrecorder,
+    "com.market.contactwidget": build_market_contactwidget,
+    "com.market.phoneinfo": build_market_phoneinfo,
+}
+
+
+@dataclass
+class AppObservation:
+    """What NDroid saw for one market app."""
+
+    package: str
+    delivered_to_native: bool = False
+    delivered_taint: int = 0
+    leaked: bool = False
+    leak_destinations: List[str] = field(default_factory=list)
+    monkey_coverage: float = 0.0
+
+
+def run_market_study(seed: int = 0, events: int = 12) -> List[AppObservation]:
+    """Run all eight apps under TaintDroid+NDroid with the Monkey."""
+    from repro.core import NDroid
+    from repro.framework.android import AndroidPlatform
+    from repro.framework.monkey import MonkeyRunner
+
+    observations = []
+    for package, build in MARKET_APPS.items():
+        platform = AndroidPlatform()
+        ndroid = NDroid.attach(platform)
+        apk = build()
+        platform.install(apk)
+        monkey = MonkeyRunner(platform, seed=seed)
+        session = monkey.run(apk, events=events)
+        sensitive = TAINT_CONTACTS | TAINT_SMS
+        deliveries = [d for d in ndroid.tainted_native_deliveries()
+                      if d["taint"] & sensitive]
+        leaks = [r for r in platform.leaks.records if r.taint & sensitive]
+        observations.append(AppObservation(
+            package=package,
+            delivered_to_native=bool(deliveries),
+            delivered_taint=(deliveries[0]["taint"] if deliveries else 0),
+            leaked=bool(leaks),
+            leak_destinations=sorted({r.destination for r in leaks}),
+            monkey_coverage=session.coverage))
+    return observations

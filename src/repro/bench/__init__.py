@@ -1,0 +1,23 @@
+"""Benchmark workloads and the overhead harness.
+
+:mod:`cfbench` reimplements the CF-Bench (Chainfire) workload classes the
+paper uses for Fig. 10 — native/Java MIPS, MSFLOPS, MDFLOPS, mallocs,
+memory read/write, disk read/write — as an installable app whose native
+half is real assembled ARM code invoked through JNI, exactly like the
+original benchmark APK.
+
+:mod:`harness` runs the suite under each configuration (vanilla,
+TaintDroid, TaintDroid+NDroid, DroidScope-sim) and computes per-workload
+slowdown ratios against the vanilla platform.
+"""
+
+from repro.bench.cfbench import CFBench, WORKLOADS, WorkloadResult
+from repro.bench.harness import OverheadHarness, OverheadTable
+
+__all__ = [
+    "CFBench",
+    "WORKLOADS",
+    "WorkloadResult",
+    "OverheadHarness",
+    "OverheadTable",
+]

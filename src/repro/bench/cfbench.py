@@ -1,0 +1,383 @@
+"""The CF-Bench workload suite (paper Section VI.E, Fig. 10).
+
+One installable app, ``com.chainfire.cfbench``, with a Java method and/or
+a native function per workload class.  Native workloads run as assembled
+ARM inside a third-party library (so NDroid's instruction tracer covers
+them, exactly as it would the real benchmark's ``libcfbench.so``); Java
+workloads run as Dalvik bytecode under the (modified) interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dalvik.classes import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.dalvik.instructions import Op
+from repro.framework.apk import Apk
+
+CLASS_NAME = "Lcom/chainfire/cfbench/Bench;"
+
+# The Fig. 10 workload rows (scores are aggregated separately).
+WORKLOADS = (
+    "native_mips", "java_mips",
+    "native_msflops", "java_msflops",
+    "native_mdflops", "java_mdflops",
+    "native_mallocs",
+    "native_memory_read", "java_memory_read",
+    "native_memory_write", "java_memory_write",
+    "native_disk_read", "native_disk_write",
+)
+
+NATIVE_WORKLOADS = tuple(w for w in WORKLOADS if w.startswith("native"))
+JAVA_WORKLOADS = tuple(w for w in WORKLOADS if w.startswith("java"))
+
+
+@dataclass
+class WorkloadResult:
+    """Timing of one workload run; ``score`` is iterations/second."""
+    name: str
+    iterations: int
+    elapsed_seconds: float
+
+    @property
+    def score(self) -> float:
+        """Operations per second (higher is better)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.iterations / self.elapsed_seconds
+
+
+def build_cfbench_apk() -> Apk:
+    """Assemble the benchmark app (Java bytecode + native library)."""
+    bench = ClassDef(CLASS_NAME)
+
+    # ---- native method declarations --------------------------------------
+    for name in ("nativeMips", "nativeFlops", "nativeDflops",
+                 "nativeMallocs", "nativeMemRead", "nativeMemWrite",
+                 "nativeDiskRead", "nativeDiskWrite"):
+        bench.add_method(MethodBuilder(CLASS_NAME, name, "II", static=True,
+                                       native=True).build())
+
+    # ---- Java workloads ----------------------------------------------------
+    def loop_builder(name: str, body) -> None:
+        """for (i = 0; i < n; i++) { body }; return checksum."""
+        builder = MethodBuilder(CLASS_NAME, name, "II", static=True,
+                                registers=10)
+        # v0 = acc, v1 = i, v9 = n (in).
+        builder.const(0, 0).const(1, 0)
+        body(builder, phase="setup")
+        builder.label("loop")
+        builder.if_cmp(Op.IF_GE, 1, 9, "done")
+        body(builder, phase="body")
+        builder.add_lit(1, 1, 1)
+        builder.goto("loop")
+        builder.label("done")
+        builder.ret(0)
+        bench.add_method(builder.build())
+
+    def mips_body(builder, phase):
+        if phase == "body":
+            builder.add_lit(0, 0, 3)
+            builder.binop(Op.XOR_INT, 0, 0, 1)
+            builder.binop(Op.ADD_INT, 0, 0, 1)
+
+    def flops_body(builder, phase):
+        if phase == "body":
+            builder.invoke_static("Ljava/lang/Math;->sinBits", 0)
+            builder.move_result(2)
+            builder.binop(Op.ADD_INT, 0, 0, 2)
+
+    def dflops_body(builder, phase):
+        if phase == "body":
+            builder.invoke_static("Ljava/lang/Math;->powBits", 0, 1)
+            builder.move_result(2)
+            builder.binop(Op.XOR_INT, 0, 0, 2)
+
+    def mem_read_body(builder, phase):
+        if phase == "setup":
+            builder.const(3, 64)
+            builder.new_array(4, 3, "I")
+            builder.const(5, 63)
+        if phase == "body":
+            builder.binop(Op.AND_INT, 6, 1, 5)
+            builder.aget(2, 4, 6)
+            builder.binop(Op.ADD_INT, 0, 0, 2)
+
+    def mem_write_body(builder, phase):
+        if phase == "setup":
+            builder.const(3, 64)
+            builder.new_array(4, 3, "I")
+            builder.const(5, 63)
+        if phase == "body":
+            builder.binop(Op.AND_INT, 6, 1, 5)
+            builder.aput(1, 4, 6)
+            builder.add_lit(0, 0, 1)
+
+    loop_builder("javaMips", mips_body)
+    loop_builder("javaFlops", flops_body)
+    loop_builder("javaDflops", dflops_body)
+    loop_builder("javaMemRead", mem_read_body)
+    loop_builder("javaMemWrite", mem_write_body)
+
+    # ---- entry point that loads the native library -------------------------
+    main = MethodBuilder(CLASS_NAME, "main", "V", static=True, registers=2)
+    main.const_string(0, "libcfbench.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.ret_void()
+    bench.add_method(main.build())
+
+    native = _native_library_source()
+    return Apk(package="com.chainfire.cfbench", category="Tools",
+               classes=[bench], native_libraries={"libcfbench.so": native},
+               load_library_calls=["libcfbench.so"])
+
+
+def _native_library_source() -> str:
+    return """
+    Java_com_chainfire_cfbench_Bench_nativeMips:   ; (env, jclass, n)
+        mov r0, #0
+        mov r1, #0
+    mips_loop:
+        cmp r1, r2
+        bge mips_done
+        add r0, r0, #3
+        eor r0, r0, r1
+        add r0, r0, r1
+        add r1, r1, #1
+        b mips_loop
+    mips_done:
+        bx lr
+
+    Java_com_chainfire_cfbench_Bench_nativeFlops:  ; soft-float via libm
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        mov r6, #0
+    flops_loop:
+        cmp r5, r4
+        bge flops_done
+        mov r0, r6
+        ldr ip, =sinf
+        blx ip
+        add r6, r6, r0
+        add r5, r5, #1
+        b flops_loop
+    flops_done:
+        mov r0, r6
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeDflops: ; double via libm
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        mov r6, #0
+    dflops_loop:
+        cmp r5, r4
+        bge dflops_done
+        mov r0, r6
+        mov r1, r5
+        ldr ip, =sin
+        blx ip
+        eor r6, r6, r0
+        add r5, r5, #1
+        b dflops_loop
+    dflops_done:
+        mov r0, r6
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeMallocs:
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        mov r6, #0
+    malloc_loop:
+        cmp r5, r4
+        bge malloc_done
+        mov r0, #64
+        ldr ip, =malloc
+        blx ip
+        add r6, r6, r0
+        ldr ip, =free
+        blx ip
+        add r5, r5, #1
+        b malloc_loop
+    malloc_done:
+        mov r0, r6
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeMemRead:
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        mov r6, #0
+        ldr r1, =scratch
+    read_loop:
+        cmp r5, r4
+        bge read_done
+        and r2, r5, #63
+        ldr r3, [r1, r2, lsl #2]
+        add r6, r6, r3
+        add r5, r5, #1
+        b read_loop
+    read_done:
+        mov r0, r6
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeMemWrite:
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        ldr r1, =scratch
+    write_loop:
+        cmp r5, r4
+        bge write_done
+        and r2, r5, #63
+        str r5, [r1, r2, lsl #2]
+        add r5, r5, #1
+        b write_loop
+    write_done:
+        mov r0, r5
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeDiskWrite:
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        ; f = fopen("/sdcard/bench.dat", "w")
+        ldr r0, =bench_path
+        ldr r1, =mode_w
+        ldr ip, =fopen
+        blx ip
+        mov r6, r0
+    dwrite_loop:
+        cmp r5, r4
+        bge dwrite_done
+        ldr r0, =scratch
+        mov r1, #1
+        mov r2, #64
+        mov r3, r6
+        ldr ip, =fwrite
+        blx ip
+        add r5, r5, #1
+        b dwrite_loop
+    dwrite_done:
+        mov r0, r6
+        ldr ip, =fclose
+        blx ip
+        mov r0, r5
+        pop {r4, r5, r6, pc}
+
+    Java_com_chainfire_cfbench_Bench_nativeDiskRead:
+        push {r4, r5, r6, lr}
+        mov r4, r2
+        mov r5, #0
+        ldr r0, =bench_path
+        ldr r1, =mode_r
+        ldr ip, =fopen
+        blx ip
+        mov r6, r0
+    dread_loop:
+        cmp r5, r4
+        bge dread_done
+        ldr r0, =scratch
+        mov r1, #1
+        mov r2, #64
+        mov r3, r6
+        ldr ip, =fread
+        blx ip
+        add r5, r5, #1
+        b dread_loop
+    dread_done:
+        mov r0, r6
+        ldr ip, =fclose
+        blx ip
+        mov r0, r5
+        pop {r4, r5, r6, pc}
+
+    bench_path:
+        .asciz "/sdcard/bench.dat"
+    mode_w:
+        .asciz "w"
+    mode_r:
+        .asciz "r"
+    .align 3
+    scratch:
+        .space 256
+    """
+
+
+class CFBench:
+    """Runs the suite on an already-configured platform."""
+
+    _SYMBOLS = {
+        "native_mips": f"{CLASS_NAME}->nativeMips",
+        "native_msflops": f"{CLASS_NAME}->nativeFlops",
+        "native_mdflops": f"{CLASS_NAME}->nativeDflops",
+        "native_mallocs": f"{CLASS_NAME}->nativeMallocs",
+        "native_memory_read": f"{CLASS_NAME}->nativeMemRead",
+        "native_memory_write": f"{CLASS_NAME}->nativeMemWrite",
+        "native_disk_read": f"{CLASS_NAME}->nativeDiskRead",
+        "native_disk_write": f"{CLASS_NAME}->nativeDiskWrite",
+        "java_mips": f"{CLASS_NAME}->javaMips",
+        "java_msflops": f"{CLASS_NAME}->javaFlops",
+        "java_mdflops": f"{CLASS_NAME}->javaDflops",
+        "java_memory_read": f"{CLASS_NAME}->javaMemRead",
+        "java_memory_write": f"{CLASS_NAME}->javaMemWrite",
+    }
+
+    def __init__(self, platform, iterations: int = 300) -> None:
+        self.platform = platform
+        self.iterations = iterations
+        self.apk = build_cfbench_apk()
+        platform.install(self.apk)
+        platform.run_app(self.apk)  # loads libcfbench.so
+        self._register_math_intrinsics()
+        # Seed the disk-read file.
+        platform.kernel.filesystem.write_text("/sdcard/bench.dat",
+                                              "x" * 4096)
+
+    def _register_math_intrinsics(self) -> None:
+        """Math helpers operating on int bit patterns (soft-float Java)."""
+        vm = self.platform.vm
+
+        def sin_bits(vm_, args):
+            value = math.sin(args[0].value / 1000.0)
+            return Slot(int(value * 1000) & 0xFFFF_FFFF,
+                        args[0].taint)
+
+        def pow_bits(vm_, args):
+            value = math.pow(1.0001, (args[0].value % 97) + 1)
+            return Slot(int(value * 1000) & 0xFFFF_FFFF,
+                        args[0].taint | args[1].taint)
+
+        vm.register_intrinsic("Ljava/lang/Math;->sinBits", sin_bits)
+        vm.register_intrinsic("Ljava/lang/Math;->powBits", pow_bits)
+
+    def run_workload(self, name: str,
+                     iterations: Optional[int] = None) -> WorkloadResult:
+        if name not in self._SYMBOLS:
+            raise KeyError(f"unknown workload {name!r}")
+        count = iterations if iterations is not None else self.iterations
+        symbol = self._SYMBOLS[name]
+        start = time.perf_counter()
+        self.platform.vm.call_main(symbol, [Slot(count)])
+        elapsed = time.perf_counter() - start
+        return WorkloadResult(name=name, iterations=count,
+                              elapsed_seconds=elapsed)
+
+    def run_all(self,
+                iterations: Optional[int] = None) -> Dict[str, WorkloadResult]:
+        return {name: self.run_workload(name, iterations)
+                for name in WORKLOADS}
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (the aggregation CF-Bench uses for its scores)."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values)
+                    / len(values))

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate the built-in leak scenarios;
+* ``scenario <name>`` — run one scenario under a configuration and print
+  the leak report (and optionally the flow log);
+* ``matrix`` — run every scenario under TaintDroid-only and
+  TaintDroid+NDroid and print the Table I detection matrix;
+* ``corpus`` — run the Section III study;
+* ``bench`` — run the Fig. 10 CF-Bench overhead comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NDroid reproduction (DSN 2014): track information "
+                    "flows through JNI on a simulated Android device.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the built-in scenarios")
+
+    scenario = subparsers.add_parser("scenario", help="run one scenario")
+    scenario.add_argument("name", help="scenario name (see `repro list`)")
+    scenario.add_argument("--config", default="ndroid",
+                          choices=["vanilla", "taintdroid", "ndroid",
+                                   "droidscope"],
+                          help="analysis configuration (default: ndroid)")
+    scenario.add_argument("--log", action="store_true",
+                          help="print the full information-flow event log")
+
+    subparsers.add_parser("matrix",
+                          help="run the Table I detection matrix")
+
+    corpus = subparsers.add_parser("corpus",
+                                   help="run the Section III app study")
+    corpus.add_argument("--scale", type=float, default=0.1,
+                        help="corpus scale factor (1.0 = 227,911 apps; "
+                             "default 0.1)")
+    corpus.add_argument("--seed", type=int, default=2014)
+
+    bench = subparsers.add_parser("bench",
+                                  help="run the Fig. 10 overhead "
+                                       "comparison")
+    bench.add_argument("--iterations", type=int, default=200)
+    bench.add_argument("--repeats", type=int, default=2)
+    return parser
+
+
+def _command_list() -> int:
+    from repro.apps import ALL_SCENARIOS
+    print(f"{'name':<14} {'case':<7} description")
+    for name, build in ALL_SCENARIOS.items():
+        scenario = build()
+        print(f"{name:<14} {scenario.case:<7} {scenario.description}")
+    return 0
+
+
+def _command_scenario(name: str, config: str, show_log: bool) -> int:
+    from repro.apps import ALL_SCENARIOS
+    from repro.apps.base import run_scenario
+    from repro.bench.harness import make_platform
+    if name not in ALL_SCENARIOS:
+        print(f"unknown scenario {name!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    scenario = ALL_SCENARIOS[name]()
+    platform = make_platform(config)
+    run_scenario(scenario, platform)
+    print(f"scenario:  {scenario.name} (case {scenario.case})")
+    print(f"config:    {config}")
+    print(f"expected:  taint 0x{scenario.expected_taint:x} -> "
+          f"{scenario.expected_destination or '(no leak)'}")
+    if show_log:
+        print("\nflow log:")
+        print(platform.event_log.dump())
+    print("\ndetected leaks:")
+    print(platform.leaks.summary())
+    detected = (any(r.taint & scenario.expected_taint
+                    for r in platform.leaks.records)
+                if scenario.expected_taint else bool(platform.leaks.records))
+    print(f"\ndetected: {detected}")
+    return 0
+
+
+def _command_matrix() -> int:
+    from repro.apps import ALL_SCENARIOS
+    from repro.apps.base import run_scenario
+    from repro.bench.harness import make_platform
+    print(f"{'scenario':<14} {'case':<6} {'TaintDroid':<12} {'+NDroid':<8}")
+    for name, build in ALL_SCENARIOS.items():
+        row = {}
+        for config in ("taintdroid", "ndroid"):
+            scenario = build()
+            platform = make_platform(config)
+            run_scenario(scenario, platform)
+            if scenario.expected_taint:
+                row[config] = any(r.taint & scenario.expected_taint
+                                  for r in platform.leaks.records)
+            else:
+                row[config] = bool(platform.leaks.records)
+        print(f"{name:<14} {scenario.case:<6} "
+              f"{'detected' if row['taintdroid'] else 'missed':<12} "
+              f"{'detected' if row['ndroid'] else 'missed':<8}")
+    return 0
+
+
+def _command_corpus(scale: float, seed: int) -> int:
+    from repro.corpus import CorpusGenerator, analyze_corpus
+    records = CorpusGenerator(seed=seed, scale=scale).generate()
+    report = analyze_corpus(records)
+    print(report.format_summary())
+    return 0
+
+
+def _command_bench(iterations: int, repeats: int) -> int:
+    from repro.bench import OverheadHarness
+    harness = OverheadHarness(iterations=iterations, repeats=repeats)
+    for table in harness.compare_all().values():
+        print(table.format())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch to a command; returns the exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "scenario":
+        return _command_scenario(args.name, args.config, args.log)
+    if args.command == "matrix":
+        return _command_matrix()
+    if args.command == "corpus":
+        return _command_corpus(args.scale, args.seed)
+    if args.command == "bench":
+        return _command_bench(args.iterations, args.repeats)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the reproduction.
+
+Every layer raises a subclass of :class:`ReproError`, so harness code can
+catch simulation failures without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the simulated platform."""
+
+
+class EmulationError(ReproError):
+    """The CPU emulator reached an illegal state (bad PC, unmapped fetch)."""
+
+
+class DecodeError(EmulationError):
+    """An instruction word could not be decoded as ARM or Thumb."""
+
+
+class MemoryError_(ReproError):
+    """Access to an unmapped or protected memory address.
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+    def __init__(self, address: int, message: str = "unmapped access"):
+        super().__init__(f"{message} @ 0x{address:08x}")
+        self.address = address
+
+
+class AssemblerError(ReproError):
+    """The ARM/Thumb assembler rejected a source line."""
+
+
+class DalvikError(ReproError):
+    """The Dalvik VM reached an illegal state (bad register, missing class)."""
+
+
+class DalvikThrow(ReproError):
+    """A Java-level exception propagated out of interpreted code.
+
+    Carries the exception object reference so JNI's ``ExceptionOccurred``
+    machinery and the ``ThrowNew`` hook can inspect it.
+    """
+
+    def __init__(self, exception_ref: int, class_name: str, detail: str = ""):
+        super().__init__(f"{class_name}: {detail}")
+        self.exception_ref = exception_ref
+        self.class_name = class_name
+        self.detail = detail
+
+
+class JNIError(ReproError):
+    """Misuse of the JNI interface (bad indirect reference, bad shorty)."""
+
+
+class KernelError(ReproError):
+    """Simulated-kernel failure (bad fd, missing path, bad syscall)."""

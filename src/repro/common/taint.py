@@ -1,0 +1,93 @@
+"""Taint labels in TaintDroid's 32-bit encoding.
+
+TaintDroid (Enck et al., OSDI 2010) represents a taint label as a 32-bit
+integer bitmask; each bit names one class of sensitive information, and
+labels are merged with bitwise OR.  NDroid adopts the same encoding so its
+native-side taints interoperate with TaintDroid's Java-side taints (Section
+V.A of the paper: "let the taints added by NDroid follow TaintDroid's
+format").
+
+The bit assignments below follow TaintDroid's ``dalvik/vm/Common.h``.  The
+paper's logs use these values directly: the QQPhoneBook flow carries
+``0x202`` (SMS | contacts) and the case-3 PoC carries ``0x1602``
+(ICCID | IMEI | SMS | contacts).
+"""
+
+from __future__ import annotations
+
+# A taint label is a plain int; this alias documents intent in signatures.
+TaintLabel = int
+
+TAINT_CLEAR: TaintLabel = 0x0000_0000
+
+TAINT_LOCATION: TaintLabel = 0x0000_0001
+TAINT_CONTACTS: TaintLabel = 0x0000_0002
+TAINT_MIC: TaintLabel = 0x0000_0004
+TAINT_PHONE_NUMBER: TaintLabel = 0x0000_0008
+TAINT_LOCATION_GPS: TaintLabel = 0x0000_0010
+TAINT_LOCATION_NET: TaintLabel = 0x0000_0020
+TAINT_LOCATION_LAST: TaintLabel = 0x0000_0040
+TAINT_CAMERA: TaintLabel = 0x0000_0080
+TAINT_ACCELEROMETER: TaintLabel = 0x0000_0100
+TAINT_SMS: TaintLabel = 0x0000_0200
+TAINT_IMEI: TaintLabel = 0x0000_0400
+TAINT_IMSI: TaintLabel = 0x0000_0800
+TAINT_ICCID: TaintLabel = 0x0000_1000
+TAINT_DEVICE_SN: TaintLabel = 0x0000_2000
+TAINT_ACCOUNT: TaintLabel = 0x0000_4000
+TAINT_HISTORY: TaintLabel = 0x0000_8000
+
+_TAINT_NAMES = {
+    TAINT_LOCATION: "LOCATION",
+    TAINT_CONTACTS: "CONTACTS",
+    TAINT_MIC: "MIC",
+    TAINT_PHONE_NUMBER: "PHONE_NUMBER",
+    TAINT_LOCATION_GPS: "LOCATION_GPS",
+    TAINT_LOCATION_NET: "LOCATION_NET",
+    TAINT_LOCATION_LAST: "LOCATION_LAST",
+    TAINT_CAMERA: "CAMERA",
+    TAINT_ACCELEROMETER: "ACCELEROMETER",
+    TAINT_SMS: "SMS",
+    TAINT_IMEI: "IMEI",
+    TAINT_IMSI: "IMSI",
+    TAINT_ICCID: "ICCID",
+    TAINT_DEVICE_SN: "DEVICE_SN",
+    TAINT_ACCOUNT: "ACCOUNT",
+    TAINT_HISTORY: "HISTORY",
+}
+
+ALL_TAINTS = tuple(sorted(_TAINT_NAMES))
+
+
+def combine(*labels: TaintLabel) -> TaintLabel:
+    """Merge taint labels with the union ("OR") operation.
+
+    This is the single propagation primitive of both TaintDroid and NDroid:
+    ``t(B) := t(B) | t(A)`` whenever information flows from A to B.
+    """
+    result = TAINT_CLEAR
+    for label in labels:
+        result |= label
+    return result & 0xFFFF_FFFF
+
+
+def describe_taint(label: TaintLabel) -> str:
+    """Render a label as a human-readable list of source names.
+
+    >>> describe_taint(0x202)
+    'CONTACTS|SMS'
+    >>> describe_taint(0)
+    'CLEAR'
+    """
+    if label == TAINT_CLEAR:
+        return "CLEAR"
+    names = [name for bit, name in sorted(_TAINT_NAMES.items()) if label & bit]
+    unknown = label & ~sum(_TAINT_NAMES)
+    if unknown:
+        names.append(f"0x{unknown:x}")
+    return "|".join(names)
+
+
+def has_taint(label: TaintLabel, wanted: TaintLabel) -> bool:
+    """Return True if ``label`` carries any of the bits in ``wanted``."""
+    return bool(label & wanted)

@@ -1,0 +1,567 @@
+"""NDroid's DVM hook engine (Section V.B).
+
+Instruments the JNI-related libdvm functions in five groups:
+
+1. **JNI entry** — ``dvmCallJNIMethod``: build a :class:`SourcePolicy`
+   from the parameters-and-taints block TaintDroid left in the outs area,
+   and seed native-side taints right before the native method's first
+   instruction executes.  On exit, overwrite the call bridge's
+   taint-if-any-param-tainted return label with the precise shadow-R0
+   taint.
+2. **JNI exit** — the ``Call*Method*`` family → ``dvmCallMethod*`` →
+   ``dvmInterpret``, gated by multilevel hooking: collect argument taints
+   from the native side (taint map + iref shadow) and write them into the
+   freshly pushed DVM frame slots (which the DVM itself cleared).
+3. **Object creation** — NOF/MAF pairs (Table III): taint the new
+   String/array object in TaintDroid's format and key its native-side
+   shadow by indirect reference.
+4. **Field access** — Table IV: bridge taints between shadow registers
+   and TaintDroid's interleaved field-taint storage.
+5. **Exception** — ``ThrowNew``/``initException``: carry the message
+   C-string's taint onto the exception's message String object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
+from repro.core.multilevel import MultilevelHookManager
+from repro.core.source_policy import SourcePolicy, SourcePolicyMap
+from repro.core.taint_engine import TaintEngine
+from repro.cpu.state import CpuState
+from repro.dalvik.stack import DvmStack
+from repro.jni.layer import JniLayer
+from repro.jni.slots import JNI_SLOTS
+
+_CALL_METHOD_NAMES = [name for name in JNI_SLOTS
+                      if "Method" in name and name.startswith("Call")]
+_GET_FIELD_NAMES = [name for name in JNI_SLOTS
+                    if name.startswith(("Get", "GetStatic"))
+                    and name.endswith("Field")]
+_SET_FIELD_NAMES = [name for name in JNI_SLOTS
+                    if name.startswith(("Set", "SetStatic"))
+                    and name.endswith("Field")]
+
+
+class DvmHookEngine:
+    """Installs and services all DVM-side hooks."""
+
+    def __init__(self, platform, taint_engine: TaintEngine,
+                 multilevel: MultilevelHookManager) -> None:
+        self.platform = platform
+        self.emu = platform.emu
+        self.jni: JniLayer = platform.jni
+        self.taint = taint_engine
+        self.multilevel = multilevel
+        self.source_policies = SourcePolicyMap()
+
+        # Per-call state stacks (JNI calls nest).
+        self._jni_entry_stack: List[Dict] = []
+        self._java_call_taints: List[List[TaintLabel]] = []
+        self._pending_creation_taint: Optional[TaintLabel] = None
+        self._pending_creation_address: Optional[int] = None
+        self._pending_string_chars: List[Dict] = []
+        self._pending_field_get: List[Dict] = []
+        self._pending_throw_taint: Optional[TaintLabel] = None
+        self._hooked_native_methods: set = set()
+
+        self.stats = {"jni_entries": 0, "jni_exits": 0, "creations": 0,
+                      "field_accesses": 0, "exceptions": 0}
+        # Every native invocation that received tainted parameters — the
+        # "delivered sensitive data to native code" observation of the
+        # paper's Section VI app study.
+        self.tainted_deliveries: List[Dict] = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def install(self) -> None:
+        symbols = self.jni.symbols
+        emu = self.emu
+        emu.add_entry_hook(symbols["dvmCallJNIMethod"],
+                           self._on_call_jni_entry)
+        emu.add_exit_hook(symbols["dvmCallJNIMethod"],
+                          self._on_call_jni_exit)
+
+        # JNI exit: gate dvmCallMethod*/dvmInterpret on native provenance
+        # (Fig. 5); register the multilevel chains per Table II.
+        for name in _CALL_METHOD_NAMES:
+            inner = "dvmCallMethodA" if name.endswith("A") else \
+                "dvmCallMethodV"
+            self.multilevel.add_chain([name, inner, "dvmInterpret"])
+        for inner in ("dvmCallMethodV", "dvmCallMethodA"):
+            emu.add_entry_hook(symbols[inner],
+                               self._make_call_method_hook(inner))
+        emu.add_entry_hook(symbols["dvmInterpret"], self._on_interpret_entry)
+        emu.add_exit_hook(symbols["dvmInterpret"], self._on_interpret_exit)
+        for name in _CALL_METHOD_NAMES:
+            emu.add_exit_hook(symbols[name],
+                              self._make_call_method_exit(name))
+
+        # Object creation (Table III NOF -> MAF pairs).
+        for head, tail in (("NewStringUTF", "dvmCreateStringFromCstr"),
+                           ("NewString", "dvmCreateStringFromUnicode"),
+                           ("NewObject", "dvmAllocObject"),
+                           ("NewObjectV", "dvmAllocObject"),
+                           ("NewObjectA", "dvmAllocObject"),
+                           ("NewObjectArray", "dvmAllocArrayByClass")):
+            self.multilevel.add_chain([head, tail])
+        emu.add_entry_hook(symbols["NewStringUTF"],
+                           self._on_new_string_utf_entry)
+        emu.add_exit_hook(symbols["NewStringUTF"],
+                          self._on_new_string_exit)
+        emu.add_entry_hook(symbols["NewString"], self._on_new_string_entry)
+        emu.add_exit_hook(symbols["NewString"], self._on_new_string_exit)
+        emu.add_exit_hook(symbols["dvmCreateStringFromCstr"],
+                          self._on_create_string_exit)
+        emu.add_exit_hook(symbols["dvmCreateStringFromUnicode"],
+                          self._on_create_string_exit)
+
+        # Field access (Table IV).
+        for name in _GET_FIELD_NAMES:
+            emu.add_entry_hook(symbols[name],
+                               self._make_get_field_entry(name))
+            emu.add_exit_hook(symbols[name], self._make_get_field_exit(name))
+        for name in _SET_FIELD_NAMES:
+            emu.add_entry_hook(symbols[name],
+                               self._make_set_field_hook(name))
+
+        # String/array data transfer into native memory.
+        emu.add_entry_hook(symbols["GetStringUTFChars"],
+                           self._on_get_string_chars_entry)
+        emu.add_exit_hook(symbols["GetStringUTFChars"],
+                          self._on_get_string_chars_exit)
+        emu.add_entry_hook(symbols["GetByteArrayRegion"],
+                           self._make_get_array_region(1))
+        emu.add_entry_hook(symbols["GetIntArrayRegion"],
+                           self._make_get_array_region(4))
+        emu.add_entry_hook(symbols["SetByteArrayRegion"],
+                           self._make_set_array_region(1))
+        emu.add_entry_hook(symbols["SetIntArrayRegion"],
+                           self._make_set_array_region(4))
+
+        # Exceptions.
+        self.multilevel.add_chain(["ThrowNew", "initException"])
+        emu.add_entry_hook(symbols["ThrowNew"], self._on_throw_new_entry)
+        emu.add_exit_hook(symbols["ThrowNew"], self._on_throw_new_exit)
+
+    # ================================================================ JNI entry
+
+    def _on_call_jni_entry(self, emu) -> None:
+        """Step 1: create and populate a SourcePolicy (Section V.B)."""
+        args_ptr = emu.cpu.regs[0]
+        handle = emu.cpu.regs[2]
+        method = self.jni.method_from_handle(handle)
+        count = method.ins_size
+        taints: List[TaintLabel] = []
+        for index in range(count):
+            __, taint = DvmStack.read_native_arg(emu.memory, args_ptr, index)
+            taints.append(taint)
+        self.stats["jni_entries"] += 1
+
+        # Map parameter taints onto JNI argument positions:
+        # [env, this|jclass, param0, param1, ...].
+        if method.is_static:
+            jni_taints = [TAINT_CLEAR, TAINT_CLEAR] + taints
+        else:
+            jni_taints = [TAINT_CLEAR, taints[0] if taints else TAINT_CLEAR]
+            jni_taints += taints[1:]
+        register_taints = (jni_taints + [TAINT_CLEAR] * 4)[:4]
+        stack_taints = jni_taints[4:]
+
+        policy = SourcePolicy(
+            method_address=method.native_address & ~1,
+            t_r0=register_taints[0], t_r1=register_taints[1],
+            t_r2=register_taints[2], t_r3=register_taints[3],
+            stack_args_num=len(stack_taints),
+            stack_args_taints=stack_taints,
+            method_shorty=method.shorty,
+            access_flag=method.access_flags,
+            handler=self._source_policy_handler)
+        self.source_policies.put(policy)
+        self._jni_entry_stack.append({
+            "method": method, "args_ptr": args_ptr, "count": count,
+            "taints": taints,
+        })
+        address = method.native_address & ~1
+        if address not in self._hooked_native_methods:
+            self._hooked_native_methods.add(address)
+            emu.add_entry_hook(address, self._on_native_method_entry)
+        if policy.has_taint():
+            union = TAINT_CLEAR
+            for taint in taints:
+                union |= taint
+            self.tainted_deliveries.append({
+                "method": method.full_name, "taint": union,
+                "class_name": method.class_name,
+            })
+            self.platform.event_log.emit(
+                "ndroid.hook", "SourcePolicy.create",
+                f"{method.full_name} shorty={method.shorty} "
+                f"taints={[hex(t) for t in taints]}",
+                method=method.full_name, shorty=method.shorty,
+                insn_addr=address, taints=list(taints),
+                class_name=method.class_name)
+
+    def _on_native_method_entry(self, emu) -> None:
+        """Step 2: apply the SourcePolicy right before the first insn."""
+        policy = self.source_policies.lookup(emu.cpu.pc)
+        if policy is None:
+            return
+        policy.apply(emu.cpu)
+
+    def _source_policy_handler(self, policy: SourcePolicy,
+                               cpu: CpuState) -> None:
+        """Initialise registers and memories with proper taint values."""
+        for index, label in enumerate(policy.register_taints()):
+            self.taint.set_register(index, label)
+        for index, label in enumerate(policy.stack_args_taints):
+            if label:
+                self.taint.set_memory(cpu.sp + 4 * index, 4, label)
+                self.taint.log_memory_taint(cpu.sp + 4 * index, label)
+        # Key object parameters' shadow taints by indirect reference.
+        call = self.jni.current_native_call
+        if call is not None:
+            jni_args = call["jni_args"]
+            labels = policy.register_taints() + policy.stack_args_taints
+            for value, label in zip(jni_args, labels):
+                if label and self.jni.vm.irt.is_indirect(value):
+                    self.taint.add_iref(value, label)
+        if policy.has_taint():
+            self.platform.event_log.emit(
+                "ndroid.hook", "SourcePolicy.apply",
+                f"seeded taints at 0x{policy.method_address:08x}",
+                address=policy.method_address)
+
+    def _on_call_jni_exit(self, emu) -> None:
+        """Overwrite the bridge's policy taint with the precise label."""
+        if not self._jni_entry_stack:
+            return
+        entry = self._jni_entry_stack.pop()
+        self.stats["jni_exits"] += 1
+        method = entry["method"]
+        label = self.taint.get_register(0)
+        return_value = emu.cpu.regs[0]
+        if method.return_type == "L":
+            label |= self.taint.get_iref(return_value)
+        slot_address = DvmStack.native_return_taint_address(
+            entry["args_ptr"], entry["count"])
+        emu.memory.write_u32(slot_address, label)
+        # Reset shadow registers: the native frame is gone.
+        self.taint.clear_all_registers()
+        if label:
+            self.platform.event_log.emit(
+                "ndroid.hook", "jni.return_taint",
+                f"{method.full_name} returns taint {describe_taint(label)}",
+                method=method.full_name, taint=label)
+
+    # =============================================================== JNI exit
+
+    def _make_call_method_hook(self, name: str):
+        def hook(emu) -> None:
+            if not self.multilevel.gate(name):
+                return
+            handle = emu.cpu.regs[0]
+            this_iref = emu.cpu.regs[1]
+            block_ptr = emu.cpu.regs[2]
+            method = self.jni.method_from_handle(handle)
+            param_types = method.shorty[1:]
+            labels: List[TaintLabel] = []
+            if not method.is_static:
+                labels.append(self.taint.get_iref(this_iref))
+            for index, type_char in enumerate(param_types):
+                word_address = block_ptr + 4 * index
+                label = self.taint.get_memory(word_address, 4)
+                if type_char == "L":
+                    word = emu.memory.read_u32(word_address)
+                    label |= self.taint.get_iref(word)
+                labels.append(label)
+            self._java_call_taints.append(labels)
+            self.platform.event_log.emit(
+                "ndroid.hook", f"{name}.args",
+                f"{method.full_name} arg taints="
+                f"{[hex(l) for l in labels]}",
+                method=method.full_name, taints=list(labels))
+        return hook
+
+    def _on_interpret_entry(self, emu) -> None:
+        if not self.multilevel.gate("dvmInterpret"):
+            return
+        pending = self.jni.pending_interpret
+        if pending is None or not self._java_call_taints:
+            return
+        labels = self._java_call_taints.pop()
+        frame = pending["frame"]
+        first_in = pending["first_in"]
+        method = pending["method"]
+        for offset, label in enumerate(labels):
+            if label:
+                frame.add_taint(first_in + offset, label)
+                slot_address = frame.taint_address(first_in + offset)
+                self.platform.event_log.emit(
+                    "ndroid.hook", "frame.taint",
+                    f"add taint to new method frame "
+                    f"t[{frame.slot_address(first_in + offset):08x}] = "
+                    f"0x{label:x}",
+                    method=method.full_name, slot=slot_address, taint=label,
+                    frame=frame.fp)
+        self.stats["jni_exits"] += 1
+
+    def _on_interpret_exit(self, emu) -> None:
+        # The interpreted method's return taint flows back to the native
+        # context through shadow R0.
+        result = self.jni.vm.interp_save_state
+        if result.taint:
+            self.taint.set_register(0, result.taint)
+
+    def _make_call_method_exit(self, name: str):
+        returns_object = "Object" in name
+
+        def hook(emu) -> None:
+            result = self.jni.vm.interp_save_state
+            if not result.taint:
+                return
+            self.taint.set_register(0, result.taint)
+            if returns_object:
+                self.taint.add_iref(emu.cpu.regs[0], result.taint)
+        return hook
+
+    # ========================================================== object creation
+
+    def _on_new_string_utf_entry(self, emu) -> None:
+        cstr_ptr = emu.cpu.regs[1]
+        data = emu.memory.read_cstring(cstr_ptr)
+        label = self.taint.get_memory(cstr_ptr, len(data) + 1)
+        label |= self.taint.get_register(1)
+        self._pending_creation_taint = label
+        self._pending_creation_address = None
+        self.platform.event_log.emit(
+            "ndroid.hook", "NewStringUTF.begin",
+            f"source=0x{cstr_ptr:08x} taint=0x{label:x}",
+            source_ptr=cstr_ptr, taint=label)
+
+    def _on_new_string_entry(self, emu) -> None:
+        pointer, length = emu.cpu.regs[1], emu.cpu.regs[2]
+        label = self.taint.get_memory(pointer, 2 * length)
+        label |= self.taint.get_register(1)
+        self._pending_creation_taint = label
+        self._pending_creation_address = None
+
+    def _on_create_string_exit(self, emu) -> None:
+        if self._pending_creation_taint is None and \
+                self._pending_throw_taint is None:
+            return
+        self._pending_creation_address = emu.cpu.regs[0]
+        if self._pending_throw_taint:
+            # Exception path: taint the message string object directly.
+            record = self.jni.vm.heap.maybe_get(emu.cpu.regs[0])
+            if record is not None:
+                record.taint |= self._pending_throw_taint
+                self.taint.add_memory(record.address, record.byte_size(),
+                                      self._pending_throw_taint)
+                self.platform.event_log.emit(
+                    "ndroid.hook", "exception.string_taint",
+                    f"add taint 0x{self._pending_throw_taint:x} to exception "
+                    f"string@0x{record.address:08x}",
+                    address=record.address,
+                    taint=self._pending_throw_taint)
+
+    def _on_new_string_exit(self, emu) -> None:
+        label = self._pending_creation_taint
+        address = self._pending_creation_address
+        self._pending_creation_taint = None
+        self._pending_creation_address = None
+        if not label or address is None:
+            return
+        self.stats["creations"] += 1
+        iref = emu.cpu.regs[0]
+        record = self.jni.vm.heap.maybe_get(address)
+        if record is not None:
+            record.taint |= label  # TaintDroid-format object taint
+            self.taint.add_memory(record.address, record.byte_size(), label)
+        self.taint.add_iref(iref, label)
+        self.taint.set_register(0, label)
+        self.platform.event_log.emit(
+            "ndroid.hook", "NewStringUTF.taint",
+            f"add taint {label} to new string object@0x{address:08x}; "
+            f"t({address:08x}) := 0x{label:x}",
+            address=address, iref=iref, taint=label)
+
+    # ============================================================ field access
+
+    def _make_get_field_entry(self, name: str):
+        static = "Static" in name
+
+        def hook(emu) -> None:
+            self._pending_field_get.append({
+                "name": name,
+                "object_iref": 0 if static else emu.cpu.regs[1],
+                "field_handle": emu.cpu.regs[2],
+                "static": static,
+            })
+        return hook
+
+    def _make_get_field_exit(self, name: str):
+        is_object = "Object" in name
+
+        def hook(emu) -> None:
+            if not self._pending_field_get:
+                return
+            pending = self._pending_field_get.pop()
+            self.stats["field_accesses"] += 1
+            field_class, field_name = self.jni.field_from_handle(
+                pending["field_handle"])
+            label = TAINT_CLEAR
+            if pending["static"]:
+                __, label = self.jni.vm.get_static(
+                    f"{field_class}->{field_name}")
+            else:
+                address = self.jni.vm.irt.decode(pending["object_iref"])
+                record = self.jni.vm.heap.maybe_get(address)
+                if record is not None:
+                    slot = record.fields.get(field_name)
+                    if slot is not None:
+                        label = slot.taint
+            self.taint.set_register(0, label)
+            if is_object and label:
+                self.taint.add_iref(emu.cpu.regs[0], label)
+            if label:
+                self.platform.event_log.emit(
+                    "ndroid.hook", "GetField.taint",
+                    f"{field_class}->{field_name} taint=0x{label:x}",
+                    field=f"{field_class}->{field_name}", taint=label)
+        return hook
+
+    def _make_set_field_hook(self, name: str):
+        static = "Static" in name
+        is_object = "Object" in name
+
+        def hook(emu) -> None:
+            self.stats["field_accesses"] += 1
+            field_handle = emu.cpu.regs[2]
+            value = emu.cpu.regs[3]
+            label = self.taint.get_register(3)
+            if is_object:
+                label |= self.taint.get_iref(value)
+            if not label:
+                return
+            field_class, field_name = self.jni.field_from_handle(field_handle)
+            if static:
+                # The JNI impl runs after this hook and preserves the
+                # existing taint label when it stores the value, so merging
+                # here is enough.
+                symbol = f"{field_class}->{field_name}"
+                current, old_label = self.jni.vm.get_static(symbol)
+                self.jni.vm.set_static(symbol, current, old_label | label,
+                                       is_ref=is_object)
+            else:
+                address = self.jni.vm.irt.decode(emu.cpu.regs[1])
+                record = self.jni.vm.heap.maybe_get(address)
+                if record is not None:
+                    from repro.dalvik.heap import Slot as HeapSlot
+                    slot = record.fields.get(field_name)
+                    if slot is None:
+                        slot = HeapSlot()
+                        record.fields[field_name] = slot
+                    slot.taint |= label
+            self.platform.event_log.emit(
+                "ndroid.hook", "SetField.taint",
+                f"{field_class}->{field_name} taint=0x{label:x}",
+                field=f"{field_class}->{field_name}", taint=label)
+        return hook
+
+    # ==================================================== string/array transfer
+
+    def _on_get_string_chars_entry(self, emu) -> None:
+        iref = emu.cpu.regs[1]
+        label = self.taint.get_iref(iref) | self.taint.get_register(1)
+        address = self.jni.vm.irt.decode(iref)
+        record = self.jni.vm.heap.maybe_get(address)
+        if record is not None:
+            label |= record.taint
+            label |= self.taint.get_memory(record.address, record.byte_size())
+        self._pending_string_chars.append({"taint": label, "iref": iref})
+        if label:
+            self.platform.event_log.emit(
+                "ndroid.hook", "GetStringUTFChars.begin",
+                f"jstring taint:0x{label:x}", iref=iref, taint=label)
+
+    def _on_get_string_chars_exit(self, emu) -> None:
+        if not self._pending_string_chars:
+            return
+        pending = self._pending_string_chars.pop()
+        label = pending["taint"]
+        if not label:
+            return
+        buffer = emu.cpu.regs[0]
+        length = len(emu.memory.read_cstring(buffer)) + 1
+        self.taint.set_memory(buffer, length, label)
+        self.taint.set_register(0, label)
+        self.taint.log_memory_taint(buffer, label)
+
+    def _make_get_array_region(self, element_size: int):
+        def hook(emu) -> None:
+            """Get*ArrayRegion copies array data to a native buffer."""
+            iref = emu.cpu.regs[1]
+            length = emu.cpu.regs[3]
+            buffer = self._fifth_argument(emu)
+            address = self.jni.vm.irt.decode(iref)
+            record = self.jni.vm.heap.maybe_get(address)
+            label = self.taint.get_iref(iref)
+            if record is not None:
+                label |= record.taint
+            if label:
+                self.taint.set_memory(buffer, length * element_size, label)
+        return hook
+
+    def _make_set_array_region(self, element_size: int):
+        def hook(emu) -> None:
+            """Set*ArrayRegion moves native bytes into a Java array."""
+            iref = emu.cpu.regs[1]
+            length = emu.cpu.regs[3]
+            buffer = self._fifth_argument(emu)
+            label = self.taint.get_memory(buffer, length * element_size)
+            if not label:
+                return
+            address = self.jni.vm.irt.decode(iref)
+            record = self.jni.vm.heap.maybe_get(address)
+            if record is not None:
+                record.taint |= label
+            self.taint.add_iref(iref, label)
+        return hook
+
+    @staticmethod
+    def _fifth_argument(emu) -> int:
+        return emu.memory.read_u32(emu.cpu.sp)
+
+    # ============================================================== exceptions
+
+    def _on_throw_new_entry(self, emu) -> None:
+        message_ptr = emu.cpu.regs[2]
+        data = emu.memory.read_cstring(message_ptr)
+        label = self.taint.get_memory(message_ptr, len(data) + 1)
+        label |= self.taint.get_register(2)
+        self._pending_throw_taint = label or None
+        self.stats["exceptions"] += 1
+        if label:
+            self.platform.event_log.emit(
+                "ndroid.hook", "ThrowNew.begin",
+                f"message taint=0x{label:x}", taint=label)
+
+    def _on_throw_new_exit(self, emu) -> None:
+        label = self._pending_throw_taint
+        self._pending_throw_taint = None
+        if not label:
+            return
+        if self.jni.pending_exception is not None:
+            address, old_label, class_name = self.jni.pending_exception
+            self.jni.pending_exception = (address, old_label | label,
+                                          class_name)
+            record = self.jni.vm.heap.maybe_get(address)
+            if record is not None:
+                slot = record.fields.get("message")
+                if slot is not None:
+                    slot.taint |= label
+                    message = self.jni.vm.heap.maybe_get(slot.value)
+                    if message is not None:
+                        message.taint |= label

@@ -1,0 +1,180 @@
+"""The instruction tracer: Table V taint propagation for ARM/Thumb.
+
+"By instrumenting third-party native libraries, the instruction tracer
+monitors each ARM/Thumb instruction to determine how the taint propagates"
+(Section V.C).  Only instructions fetched from third-party regions are
+traced; system libraries are covered by the modelled handlers instead
+(Section V.D), which is one of the reasons NDroid is fast.
+
+To "speed up the identification of the instruction type and the search of
+the handler, NDroid caches hot instructions and the corresponding
+handlers": the handler chosen for a (pc, thumb-bit) pair is memoised, so a
+loop body resolves its handlers once.
+
+Propagation follows Table V exactly, including the address-dependency
+rule: "if the tainted input is the address of an untainted value, the
+taint will be propagated to it" — loads union the base register's taint
+into the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.common.taint import TAINT_CLEAR
+from repro.cpu import isa
+from repro.cpu.executor import multiple_addresses, transfer_address
+from repro.cpu.state import LR, PC
+from repro.emulator.emulator import Emulator
+from repro.core.taint_engine import TaintEngine
+
+Handler = Callable[[isa.Instruction, Emulator], None]
+
+
+class InstructionTracer:
+    """Per-instruction taint propagation over third-party code."""
+
+    def __init__(self, taint_engine: TaintEngine,
+                 is_third_party: Callable[[int], bool],
+                 handler_cache: bool = True) -> None:
+        self.taint = taint_engine
+        self._is_third_party = is_third_party
+        self._region_cache: Dict[int, bool] = {}
+        self._handler_cache: Dict[Tuple[int, bool], Handler] = {}
+        self._use_handler_cache = handler_cache
+        self.traced_instructions = 0
+        self.cache_hits = 0
+
+    # -- the emulator tracer callback -----------------------------------------
+
+    def __call__(self, ir: isa.Instruction, emu: Emulator) -> None:
+        pc = emu.cpu.pc
+        page = pc >> 12
+        in_scope = self._region_cache.get(page)
+        if in_scope is None:
+            in_scope = self._is_third_party(pc)
+            self._region_cache[page] = in_scope
+        if not in_scope:
+            return
+        self.traced_instructions += 1
+        if self._use_handler_cache:
+            key = (pc, emu.cpu.thumb)
+            handler = self._handler_cache.get(key)
+            if handler is None:
+                handler = self._select_handler(ir)
+                self._handler_cache[key] = handler
+            else:
+                self.cache_hits += 1
+        else:
+            handler = self._select_handler(ir)
+        handler(ir, emu)
+
+    def invalidate_region_cache(self) -> None:
+        self._region_cache.clear()
+
+    # -- handler selection ---------------------------------------------------------
+
+    def _select_handler(self, ir: isa.Instruction) -> Handler:
+        if isinstance(ir, isa.DataProcessing):
+            return self._handle_data_processing
+        if isinstance(ir, isa.Multiply):
+            return self._handle_multiply
+        if isinstance(ir, isa.MultiplyLong):
+            return self._handle_multiply_long
+        if isinstance(ir, isa.MoveWide):
+            return self._handle_move_wide
+        if isinstance(ir, isa.CountLeadingZeros):
+            return self._handle_clz
+        if isinstance(ir, isa.LoadStore):
+            return self._handle_load_store
+        if isinstance(ir, isa.LoadStoreMultiple):
+            return self._handle_load_store_multiple
+        if isinstance(ir, (isa.Branch, isa.BranchExchange)):
+            return self._handle_branch
+        return self._handle_nop
+
+    # -- handlers (Table V) -----------------------------------------------------------
+
+    def _handle_nop(self, ir: isa.Instruction, emu: Emulator) -> None:
+        return None
+
+    def _handle_data_processing(self, ir: isa.DataProcessing,
+                                emu: Emulator) -> None:
+        taint = self.taint
+        if ir.op in isa.COMPARE_OPS:
+            return  # flags only; control-flow taint is out of scope (§VII)
+        operand2 = ir.operand2
+        label = TAINT_CLEAR
+        if operand2.is_immediate:
+            # "mov Rd, #imm -> clear"; "binary-op Rd, Rm, #imm -> t(Rm)".
+            if ir.op not in isa.UNARY_OPS:
+                label = taint.get_register(ir.rn)
+        else:
+            label = taint.get_register(operand2.rm)
+            if operand2.shift_reg is not None:
+                label |= taint.get_register(operand2.shift_reg)
+            if ir.op not in isa.UNARY_OPS:
+                label |= taint.get_register(ir.rn)
+        if ir.rd != PC:
+            taint.set_register(ir.rd, label)
+
+    def _handle_multiply(self, ir: isa.Multiply, emu: Emulator) -> None:
+        label = self.taint.get_register(ir.rm) | self.taint.get_register(ir.rs)
+        if ir.accumulate:
+            label |= self.taint.get_register(ir.rn)
+        self.taint.set_register(ir.rd, label)
+
+    def _handle_multiply_long(self, ir: isa.MultiplyLong,
+                              emu: Emulator) -> None:
+        label = self.taint.get_register(ir.rm) | self.taint.get_register(ir.rs)
+        if ir.accumulate:
+            label |= self.taint.get_register(ir.rd_lo) | \
+                self.taint.get_register(ir.rd_hi)
+        self.taint.set_register(ir.rd_lo, label)
+        self.taint.set_register(ir.rd_hi, label)
+
+    def _handle_move_wide(self, ir: isa.MoveWide, emu: Emulator) -> None:
+        if ir.top:
+            return  # MOVT merges an immediate; existing taint stands
+        self.taint.set_register(ir.rd, TAINT_CLEAR)
+
+    def _handle_clz(self, ir: isa.CountLeadingZeros, emu: Emulator) -> None:
+        self.taint.set_register(ir.rd, self.taint.get_register(ir.rm))
+
+    def _handle_load_store(self, ir: isa.LoadStore, emu: Emulator) -> None:
+        taint = self.taint
+        address, __ = transfer_address(emu.cpu, ir)
+        if ir.load:
+            if ir.rd == PC:
+                return
+            label = taint.get_memory(address, ir.size)
+            # Table V LDR: union the base register's taint ("if the tainted
+            # input is the address of an untainted value...").
+            if ir.rn != PC:
+                label |= taint.get_register(ir.rn)
+            if ir.offset_rm is not None:
+                label |= taint.get_register(ir.offset_rm)
+            taint.set_register(ir.rd, label)
+        else:
+            taint.set_memory(address, ir.size, taint.get_register(ir.rd))
+
+    def _handle_load_store_multiple(self, ir: isa.LoadStoreMultiple,
+                                    emu: Emulator) -> None:
+        taint = self.taint
+        addresses = multiple_addresses(emu.cpu, ir)
+        base_label = taint.get_register(ir.rn)
+        if ir.load:
+            for register, address in zip(ir.reglist, addresses):
+                if register == PC:
+                    continue
+                taint.set_register(register,
+                                   taint.get_memory(address, 4) | base_label)
+        else:
+            for register, address in zip(ir.reglist, addresses):
+                taint.set_memory(address, 4, taint.get_register(register))
+
+    def _handle_branch(self, ir: isa.Instruction, emu: Emulator) -> None:
+        link = getattr(ir, "link", False)
+        if link:
+            # BL/BLX write a code address into LR: never tainted.
+            self.taint.set_register(LR, TAINT_CLEAR)

@@ -1,0 +1,118 @@
+"""Multilevel hooking (paper Section V.B, Fig. 5).
+
+``dvmCallMethod*`` and ``dvmInterpret`` are hot paths invoked constantly by
+the platform itself; instrumenting every call would be ruinously slow (the
+ablation benchmark quantifies this).  NDroid therefore "defines and checks
+a sequence of preconditions before hooking certain methods": a chain such
+as ``CallVoidMethodA → dvmCallMethodA → dvmInterpret`` is only
+instrumented when condition T1 — the chain head was entered by a branch
+*from third-party native code* — holds, and each deeper condition Tk
+requires T(k-1) plus a branch into the k-th function.  Return branches
+(to the address after each call site) unwind the conditions, mirroring
+T4-T6.
+
+The manager consumes the emulator's branch-event stream ``(i_from, i_to)``
+and answers two queries:
+
+* :meth:`gate` — should a hook on function ``name`` fire for this entry?
+* :meth:`native_provenance_active` — is any chain currently live?
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+
+class HookChain:
+    """One condition chain: an ordered list of function names."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = list(names)
+        # depth == k means conditions T1..Tk currently hold.
+        self.depth = 0
+
+    def reset(self) -> None:
+        self.depth = 0
+
+
+class MultilevelHookManager:
+    """Tracks condition chains over branch events."""
+
+    def __init__(self, symbols: Dict[str, int],
+                 is_third_party: Callable[[int], bool],
+                 enabled: bool = True) -> None:
+        self._symbols = symbols
+        self._address_to_name = {address & ~1: name
+                                 for name, address in symbols.items()}
+        self._is_third_party = is_third_party
+        self._chains: List[HookChain] = []
+        # Which chain names may fire their gated hooks right now.
+        self._armed: Set[str] = set()
+        # When disabled (the ablation of Section V.B), every gated hook
+        # fires on every entry — "the overhead will be high if we hook
+        # these two functions whenever they are called".
+        self.enabled = enabled
+        self.checks = 0
+        self.fires = 0
+
+    # -- configuration ----------------------------------------------------------
+
+    def add_chain(self, names: Sequence[str]) -> HookChain:
+        for name in names:
+            if name not in self._symbols:
+                raise KeyError(f"unknown function {name!r} in hook chain")
+        chain = HookChain(names)
+        self._chains.append(chain)
+        return chain
+
+    # -- the branch listener -------------------------------------------------------
+
+    def on_branch(self, i_from: int, i_to: int, emu=None) -> None:
+        target_name = self._address_to_name.get(i_to & ~1)
+        self.checks += 1
+        from_third_party = self._is_third_party(i_from)
+        for chain in self._chains:
+            # Condition T1: entry into the chain head from third-party code.
+            if target_name == chain.names[0]:
+                chain.depth = 1 if from_third_party else 0
+                if chain.depth:
+                    self._armed.add(chain.names[0])
+                continue
+            # Deeper conditions: Tk needs T(k-1) true plus entry into the
+            # k-th function.
+            if chain.depth and chain.depth < len(chain.names) and \
+                    target_name == chain.names[chain.depth]:
+                chain.depth += 1
+                self._armed.add(target_name)
+                continue
+            # Unwind on a return branch out of the chain head back into
+            # third-party code (conditions T5/T6).
+            if chain.depth and target_name is None and from_third_party is False:
+                source_name = self._address_to_name.get(i_from & ~1)
+                if source_name == chain.names[0]:
+                    chain.reset()
+
+    # -- queries ----------------------------------------------------------------------
+
+    def gate(self, name: str) -> bool:
+        """True if a hook on ``name`` should run for the current entry.
+
+        Consumes the armed flag so one entry fires at most one gated hook.
+        """
+        if not self.enabled:
+            self.fires += 1
+            return True
+        if name in self._armed:
+            self._armed.discard(name)
+            self.fires += 1
+            return True
+        return False
+
+    def native_provenance_active(self) -> bool:
+        return any(chain.depth for chain in self._chains)
+
+    def active_depth(self, head: str) -> int:
+        for chain in self._chains:
+            if chain.names[0] == head:
+                return chain.depth
+        return 0

@@ -1,0 +1,128 @@
+"""The NDroid facade: wires every engine onto a platform (Fig. 4).
+
+Attachment order mirrors the architecture diagram:
+
+1. reuse (or attach) **TaintDroid** for the Java context — "NDroid employs
+   it to run apps and track information flow in the Java context";
+2. build the **OS-level view reconstructor** over guest memory;
+3. install the **taint engine** as the native-side taint authority for the
+   modelled libc and the kernel;
+4. attach the **instruction tracer** to the emulator, scoped to
+   third-party regions via the reconstructed view;
+5. install the **DVM hook engine** (with multilevel hooking) and the
+   **system-library hook engine**.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dvm_hooks import DvmHookEngine
+from repro.core.instruction_tracer import InstructionTracer
+from repro.core.multilevel import MultilevelHookManager
+from repro.core.syslib_hooks import SysLibHookEngine
+from repro.core.taint_engine import TaintEngine
+from repro.core.view_reconstructor import ViewReconstructor
+from repro.taintdroid import TaintDroid
+
+
+class NDroid:
+    """One attached NDroid instance."""
+
+    def __init__(self, platform, use_handler_cache: bool = True,
+                 use_multilevel: bool = True) -> None:
+        self.platform = platform
+        self.taint_engine = TaintEngine(event_log=platform.event_log)
+        self.view_reconstructor = ViewReconstructor(platform.memory)
+        self.multilevel = MultilevelHookManager(
+            platform.jni.symbols, self._branch_from_third_party,
+            enabled=use_multilevel)
+        self._use_multilevel = use_multilevel
+        self.instruction_tracer = InstructionTracer(
+            self.taint_engine, self._is_third_party,
+            handler_cache=use_handler_cache)
+        self.dvm_hooks = DvmHookEngine(platform, self.taint_engine,
+                                       self.multilevel)
+        self.syslib_hooks = SysLibHookEngine(platform, self.taint_engine)
+
+    # -- attachment ------------------------------------------------------------
+
+    @classmethod
+    def attach(cls, platform, use_handler_cache: bool = True,
+               use_multilevel: bool = True) -> "NDroid":
+        """Install NDroid on a platform (attaching TaintDroid if absent)."""
+        if platform.taintdroid is None:
+            TaintDroid.attach(platform)
+        system = cls(platform, use_handler_cache=use_handler_cache,
+                     use_multilevel=use_multilevel)
+        platform.ndroid = system
+
+        # Native-side taint authority for libc and raw syscalls.
+        platform.libc.taint_interface = system.taint_engine
+        platform.kernel.taint_provider = system.taint_engine.memory_taints
+
+        # Branch events feed the multilevel condition chains.
+        platform.emu.add_branch_listener(system.multilevel.on_branch)
+        # The instruction tracer sees every instruction; it self-scopes to
+        # third-party regions.
+        platform.emu.add_tracer(system.instruction_tracer)
+
+        system.dvm_hooks.install()
+        system.syslib_hooks.install()
+
+        # Re-introspect whenever the loader maps a new library, so freshly
+        # loaded third-party code is traced from its first instruction.
+        def on_event(event):
+            if event.kind == "loadLibrary":
+                system.refresh_view()
+
+        platform.event_log.subscribe(on_event)
+        platform.event_log.emit("ndroid", "attach",
+                                "NDroid instrumentation enabled")
+        return system
+
+    # -- view plumbing ------------------------------------------------------------
+
+    def _is_third_party(self, address: int) -> bool:
+        return self.view_reconstructor.is_third_party(address)
+
+    def _branch_from_third_party(self, address: int) -> bool:
+        if not self._use_multilevel:
+            return True  # ablation: hook on every invocation
+        return self.view_reconstructor.is_third_party(address)
+
+    def refresh_view(self) -> None:
+        """Re-introspect after the memory map changed (library load)."""
+        self.view_reconstructor.invalidate()
+        self.view_reconstructor.reconstruct()
+        self.instruction_tracer.invalidate_region_cache()
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def leaks(self):
+        return self.platform.leaks.by_detector("ndroid")
+
+    def tainted_native_deliveries(self):
+        """Native invocations that received tainted parameters.
+
+        The Section VI study's intermediate observation: an app can
+        "deliver the contact and SMS information to native code" without
+        (yet) leaking it.
+        """
+        return list(self.dvm_hooks.tainted_deliveries)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "traced_instructions":
+                self.instruction_tracer.traced_instructions,
+            "tracer_cache_hits": self.instruction_tracer.cache_hits,
+            "taint_propagations": self.taint_engine.propagation_count,
+            "tainted_bytes": self.taint_engine.tainted_bytes,
+            "modelled_calls": self.syslib_hooks.modelled_calls,
+            "sink_checks": self.syslib_hooks.sink_checks,
+            "source_policies": len(self.dvm_hooks.source_policies),
+            "multilevel_checks": self.multilevel.checks,
+            "multilevel_fires": self.multilevel.fires,
+            "view_reconstructions":
+                self.view_reconstructor.reconstructions,
+        }

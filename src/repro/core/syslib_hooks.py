@@ -1,0 +1,361 @@
+"""NDroid's system-library hook engine (Section V.D, Tables VI & VII).
+
+"Since the system standard functions will be frequently called by native
+libraries, instrumenting every instruction in these standard functions
+will take a long time and incur heavy overhead.  Instead, we model the
+taint propagation operations for popular functions."
+
+Each Table VI function gets a *trust-call handler* that moves taint in the
+taint map exactly as the function moves data (the paper's Listing 3 shows
+the ``memcpy`` model).  Table VII's starred calls — ``fwrite``, ``write``,
+``fputc``, ``fputs``, ``send``, ``sendto`` (and ``fprintf``/``vfprintf``,
+which the case-2 PoC treats as a sink) — additionally get *sink handlers*:
+"if the data carrying taint reaches calls with *, NDroid regards it as a
+possible information leak."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
+from repro.core.taint_engine import TaintEngine
+from repro.framework.leaks import LeakRecord
+from repro.libc.stdio_format import FormatError, format_with_taints
+
+# Table VII's starred sinks (plus fprintf, the Fig. 8 sink).
+SINK_FUNCTIONS = ("write", "send", "sendto", "fwrite", "fputs", "fputc",
+                  "fprintf", "vfprintf")
+
+
+class SysLibHookEngine:
+    """Trust-call taint models + sink checks over the modelled libc/libm."""
+
+    def __init__(self, platform, taint_engine: TaintEngine) -> None:
+        self.platform = platform
+        self.emu = platform.emu
+        self.libc = platform.libc
+        self.libm = platform.libm
+        self.kernel = platform.kernel
+        self.taint = taint_engine
+        self.modelled_calls = 0
+        self.sink_checks = 0
+        self._pending_exits: List[Dict] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def install(self) -> None:
+        entry_models: Dict[str, Callable] = {
+            "memcpy": self._model_memcpy,
+            "memmove": self._model_memcpy,
+            "memset": self._model_memset,
+            "strcpy": self._model_strcpy,
+            "strncpy": self._model_strncpy,
+            "strcat": self._model_strcat,
+            "free": self._model_free,
+        }
+        exit_models: Dict[str, Callable] = {
+            "strlen": self._exit_content_to_r0(0),
+            "strcmp": self._exit_content_to_r0(0, 1),
+            "strncmp": self._exit_content_to_r0(0, 1),
+            "strcasecmp": self._exit_content_to_r0(0, 1),
+            "strncasecmp": self._exit_content_to_r0(0, 1),
+            "memcmp": self._exit_content_to_r0(0, 1),
+            "atoi": self._exit_content_to_r0(0),
+            "atol": self._exit_content_to_r0(0),
+            "strtoul": self._exit_content_to_r0(0),
+            "strchr": self._exit_pointer_derivation,
+            "strrchr": self._exit_pointer_derivation,
+            "strstr": self._exit_pointer_derivation,
+            "memchr": self._exit_pointer_derivation,
+            "strdup": self._exit_strdup,
+            "malloc": self._exit_fresh_allocation,
+            "calloc": self._exit_fresh_allocation,
+        }
+        for name, handler in entry_models.items():
+            self._hook_entry(name, handler)
+        for name, handler in exit_models.items():
+            self._hook_entry(name, self._capture_args)
+            self._hook_exit(name, handler)
+        self._hook_entry("realloc", self._capture_realloc)
+        self._hook_exit("realloc", self._exit_realloc)
+
+        # libm: results derive from the float/double argument registers.
+        for name in self.platform.libm.symbols:
+            self.emu.add_entry_hook(self.platform.libm.symbols[name],
+                                    self._capture_args)
+            self.emu.add_exit_hook(self.platform.libm.symbols[name],
+                                   self._exit_libm)
+
+        # Sinks.
+        self._hook_entry("write", self._sink_buffer("write", fd_arg=0,
+                                                    buf_arg=1, len_arg=2))
+        self._hook_entry("send", self._sink_buffer("send", fd_arg=0,
+                                                   buf_arg=1, len_arg=2))
+        self._hook_entry("sendto", self._sink_buffer("sendto", fd_arg=0,
+                                                     buf_arg=1, len_arg=2))
+        self._hook_entry("fwrite", self._sink_fwrite)
+        self._hook_entry("fputs", self._sink_fputs)
+        self._hook_entry("fputc", self._sink_fputc)
+        self._hook_entry("fprintf", self._sink_fprintf)
+        self._hook_entry("vfprintf", self._sink_vfprintf)
+
+    def _hook_entry(self, name: str, handler: Callable) -> None:
+        self.emu.add_entry_hook(self.libc.symbols[name], handler)
+
+    def _hook_exit(self, name: str, handler: Callable) -> None:
+        self.emu.add_exit_hook(self.libc.symbols[name], handler)
+
+    # -- argument capture for exit-time models --------------------------------------
+
+    def _capture_args(self, emu) -> None:
+        self._pending_exits.append({"args": list(emu.cpu.regs[:4]),
+                                    "taints": [self.taint.get_register(i)
+                                               for i in range(4)]})
+
+    def _pop_pending(self) -> Optional[Dict]:
+        if not self._pending_exits:
+            return None
+        return self._pending_exits.pop()
+
+    # -- Table VI trust-call models ---------------------------------------------------
+
+    def _model_memcpy(self, emu) -> None:
+        """The paper's Listing 3: per-byte copy of the source's taints."""
+        dest, src, length = emu.cpu.regs[0], emu.cpu.regs[1], emu.cpu.regs[2]
+        self.modelled_calls += 1
+        self.taint.copy_memory(dest, src, length)
+
+    def _model_memset(self, emu) -> None:
+        dest, value_taint = emu.cpu.regs[0], self.taint.get_register(1)
+        length = emu.cpu.regs[2]
+        self.modelled_calls += 1
+        self.taint.set_memory(dest, length, value_taint)
+
+    def _model_strcpy(self, emu) -> None:
+        dest, src = emu.cpu.regs[0], emu.cpu.regs[1]
+        length = len(emu.memory.read_cstring(src)) + 1
+        self.modelled_calls += 1
+        self.taint.copy_memory(dest, src, length)
+
+    def _model_strncpy(self, emu) -> None:
+        dest, src, limit = emu.cpu.regs[0], emu.cpu.regs[1], emu.cpu.regs[2]
+        length = min(len(emu.memory.read_cstring(src)) + 1, limit)
+        self.modelled_calls += 1
+        self.taint.copy_memory(dest, src, length)
+        if length < limit:
+            self.taint.clear_memory(dest + length, limit - length)
+
+    def _model_strcat(self, emu) -> None:
+        dest, src = emu.cpu.regs[0], emu.cpu.regs[1]
+        dest_length = len(emu.memory.read_cstring(dest))
+        src_length = len(emu.memory.read_cstring(src)) + 1
+        self.modelled_calls += 1
+        self.taint.copy_memory(dest + dest_length, src, src_length)
+
+    def _model_free(self, emu) -> None:
+        pointer = emu.cpu.regs[0]
+        size = self.libc.heap.size_of(pointer)
+        self.modelled_calls += 1
+        if size:
+            self.taint.clear_memory(pointer, size)
+
+    def _capture_realloc(self, emu) -> None:
+        pointer, new_size = emu.cpu.regs[0], emu.cpu.regs[1]
+        old_size = self.libc.heap.size_of(pointer) or 0
+        self._pending_exits.append({
+            "old_taints": self.taint.memory_bytes(pointer,
+                                                  min(old_size, new_size)),
+            "old_pointer": pointer,
+            "old_size": old_size,
+        })
+
+    def _exit_realloc(self, emu) -> None:
+        pending = self._pop_pending()
+        if pending is None:
+            return
+        self.modelled_calls += 1
+        new_pointer = emu.cpu.regs[0]
+        if pending.get("old_size"):
+            self.taint.clear_memory(pending["old_pointer"],
+                                    pending["old_size"])
+        if new_pointer:
+            self.taint.set_memory_bytes(new_pointer, pending["old_taints"])
+
+    def _exit_content_to_r0(self, *string_args: int):
+        """Result derives from the content of C-string/buffer arguments."""
+        def handler(emu) -> None:
+            pending = self._pop_pending()
+            if pending is None:
+                return
+            self.modelled_calls += 1
+            label = TAINT_CLEAR
+            for index in string_args:
+                pointer = pending["args"][index]
+                length = len(emu.memory.read_cstring(pointer)) + 1
+                label |= self.taint.get_memory(pointer, length)
+                label |= pending["taints"][index]
+            self.taint.set_register(0, label)
+        return handler
+
+    def _exit_pointer_derivation(self, emu) -> None:
+        """strchr-style results: a pointer derived from the first arg."""
+        pending = self._pop_pending()
+        if pending is None:
+            return
+        self.modelled_calls += 1
+        self.taint.set_register(0, pending["taints"][0])
+
+    def _exit_strdup(self, emu) -> None:
+        pending = self._pop_pending()
+        if pending is None:
+            return
+        self.modelled_calls += 1
+        source = pending["args"][0]
+        new_pointer = emu.cpu.regs[0]
+        length = len(emu.memory.read_cstring(source)) + 1
+        self.taint.copy_memory(new_pointer, source, length)
+        self.taint.set_register(0, pending["taints"][0])
+
+    def _exit_fresh_allocation(self, emu) -> None:
+        pending = self._pop_pending()
+        if pending is None:
+            return
+        self.modelled_calls += 1
+        pointer = emu.cpu.regs[0]
+        size = self.libc.heap.size_of(pointer)
+        if pointer and size:
+            self.taint.clear_memory(pointer, size)
+        self.taint.clear_register(0)
+
+    def _exit_libm(self, emu) -> None:
+        pending = self._pop_pending()
+        if pending is None:
+            return
+        self.modelled_calls += 1
+        label = TAINT_CLEAR
+        for taint in pending["taints"]:
+            label |= taint
+        self.taint.set_register(0, label)
+        self.taint.set_register(1, label)
+
+    # -- Table VII sink handlers ------------------------------------------------------
+
+    def _destination_of_fd(self, fd: int) -> str:
+        process = self.kernel.current
+        descriptor = process.fds.get(fd) if process else None
+        if descriptor is None:
+            return f"fd:{fd}"
+        if descriptor.kind == "socket":
+            socket = descriptor.socket
+            return (socket.connected_to or socket.bound_to or f"socket:{fd}")
+        return descriptor.path or f"fd:{fd}"
+
+    def _report(self, sink: str, label: TaintLabel, destination: str,
+                payload: bytes) -> None:
+        self.sink_checks += 1
+        if label == TAINT_CLEAR:
+            return
+        self.platform.leaks.report(LeakRecord(
+            detector="ndroid", sink=sink, taint=label,
+            destination=destination, payload=payload, context="native"))
+        self.platform.event_log.emit(
+            "ndroid.sink", "leak",
+            f"SinkHandler[{sink}] -> {destination} "
+            f"taint={describe_taint(label)}",
+            sink=sink, taint=label, destination=destination,
+            payload=payload[:64])
+
+    def _sink_buffer(self, sink: str, fd_arg: int, buf_arg: int,
+                     len_arg: int):
+        def handler(emu) -> None:
+            fd = emu.cpu.regs[fd_arg]
+            buffer = emu.cpu.regs[buf_arg]
+            length = emu.cpu.regs[len_arg]
+            label = self.taint.get_memory(buffer, length)
+            destination = self._destination_of_fd(fd)
+            if sink == "sendto":
+                dest_ptr = emu.memory.read_u32(emu.cpu.sp)
+                if dest_ptr:
+                    destination = emu.memory.read_cstring(dest_ptr).decode(
+                        "utf-8", errors="replace")
+            self._report(sink, label, destination,
+                         emu.memory.read_bytes(buffer, min(length, 256)))
+        return handler
+
+    def _sink_fwrite(self, emu) -> None:
+        buffer = emu.cpu.regs[0]
+        length = emu.cpu.regs[1] * emu.cpu.regs[2]
+        fd = self._file_fd(emu.cpu.regs[3])
+        label = self.taint.get_memory(buffer, length)
+        self._report("fwrite", label, self._destination_of_fd(fd),
+                     emu.memory.read_bytes(buffer, min(length, 256)))
+
+    def _sink_fputs(self, emu) -> None:
+        buffer = emu.cpu.regs[0]
+        data = emu.memory.read_cstring(buffer)
+        fd = self._file_fd(emu.cpu.regs[1])
+        label = self.taint.get_memory(buffer, len(data))
+        self._report("fputs", label, self._destination_of_fd(fd), data)
+
+    def _sink_fputc(self, emu) -> None:
+        label = self.taint.get_register(0)
+        fd = self._file_fd(emu.cpu.regs[1])
+        self._report("fputc", label, self._destination_of_fd(fd),
+                     bytes([emu.cpu.regs[0] & 0xFF]))
+
+    def _file_fd(self, file_pointer: int) -> int:
+        return self.libc._file_objects.get(file_pointer, -1)
+
+    def _sink_fprintf(self, emu) -> None:
+        """Format the arguments exactly as the callee will, for taints."""
+        fd = self._file_fd(emu.cpu.regs[0])
+        fmt_ptr = emu.cpu.regs[1]
+        payload, label = self._format_taint(emu, fmt_ptr, fixed=2)
+        self._report("fprintf", label, self._destination_of_fd(fd), payload)
+
+    def _sink_vfprintf(self, emu) -> None:
+        fd = self._file_fd(emu.cpu.regs[0])
+        fmt_ptr, va_list = emu.cpu.regs[1], emu.cpu.regs[2]
+        memory = emu.memory
+        try:
+            data, taints = format_with_taints(
+                memory, memory.read_cstring(fmt_ptr),
+                read_vararg=lambda i: memory.read_u32(va_list + 4 * i),
+                vararg_taint=lambda i: self.taint.get_memory(va_list + 4 * i,
+                                                             4),
+                string_taints=self.taint.memory_bytes)
+        except FormatError:
+            return
+        label = TAINT_CLEAR
+        for taint in taints:
+            label |= taint
+        self._report("vfprintf", label, self._destination_of_fd(fd), data)
+
+    def _format_taint(self, emu, fmt_ptr: int, fixed: int):
+        memory = emu.memory
+        sp = emu.cpu.sp
+
+        def read_vararg(index: int) -> int:
+            arg_index = fixed + index
+            if arg_index < 4:
+                return emu.cpu.regs[arg_index]
+            return memory.read_u32(sp + 4 * (arg_index - 4))
+
+        def vararg_taint(index: int) -> TaintLabel:
+            arg_index = fixed + index
+            if arg_index < 4:
+                return self.taint.get_register(arg_index)
+            return self.taint.get_memory(sp + 4 * (arg_index - 4), 4)
+
+        try:
+            data, taints = format_with_taints(
+                memory, memory.read_cstring(fmt_ptr),
+                read_vararg=read_vararg, vararg_taint=vararg_taint,
+                string_taints=self.taint.memory_bytes)
+        except FormatError:
+            return b"", TAINT_CLEAR
+        label = TAINT_CLEAR
+        for taint in taints:
+            label |= taint
+        return data, label

@@ -1,0 +1,155 @@
+"""NDroid's taint engine (Section V.E).
+
+"NDroid maintains shadow registers to store the related registers' taints
+and a taint map to store the memories' taints.  The taint granularity of
+NDroid is byte.  The general propagation logic follows the 'or'
+operation."
+
+Three stores:
+
+* **shadow registers** — one label per CPU register;
+* **taint map** — a byte-granular sparse map over native memory;
+* **iref shadow** — labels for Java objects keyed by *indirect reference*,
+  because "the direct pointers of Java objects may be changed [by the GC],
+  the shadow memory uses the indirect reference as key" (Section V.B).
+
+The engine also implements :class:`NativeTaintInterface`, so the modelled
+libc and the kernel consult it when data leaves the process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.events import EventLog
+from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
+from repro.libc.taint_interface import NativeTaintInterface
+
+
+class TaintEngine(NativeTaintInterface):
+    """Shadow registers + byte-granular taint map + iref shadow store."""
+
+    def __init__(self, event_log: Optional[EventLog] = None) -> None:
+        self.event_log = event_log
+        self.shadow_registers: List[TaintLabel] = [TAINT_CLEAR] * 16
+        self._memory_taints: Dict[int, TaintLabel] = {}
+        self._iref_taints: Dict[int, TaintLabel] = {}
+        self.propagation_count = 0
+
+    # -- shadow registers -----------------------------------------------------
+
+    def get_register(self, index: int) -> TaintLabel:
+        return self.shadow_registers[index]
+
+    def set_register(self, index: int, label: TaintLabel) -> None:
+        self.shadow_registers[index] = label
+        self.propagation_count += 1
+
+    def add_register(self, index: int, label: TaintLabel) -> None:
+        self.shadow_registers[index] |= label
+        self.propagation_count += 1
+
+    def clear_register(self, index: int) -> None:
+        self.shadow_registers[index] = TAINT_CLEAR
+
+    def clear_all_registers(self) -> None:
+        self.shadow_registers = [TAINT_CLEAR] * 16
+
+    # -- taint map (byte granularity) ---------------------------------------------
+
+    def get_memory(self, address: int, length: int = 1) -> TaintLabel:
+        """Union of labels over ``[address, address+length)``."""
+        label = TAINT_CLEAR
+        for offset in range(length):
+            label |= self._memory_taints.get((address + offset) & 0xFFFFFFFF,
+                                             TAINT_CLEAR)
+        return label
+
+    def set_memory(self, address: int, length: int,
+                   label: TaintLabel) -> None:
+        """Overwrite labels over a range (``t(M) := label``)."""
+        self.propagation_count += 1
+        for offset in range(length):
+            key = (address + offset) & 0xFFFFFFFF
+            if label:
+                self._memory_taints[key] = label
+            else:
+                self._memory_taints.pop(key, None)
+
+    def add_memory(self, address: int, length: int,
+                   label: TaintLabel) -> None:
+        """Union labels into a range (``t(M) |= label``)."""
+        if not label:
+            return
+        self.propagation_count += 1
+        for offset in range(length):
+            key = (address + offset) & 0xFFFFFFFF
+            self._memory_taints[key] = self._memory_taints.get(
+                key, TAINT_CLEAR) | label
+
+    def set_memory_bytes(self, address: int,
+                         labels: List[TaintLabel]) -> None:
+        """Per-byte assignment (used by modelled copies like memcpy)."""
+        self.propagation_count += 1
+        for offset, label in enumerate(labels):
+            key = (address + offset) & 0xFFFFFFFF
+            if label:
+                self._memory_taints[key] = label
+            else:
+                self._memory_taints.pop(key, None)
+
+    def memory_bytes(self, address: int, length: int) -> List[TaintLabel]:
+        return [self._memory_taints.get((address + offset) & 0xFFFFFFFF,
+                                        TAINT_CLEAR)
+                for offset in range(length)]
+
+    def copy_memory(self, dest: int, src: int, length: int) -> None:
+        """Propagate ``src``'s byte taints to ``dest`` (Listing 3)."""
+        self.set_memory_bytes(dest, self.memory_bytes(src, length))
+
+    def clear_memory(self, address: int, length: int) -> None:
+        for offset in range(length):
+            self._memory_taints.pop((address + offset) & 0xFFFFFFFF, None)
+
+    @property
+    def tainted_bytes(self) -> int:
+        return len(self._memory_taints)
+
+    # -- iref shadow store ----------------------------------------------------------
+
+    def get_iref(self, iref: int) -> TaintLabel:
+        return self._iref_taints.get(iref, TAINT_CLEAR)
+
+    def set_iref(self, iref: int, label: TaintLabel) -> None:
+        if iref:
+            self._iref_taints[iref] = label
+            self.propagation_count += 1
+
+    def add_iref(self, iref: int, label: TaintLabel) -> None:
+        if iref and label:
+            self._iref_taints[iref] = self._iref_taints.get(
+                iref, TAINT_CLEAR) | label
+            self.propagation_count += 1
+
+    # -- NativeTaintInterface (libc/kernel view) --------------------------------------
+
+    def memory_taints(self, address: int, length: int) -> List[TaintLabel]:
+        return self.memory_bytes(address, length)
+
+    def register_taint(self, index: int) -> TaintLabel:
+        return self.shadow_registers[index]
+
+    def write_memory_taints(self, address: int,
+                            labels: List[TaintLabel]) -> None:
+        self.set_memory_bytes(address, labels)
+
+    # -- diagnostics ---------------------------------------------------------------------
+
+    def log(self, kind: str, detail: str, **data) -> None:
+        if self.event_log is not None:
+            self.event_log.emit("ndroid.taint", kind, detail, **data)
+
+    def log_memory_taint(self, address: int, label: TaintLabel) -> None:
+        """The paper's ``t(412a3320) := 0x202`` log lines."""
+        self.log("set", f"t({address:08x}) := 0x{label:x}",
+                 address=address, taint=label)

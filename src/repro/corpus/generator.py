@@ -1,0 +1,211 @@
+"""Calibrated synthetic corpus generator.
+
+Generates :class:`AppRecord` populations whose marginals match the
+paper's published Section III numbers (stored in
+:data:`PAPER_PARAMETERS`).  Generation is deterministic for a given seed,
+and a ``scale`` factor shrinks every stratum proportionally so unit tests
+can run on thousands of records while the benchmark uses the full
+227,911.
+
+The analyzer (:mod:`repro.corpus.study`) never sees the strata — it must
+rediscover them from the record contents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.corpus.appmodel import (
+    ADMOB_CLASSES,
+    AppRecord,
+    EmbeddedDexInfo,
+    LOAD_LIBRARY_STRING,
+    LOAD_STRING,
+    NATIVE_ACTIVITY_STRING,
+)
+
+
+@dataclass(frozen=True)
+class StudyParameters:
+    """The published marginals (Section III)."""
+
+    total_apps: int = 227_911
+    type1_count: int = 37_506
+    type1_without_libs: int = 4_034
+    type1_without_libs_admob_share: float = 0.481
+    type2_count: int = 1_738
+    type2_loadable_count: int = 394
+    type3_count: int = 16
+    type3_games: int = 11
+    # Fig. 2: category distribution of Type I apps.
+    type1_categories: Tuple[Tuple[str, float], ...] = (
+        ("Game", 0.42), ("Tools", 0.05), ("Entertainment", 0.05),
+        ("Communication", 0.04), ("Personalization", 0.04),
+        ("Music And Audio", 0.04), ("Productivity", 0.03),
+        ("Media And Video", 0.03), ("Lifestyle", 0.03),
+        ("Education", 0.03), ("Books And Reference", 0.03),
+        ("Travel And Local", 0.03), ("Sports", 0.02), ("Finance", 0.02),
+        ("Business", 0.02), ("Photography", 0.02), ("Other", 0.10),
+    )
+
+
+PAPER_PARAMETERS = StudyParameters()
+
+# Popular native libraries, most-bundled first (Section III.A: game
+# engines dominate, then media, then NDK/system libraries bundled for
+# compatibility).
+POPULAR_LIBRARIES = (
+    "libunity.so", "libmono.so", "libgdx.so", "libbox2d.so",
+    "libcocos2dcpp.so", "libandroidgl20.so", "libffmpeg.so",
+    "libvlcjni.so", "libmp3lame.so", "libopenal.so",
+    "libstlport_shared.so", "libcore.so", "libstagefright_froyo.so",
+    "libcrypto.so", "libsqliteX.so", "libgnustl_shared.so",
+    "libprotect.so", "libsecexe.so", "libtersafe.so", "liblua.so",
+)
+
+_GENERIC_CATEGORIES = (
+    "Tools", "Entertainment", "Communication", "Personalization",
+    "Music And Audio", "Productivity", "Lifestyle", "Education",
+    "Sports", "Finance", "Business", "Photography", "Other",
+)
+
+_PLAIN_STRINGS = (
+    "Landroid/app/Activity;->onCreate",
+    "Landroid/widget/TextView;->setText",
+    "Ljava/util/HashMap;-><init>",
+    "Landroid/content/Intent;-><init>",
+)
+
+
+class CorpusGenerator:
+    """Deterministic, calibrated corpus synthesis."""
+
+    def __init__(self, seed: int = 2014,
+                 parameters: StudyParameters = PAPER_PARAMETERS,
+                 scale: float = 1.0) -> None:
+        self.random = random.Random(seed)
+        self.parameters = parameters
+        self.scale = scale
+
+    def _scaled(self, count: int) -> int:
+        return max(1, round(count * self.scale)) if count else 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def generate(self) -> List[AppRecord]:
+        parameters = self.parameters
+        records: List[AppRecord] = []
+        type1 = self._scaled(parameters.type1_count)
+        type1_without = min(self._scaled(parameters.type1_without_libs),
+                            type1)
+        type2 = self._scaled(parameters.type2_count)
+        type2_loadable = min(self._scaled(parameters.type2_loadable_count),
+                             type2)
+        type3 = self._scaled(parameters.type3_count)
+        total = max(self._scaled(parameters.total_apps),
+                    type1 + type2 + type3)
+
+        records.extend(self._type1_records(type1, type1_without))
+        records.extend(self._type2_records(type2, type2_loadable))
+        records.extend(self._type3_records(type3))
+        records.extend(self._plain_records(total - len(records)))
+        self.random.shuffle(records)
+        return records
+
+    # -- strata --------------------------------------------------------------------
+
+    def _pick_type1_category(self) -> str:
+        roll = self.random.random()
+        cumulative = 0.0
+        for name, share in self.parameters.type1_categories:
+            cumulative += share
+            if roll < cumulative:
+                return name
+        return "Other"
+
+    def _pick_libraries(self, category: str) -> Tuple[str, ...]:
+        # Zipf-flavoured popularity; games prefer engine libraries.
+        count = 1 + (self.random.random() < 0.35) + \
+            (self.random.random() < 0.1)
+        chosen = set()
+        while len(chosen) < count:
+            index = min(int(self.random.expovariate(0.35)),
+                        len(POPULAR_LIBRARIES) - 1)
+            if category != "Game" and index < 6 and \
+                    self.random.random() < 0.5:
+                index = self.random.randrange(6, len(POPULAR_LIBRARIES))
+            chosen.add(POPULAR_LIBRARIES[index])
+        return tuple(sorted(chosen))
+
+    def _type1_records(self, count: int,
+                       without_libs: int) -> List[AppRecord]:
+        records = []
+        admob_count = round(without_libs *
+                            self.parameters.type1_without_libs_admob_share)
+        for index in range(count):
+            category = self._pick_type1_category()
+            strings = _PLAIN_STRINGS + (
+                LOAD_LIBRARY_STRING if self.random.random() < 0.9
+                else LOAD_STRING,)
+            if index < without_libs:
+                libraries: Tuple[str, ...] = ()
+                if index < admob_count:
+                    declared = tuple(self.random.sample(ADMOB_CLASSES, 3))
+                else:
+                    declared = (f"Lcom/app{index}/Native;",)
+            else:
+                libraries = self._pick_libraries(category)
+                declared = (f"Lcom/app{index}/Engine;",)
+            records.append(AppRecord(
+                package=f"com.type1.app{index}", category=category,
+                dex_strings=strings, native_libraries=libraries,
+                declared_native_classes=declared))
+        return records
+
+    def _type2_records(self, count: int, loadable: int) -> List[AppRecord]:
+        records = []
+        for index in range(count):
+            if index < loadable:
+                embedded = (EmbeddedDexInfo(
+                    "assets/payload.dex",
+                    _PLAIN_STRINGS + (LOAD_LIBRARY_STRING,)),)
+                libraries = self._pick_libraries("Tools")
+            else:
+                embedded = ()
+                # Libraries present but unused: often wrong-arch leftovers
+                # from open-source projects (Section III.B).
+                archs = self.random.choice(
+                    (("x86",), ("mips",), ("armeabi", "x86")))
+                libraries = (self.random.choice(POPULAR_LIBRARIES),)
+                records.append(AppRecord(
+                    package=f"com.type2.app{index}",
+                    category=self.random.choice(_GENERIC_CATEGORIES),
+                    dex_strings=_PLAIN_STRINGS,
+                    native_libraries=libraries, library_archs=archs))
+                continue
+            records.append(AppRecord(
+                package=f"com.type2.app{index}",
+                category=self.random.choice(_GENERIC_CATEGORIES),
+                dex_strings=_PLAIN_STRINGS,
+                native_libraries=libraries, embedded_dex=embedded))
+        return records
+
+    def _type3_records(self, count: int) -> List[AppRecord]:
+        games = min(self.parameters.type3_games, count)
+        records = []
+        for index in range(count):
+            category = "Game" if index < games else "Entertainment"
+            records.append(AppRecord(
+                package=f"com.type3.app{index}", category=category,
+                dex_strings=(),  # pure native: no Java code at all
+                native_libraries=("libmain.so",),
+                manifest_flags=(NATIVE_ACTIVITY_STRING,)))
+        return records
+
+    def _plain_records(self, count: int) -> List[AppRecord]:
+        return [AppRecord(package=f"com.plain.app{index}",
+                          category=self.random.choice(_GENERIC_CATEGORIES),
+                          dex_strings=_PLAIN_STRINGS)
+                for index in range(count)]

@@ -1,0 +1,154 @@
+"""The static-analysis pipeline of Section III.
+
+``analyze_corpus`` classifies apps into Types I/II/III from record
+contents alone (load-call strings, bundled libraries, embedded dex,
+manifest flags) and computes every statistic the paper reports: the
+category distribution of Type I apps (Fig. 2), the share of Type I apps
+without libraries and the AdMob fraction among them, the
+loadable-embedded-dex count among Type II, the Type III game/entertainment
+split, and the most-bundled library ranking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.corpus.appmodel import AppRecord
+
+# The Section III.A manual analysis of the 20 most popular libraries:
+# "Most of the libraries are from the famous game engine companies...
+# a large portion of libraries relevant to video or audio processing.
+# Other libraries ... are originally included in NDK or the system."
+LIBRARY_KINDS: Dict[str, str] = {
+    "libunity.so": "game-engine", "libmono.so": "game-engine",
+    "libgdx.so": "game-engine", "libbox2d.so": "game-engine",
+    "libcocos2dcpp.so": "game-engine", "libandroidgl20.so": "game-engine",
+    "liblua.so": "game-engine",
+    "libffmpeg.so": "media", "libvlcjni.so": "media",
+    "libmp3lame.so": "media", "libopenal.so": "media",
+    "libstagefright_froyo.so": "media",
+    "libstlport_shared.so": "ndk-system", "libcore.so": "ndk-system",
+    "libgnustl_shared.so": "ndk-system", "libcrypto.so": "ndk-system",
+    "libsqliteX.so": "ndk-system",
+    "libprotect.so": "packer", "libsecexe.so": "packer",
+    "libtersafe.so": "packer",
+}
+
+
+@dataclass
+class StudyReport:
+    """Everything Section III reports, computed by :func:`analyze_corpus`."""
+    total_apps: int = 0
+    type1: List[AppRecord] = field(default_factory=list)
+    type2: List[AppRecord] = field(default_factory=list)
+    type3: List[AppRecord] = field(default_factory=list)
+
+    # Derived statistics.
+    type1_without_libs: int = 0
+    type1_without_libs_admob: int = 0
+    type2_loadable: int = 0
+    type3_games: int = 0
+    type1_category_shares: Dict[str, float] = field(default_factory=dict)
+    library_popularity: List[Tuple[str, int]] = field(default_factory=list)
+
+    def library_kind_distribution(self, top: int = 20) -> Dict[str, int]:
+        """Classify the ``top`` most-bundled libraries (Section III.A)."""
+        kinds: Dict[str, int] = {}
+        for name, __ in self.library_popularity[:top]:
+            kind = LIBRARY_KINDS.get(name, "other")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return kinds
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def jni_app_count(self) -> int:
+        return len(self.type1) + len(self.type2) + len(self.type3)
+
+    @property
+    def percent_using_jni(self) -> float:
+        return 100.0 * self.jni_app_count / self.total_apps
+
+    @property
+    def percent_with_native_libraries(self) -> float:
+        with_libs = sum(1 for record in
+                        self.type1 + self.type2 + self.type3
+                        if record.has_native_libraries())
+        return 100.0 * with_libs / self.total_apps
+
+    @property
+    def admob_share_of_libless_type1(self) -> float:
+        if not self.type1_without_libs:
+            return 0.0
+        return self.type1_without_libs_admob / self.type1_without_libs
+
+    def format_summary(self) -> str:
+        lines = [
+            f"corpus size:            {self.total_apps:,}",
+            f"type I  (call load):    {len(self.type1):,}",
+            f"  without libraries:    {self.type1_without_libs:,} "
+            f"({100 * self.admob_share_of_libless_type1:.1f}% AdMob)",
+            f"type II (libs, no call):{len(self.type2):,}",
+            f"  loadable via dex:     {self.type2_loadable:,}",
+            f"type III (pure native): {len(self.type3):,} "
+            f"({self.type3_games} games)",
+            f"apps using JNI:         {self.percent_using_jni:.2f}%",
+            "type I category distribution:",
+        ]
+        for name, share in sorted(self.type1_category_shares.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<20s} {100 * share:5.1f}%")
+        lines.append("top bundled libraries:")
+        for name, count in self.library_popularity[:10]:
+            lines.append(f"  {name:<24s} {count:,}")
+        return "\n".join(lines)
+
+
+def classify(record: AppRecord) -> str:
+    """Type I/II/III/none classification (Section III's definition)."""
+    if record.is_pure_native():
+        return "III"
+    if record.calls_load():
+        return "I"
+    if record.has_native_libraries():
+        return "II"
+    return "none"
+
+
+def analyze_corpus(records: Iterable[AppRecord]) -> StudyReport:
+    """Classify every record and accumulate the Section III statistics."""
+    report = StudyReport()
+    library_counter: Counter = Counter()
+    category_counter: Counter = Counter()
+
+    for record in records:
+        report.total_apps += 1
+        kind = classify(record)
+        if kind == "I":
+            report.type1.append(record)
+            category_counter[record.category] += 1
+            if not record.has_native_libraries():
+                report.type1_without_libs += 1
+                if record.uses_admob_native_classes():
+                    report.type1_without_libs_admob += 1
+        elif kind == "II":
+            report.type2.append(record)
+            if record.has_loadable_embedded_dex():
+                report.type2_loadable += 1
+        elif kind == "III":
+            report.type3.append(record)
+            if record.category == "Game":
+                report.type3_games += 1
+        for library in record.native_libraries:
+            library_counter[library] += 1
+
+    if report.type1:
+        total_type1 = len(report.type1)
+        report.type1_category_shares = {
+            name: count / total_type1
+            for name, count in category_counter.items()
+        }
+    report.library_popularity = library_counter.most_common()
+    return report

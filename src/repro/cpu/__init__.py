@@ -1,0 +1,55 @@
+"""ARM/Thumb CPU substrate.
+
+This package is the reproduction's stand-in for QEMU's guest CPU: a 32-bit
+ARM register file, decoders for the classic ARM (32-bit) and Thumb (16-bit)
+encodings, an executor over a shared instruction IR, and a two-pass
+assembler used to author the native libraries that the scenario apps load.
+
+The decoders and executor cover the subset that real Android native code
+exercises and that the paper's Table V taint-propagation logic addresses:
+data processing, multiplies, loads/stores (word/byte/halfword, signed
+variants), load/store multiple (push/pop), branches (B/BL/BX/BLX), and SVC.
+"""
+
+from repro.cpu.assembler import Assembler, assemble
+from repro.cpu.arm_decoder import decode_arm
+from repro.cpu.executor import Executor
+from repro.cpu.isa import (
+    Branch,
+    BranchExchange,
+    Cond,
+    DataProcessing,
+    Instruction,
+    LoadStore,
+    LoadStoreMultiple,
+    MoveWide,
+    Multiply,
+    Op,
+    Operand2,
+    ShiftType,
+    SoftwareInterrupt,
+)
+from repro.cpu.state import CpuState
+from repro.cpu.thumb_decoder import decode_thumb
+
+__all__ = [
+    "CpuState",
+    "Executor",
+    "Assembler",
+    "assemble",
+    "decode_arm",
+    "decode_thumb",
+    "Instruction",
+    "DataProcessing",
+    "Multiply",
+    "MoveWide",
+    "LoadStore",
+    "LoadStoreMultiple",
+    "Branch",
+    "BranchExchange",
+    "SoftwareInterrupt",
+    "Operand2",
+    "Op",
+    "Cond",
+    "ShiftType",
+]

@@ -1,0 +1,101 @@
+"""Bit-twiddling helpers shared by the decoders, executor and assembler."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+WORD_MASK = 0xFFFF_FFFF
+
+
+def u32(value: int) -> int:
+    """Truncate to an unsigned 32-bit value."""
+    return value & WORD_MASK
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= WORD_MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def bit(word: int, index: int) -> int:
+    """Extract bit ``index`` of ``word`` (0 or 1)."""
+    return (word >> index) & 1
+
+
+def bits(word: int, high: int, low: int) -> int:
+    """Extract the inclusive bit-field ``word[high:low]``."""
+    return (word >> low) & ((1 << (high - low + 1)) - 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit value to a Python int."""
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def ror32(value: int, amount: int) -> int:
+    """Rotate a 32-bit value right by ``amount`` bits."""
+    amount %= 32
+    if amount == 0:
+        return u32(value)
+    value = u32(value)
+    return u32((value >> amount) | (value << (32 - amount)))
+
+
+def lsl32(value: int, amount: int) -> Tuple[int, int]:
+    """Logical shift left; returns (result, carry_out)."""
+    value = u32(value)
+    if amount == 0:
+        return value, -1  # carry unchanged
+    if amount > 32:
+        return 0, 0
+    if amount == 32:
+        return 0, value & 1
+    carry = (value >> (32 - amount)) & 1
+    return u32(value << amount), carry
+
+
+def lsr32(value: int, amount: int) -> Tuple[int, int]:
+    """Logical shift right; returns (result, carry_out)."""
+    value = u32(value)
+    if amount == 0:
+        return value, -1
+    if amount > 32:
+        return 0, 0
+    if amount == 32:
+        return 0, (value >> 31) & 1
+    carry = (value >> (amount - 1)) & 1
+    return value >> amount, carry
+
+
+def asr32(value: int, amount: int) -> Tuple[int, int]:
+    """Arithmetic shift right; returns (result, carry_out)."""
+    value = u32(value)
+    if amount == 0:
+        return value, -1
+    if amount >= 32:
+        if value & 0x8000_0000:
+            return WORD_MASK, 1
+        return 0, 0
+    carry = (value >> (amount - 1)) & 1
+    return u32(s32(value) >> amount), carry
+
+
+def encode_arm_immediate(value: int) -> Tuple[int, int]:
+    """Find (rotate, imm8) so that ``ror32(imm8, 2*rotate) == value``.
+
+    Raises ValueError when the value is not encodable as an ARM modified
+    immediate (the assembler then falls back to a literal-pool load).
+    """
+    value = u32(value)
+    for rotate in range(16):
+        imm8 = ror32(value, 32 - 2 * rotate) if rotate else value
+        if imm8 < 0x100:
+            return rotate, imm8
+    raise ValueError(f"0x{value:08x} is not an ARM modified immediate")
+
+
+def align(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    return value & ~(alignment - 1)

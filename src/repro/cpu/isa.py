@@ -1,0 +1,224 @@
+"""Instruction IR shared by the ARM decoder, Thumb decoder and executor.
+
+Both instruction sets decode into the same small set of dataclasses; the
+executor and NDroid's instruction tracer then dispatch on IR type rather
+than on raw encodings.  Each IR instance remembers ``width`` (4 for ARM,
+2 for Thumb) and the mnemonic it decoded from, so traces are readable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Cond(enum.IntEnum):
+    """ARM condition codes (the top four bits of every ARM instruction)."""
+
+    EQ = 0x0
+    NE = 0x1
+    CS = 0x2
+    CC = 0x3
+    MI = 0x4
+    PL = 0x5
+    VS = 0x6
+    VC = 0x7
+    HI = 0x8
+    LS = 0x9
+    GE = 0xA
+    LT = 0xB
+    GT = 0xC
+    LE = 0xD
+    AL = 0xE
+
+
+class Op(enum.IntEnum):
+    """Data-processing opcodes (ARM encoding values)."""
+
+    AND = 0x0
+    EOR = 0x1
+    SUB = 0x2
+    RSB = 0x3
+    ADD = 0x4
+    ADC = 0x5
+    SBC = 0x6
+    RSC = 0x7
+    TST = 0x8
+    TEQ = 0x9
+    CMP = 0xA
+    CMN = 0xB
+    ORR = 0xC
+    MOV = 0xD
+    BIC = 0xE
+    MVN = 0xF
+
+
+# Opcodes that discard their result and only update flags.
+COMPARE_OPS = (Op.TST, Op.TEQ, Op.CMP, Op.CMN)
+# Opcodes whose only input is operand2 (no Rn read).
+UNARY_OPS = (Op.MOV, Op.MVN)
+
+
+class ShiftType(enum.IntEnum):
+    """Barrel-shifter operation applied to a register operand."""
+    LSL = 0
+    LSR = 1
+    ASR = 2
+    ROR = 3  # amount 0 encodes RRX in register-shift-by-immediate form
+
+
+@dataclass(frozen=True)
+class Operand2:
+    """The flexible second operand of data-processing instructions.
+
+    Exactly one of the three forms is active:
+
+    * immediate: ``imm`` is set (already rotated to its final value).
+    * register shifted by immediate: ``rm`` set, ``shift_reg`` is None.
+    * register shifted by register: ``rm`` and ``shift_reg`` set.
+    """
+
+    imm: Optional[int] = None
+    rm: Optional[int] = None
+    shift_type: ShiftType = ShiftType.LSL
+    shift_imm: int = 0
+    shift_reg: Optional[int] = None
+
+    @property
+    def is_immediate(self) -> bool:
+        return self.imm is not None
+
+    def registers_read(self) -> Tuple[int, ...]:
+        regs = []
+        if self.rm is not None:
+            regs.append(self.rm)
+        if self.shift_reg is not None:
+            regs.append(self.shift_reg)
+        return tuple(regs)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all decoded instructions."""
+
+    cond: Cond = Cond.AL
+    width: int = 4
+    mnemonic: str = "?"
+
+
+@dataclass(frozen=True)
+class DataProcessing(Instruction):
+    """The 16 classic data-processing operations (ADD, MOV, CMP, ...)."""
+    op: Op = Op.MOV
+    rd: int = 0
+    rn: int = 0
+    operand2: Operand2 = field(default_factory=Operand2)
+    set_flags: bool = False
+
+
+@dataclass(frozen=True)
+class Multiply(Instruction):
+    """MUL (accumulate=False) and MLA (accumulate=True)."""
+
+    rd: int = 0
+    rm: int = 0
+    rs: int = 0
+    rn: int = 0
+    accumulate: bool = False
+    set_flags: bool = False
+
+
+@dataclass(frozen=True)
+class MultiplyLong(Instruction):
+    """UMULL/SMULL/UMLAL/SMLAL."""
+
+    rd_lo: int = 0
+    rd_hi: int = 0
+    rm: int = 0
+    rs: int = 0
+    signed: bool = False
+    accumulate: bool = False
+    set_flags: bool = False
+
+
+@dataclass(frozen=True)
+class MoveWide(Instruction):
+    """MOVW (top=False) writes imm16; MOVT (top=True) writes the high half."""
+
+    rd: int = 0
+    imm16: int = 0
+    top: bool = False
+
+
+@dataclass(frozen=True)
+class CountLeadingZeros(Instruction):
+    """CLZ: count leading zeros of Rm into Rd."""
+    rd: int = 0
+    rm: int = 0
+
+
+@dataclass(frozen=True)
+class LoadStore(Instruction):
+    """Single-register load/store: LDR/STR and the B/H/SB/SH variants."""
+
+    load: bool = True
+    rd: int = 0
+    rn: int = 0
+    # Offset: either an immediate or a (possibly shifted) register.
+    offset_imm: Optional[int] = None
+    offset_rm: Optional[int] = None
+    shift_type: ShiftType = ShiftType.LSL
+    shift_imm: int = 0
+    add: bool = True          # U bit: add or subtract the offset
+    pre_indexed: bool = True  # P bit
+    writeback: bool = False   # W bit (always true when post-indexed)
+    size: int = 4             # 1, 2 or 4 bytes
+    signed: bool = False      # sign-extend on load (LDRSB/LDRSH)
+
+
+@dataclass(frozen=True)
+class LoadStoreMultiple(Instruction):
+    """LDM/STM and their PUSH/POP special cases."""
+
+    load: bool = True
+    rn: int = 13
+    reglist: Tuple[int, ...] = ()
+    before: bool = False   # P bit: increment/decrement before
+    increment: bool = True  # U bit
+    writeback: bool = True
+
+
+@dataclass(frozen=True)
+class Branch(Instruction):
+    """B and BL with a PC-relative byte offset (already scaled)."""
+
+    link: bool = False
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class BranchExchange(Instruction):
+    """BX / BLX (register form): may switch between ARM and Thumb."""
+
+    rm: int = 0
+    link: bool = False
+
+
+@dataclass(frozen=True)
+class SoftwareInterrupt(Instruction):
+    """SVC/SWI — the syscall gateway into the simulated kernel."""
+
+    imm: int = 0
+
+
+@dataclass(frozen=True)
+class Breakpoint(Instruction):
+    """BKPT — halts emulation with an error (no debugger is modelled)."""
+    imm: int = 0
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """No-operation (canonical ``mov r0, r0`` and the Thumb hint)."""
+    pass

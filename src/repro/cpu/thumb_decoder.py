@@ -1,0 +1,272 @@
+"""Decoder for the 16-bit Thumb instruction encoding.
+
+Covers the classic Thumb-1 subset our assembler emits: shift/add/sub
+immediate forms, MOV/CMP/ADD/SUB imm8, the 16 ALU register operations,
+hi-register ADD/CMP/MOV and BX/BLX, PC/SP-relative loads and address
+generation, LDR/STR (register and immediate offsets, byte/halfword and
+signed variants), PUSH/POP, LDMIA/STMIA, conditional branches, SVC,
+unconditional B, and the two-halfword BL pair.
+
+``decode_thumb`` takes the current halfword plus the *next* halfword so the
+BL prefix/suffix pair can be fused into a single IR Branch of width 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.errors import DecodeError
+from repro.cpu.bits import bit, bits, sign_extend
+from repro.cpu.isa import (
+    Branch,
+    BranchExchange,
+    Breakpoint,
+    Cond,
+    DataProcessing,
+    Instruction,
+    LoadStore,
+    LoadStoreMultiple,
+    Multiply,
+    Nop,
+    Op,
+    Operand2,
+    ShiftType,
+    SoftwareInterrupt,
+)
+
+# The sixteen Thumb "ALU operations" (format 4) in encoding order.
+_ALU_OPS = [
+    ("and", Op.AND), ("eor", Op.EOR), ("lsl", None), ("lsr", None),
+    ("asr", None), ("adc", Op.ADC), ("sbc", Op.SBC), ("ror", None),
+    ("tst", Op.TST), ("neg", Op.RSB), ("cmp", Op.CMP), ("cmn", Op.CMN),
+    ("orr", Op.ORR), ("mul", None), ("bic", Op.BIC), ("mvn", Op.MVN),
+]
+
+
+def decode_thumb(halfword: int,
+                 next_halfword: Optional[int] = None) -> Instruction:
+    """Decode one Thumb instruction (fusing BL pairs) into the shared IR."""
+    top5 = bits(halfword, 15, 11)
+
+    # Format 1: shift by immediate (and MOV reg as LSL #0).
+    if top5 in (0b00000, 0b00001, 0b00010):
+        shift_type = ShiftType(bits(halfword, 12, 11))
+        imm5 = bits(halfword, 10, 6)
+        rm, rd = bits(halfword, 5, 3), bits(halfword, 2, 0)
+        mnemonic = ["lsl", "lsr", "asr"][shift_type] if imm5 or shift_type else "mov"
+        return DataProcessing(
+            cond=Cond.AL, width=2, mnemonic=mnemonic, op=Op.MOV, rd=rd,
+            operand2=Operand2(rm=rm, shift_type=shift_type, shift_imm=imm5),
+            set_flags=True)
+
+    # Format 2: ADD/SUB register or 3-bit immediate.
+    if top5 == 0b00011:
+        sub = bool(bit(halfword, 9))
+        op = Op.SUB if sub else Op.ADD
+        rn, rd = bits(halfword, 5, 3), bits(halfword, 2, 0)
+        if bit(halfword, 10):
+            operand2 = Operand2(imm=bits(halfword, 8, 6))
+        else:
+            operand2 = Operand2(rm=bits(halfword, 8, 6))
+        return DataProcessing(cond=Cond.AL, width=2,
+                              mnemonic="sub" if sub else "add", op=op,
+                              rd=rd, rn=rn, operand2=operand2, set_flags=True)
+
+    # Format 3: MOV/CMP/ADD/SUB with 8-bit immediate.
+    if bits(halfword, 15, 13) == 0b001:
+        op = [Op.MOV, Op.CMP, Op.ADD, Op.SUB][bits(halfword, 12, 11)]
+        rd = bits(halfword, 10, 8)
+        return DataProcessing(
+            cond=Cond.AL, width=2, mnemonic=op.name.lower(), op=op, rd=rd,
+            rn=rd, operand2=Operand2(imm=bits(halfword, 7, 0)), set_flags=True)
+
+    # Format 4: ALU operations on low registers.
+    if bits(halfword, 15, 10) == 0b010000:
+        name, op = _ALU_OPS[bits(halfword, 9, 6)]
+        rm, rd = bits(halfword, 5, 3), bits(halfword, 2, 0)
+        if name == "mul":
+            return Multiply(cond=Cond.AL, width=2, mnemonic="mul",
+                            rd=rd, rm=rd, rs=rm, set_flags=True)
+        if name in ("lsl", "lsr", "asr", "ror"):
+            shift_type = {"lsl": ShiftType.LSL, "lsr": ShiftType.LSR,
+                          "asr": ShiftType.ASR, "ror": ShiftType.ROR}[name]
+            return DataProcessing(
+                cond=Cond.AL, width=2, mnemonic=name, op=Op.MOV, rd=rd,
+                operand2=Operand2(rm=rd, shift_type=shift_type, shift_reg=rm),
+                set_flags=True)
+        if name == "neg":  # NEG rd, rm == RSBS rd, rm, #0
+            return DataProcessing(cond=Cond.AL, width=2, mnemonic="neg",
+                                  op=Op.RSB, rd=rd, rn=rm,
+                                  operand2=Operand2(imm=0), set_flags=True)
+        return DataProcessing(cond=Cond.AL, width=2, mnemonic=name, op=op,
+                              rd=rd, rn=rd, operand2=Operand2(rm=rm),
+                              set_flags=True)
+
+    # Format 5: hi-register operations and BX/BLX.
+    if bits(halfword, 15, 10) == 0b010001:
+        op2 = bits(halfword, 9, 8)
+        rm = bits(halfword, 6, 3)
+        rd = bits(halfword, 2, 0) | (bit(halfword, 7) << 3)
+        if op2 == 0b00:
+            return DataProcessing(cond=Cond.AL, width=2, mnemonic="add",
+                                  op=Op.ADD, rd=rd, rn=rd,
+                                  operand2=Operand2(rm=rm), set_flags=False)
+        if op2 == 0b01:
+            return DataProcessing(cond=Cond.AL, width=2, mnemonic="cmp",
+                                  op=Op.CMP, rd=0, rn=rd,
+                                  operand2=Operand2(rm=rm), set_flags=True)
+        if op2 == 0b10:
+            return DataProcessing(cond=Cond.AL, width=2, mnemonic="mov",
+                                  op=Op.MOV, rd=rd,
+                                  operand2=Operand2(rm=rm), set_flags=False)
+        link = bool(bit(halfword, 7))
+        return BranchExchange(cond=Cond.AL, width=2,
+                              mnemonic="blx" if link else "bx",
+                              rm=rm, link=link)
+
+    # Format 6: PC-relative load.
+    if top5 == 0b01001:
+        rd = bits(halfword, 10, 8)
+        return LoadStore(cond=Cond.AL, width=2, mnemonic="ldr", load=True,
+                         rd=rd, rn=15, offset_imm=bits(halfword, 7, 0) * 4,
+                         size=4)
+
+    # Format 7/8: load/store with register offset.
+    if bits(halfword, 15, 12) == 0b0101:
+        rm = bits(halfword, 8, 6)
+        rn = bits(halfword, 5, 3)
+        rd = bits(halfword, 2, 0)
+        selector = bits(halfword, 11, 9)
+        table = {
+            0b000: ("str", False, 4, False),
+            0b001: ("strh", False, 2, False),
+            0b010: ("strb", False, 1, False),
+            0b011: ("ldrsb", True, 1, True),
+            0b100: ("ldr", True, 4, False),
+            0b101: ("ldrh", True, 2, False),
+            0b110: ("ldrb", True, 1, False),
+            0b111: ("ldrsh", True, 2, True),
+        }
+        mnemonic, load, size, signed = table[selector]
+        return LoadStore(cond=Cond.AL, width=2, mnemonic=mnemonic, load=load,
+                         rd=rd, rn=rn, offset_rm=rm, size=size, signed=signed)
+
+    # Format 9: load/store with 5-bit immediate offset (word/byte).
+    if bits(halfword, 15, 13) == 0b011:
+        byte = bool(bit(halfword, 12))
+        load = bool(bit(halfword, 11))
+        imm5 = bits(halfword, 10, 6)
+        size = 1 if byte else 4
+        return LoadStore(cond=Cond.AL, width=2,
+                         mnemonic=("ldr" if load else "str") + ("b" if byte else ""),
+                         load=load, rd=bits(halfword, 2, 0),
+                         rn=bits(halfword, 5, 3),
+                         offset_imm=imm5 * size, size=size)
+
+    # Format 10: load/store halfword immediate.
+    if bits(halfword, 15, 12) == 0b1000:
+        load = bool(bit(halfword, 11))
+        return LoadStore(cond=Cond.AL, width=2,
+                         mnemonic="ldrh" if load else "strh", load=load,
+                         rd=bits(halfword, 2, 0), rn=bits(halfword, 5, 3),
+                         offset_imm=bits(halfword, 10, 6) * 2, size=2)
+
+    # Format 11: SP-relative load/store.
+    if bits(halfword, 15, 12) == 0b1001:
+        load = bool(bit(halfword, 11))
+        return LoadStore(cond=Cond.AL, width=2,
+                         mnemonic="ldr" if load else "str", load=load,
+                         rd=bits(halfword, 10, 8), rn=13,
+                         offset_imm=bits(halfword, 7, 0) * 4, size=4)
+
+    # Format 12: ADD rd, PC/SP, #imm8*4.
+    if bits(halfword, 15, 12) == 0b1010:
+        rn = 13 if bit(halfword, 11) else 15
+        return DataProcessing(cond=Cond.AL, width=2, mnemonic="add",
+                              op=Op.ADD, rd=bits(halfword, 10, 8), rn=rn,
+                              operand2=Operand2(imm=bits(halfword, 7, 0) * 4),
+                              set_flags=False)
+
+    # Format 13-14 block: misc 1011 xxxx.
+    if bits(halfword, 15, 12) == 0b1011:
+        return _decode_misc(halfword)
+
+    # Format 15: multiple load/store (LDMIA/STMIA).
+    if bits(halfword, 15, 12) == 0b1100:
+        load = bool(bit(halfword, 11))
+        rn = bits(halfword, 10, 8)
+        reglist = tuple(i for i in range(8) if bit(halfword, i))
+        if not reglist:
+            raise DecodeError(f"empty Thumb LDM/STM list 0x{halfword:04x}")
+        return LoadStoreMultiple(cond=Cond.AL, width=2,
+                                 mnemonic="ldmia" if load else "stmia",
+                                 load=load, rn=rn, reglist=reglist,
+                                 before=False, increment=True,
+                                 writeback=rn not in reglist or not load)
+
+    # Format 16/17: conditional branch and SVC.
+    if bits(halfword, 15, 12) == 0b1101:
+        cond_value = bits(halfword, 11, 8)
+        if cond_value == 0xF:
+            return SoftwareInterrupt(cond=Cond.AL, width=2, mnemonic="svc",
+                                     imm=bits(halfword, 7, 0))
+        if cond_value == 0xE:
+            raise DecodeError(f"undefined Thumb instruction 0x{halfword:04x}")
+        return Branch(cond=Cond(cond_value), width=2, mnemonic="b",
+                      offset=sign_extend(bits(halfword, 7, 0), 8) * 2)
+
+    # Format 18: unconditional branch.
+    if top5 == 0b11100:
+        return Branch(cond=Cond.AL, width=2, mnemonic="b",
+                      offset=sign_extend(bits(halfword, 10, 0), 11) * 2)
+
+    # Format 19: BL prefix/suffix pair (fused, width=4).
+    if top5 == 0b11110:
+        if next_halfword is None or bits(next_halfword, 15, 11) not in (
+                0b11111, 0b11101):
+            raise DecodeError(f"dangling BL prefix 0x{halfword:04x}")
+        high = sign_extend(bits(halfword, 10, 0), 11) << 12
+        low = bits(next_halfword, 10, 0) << 1
+        to_arm = bits(next_halfword, 15, 11) == 0b11101  # BLX suffix
+        return Branch(cond=Cond.AL, width=4, mnemonic="blx" if to_arm else "bl",
+                      link=True, offset=high + low)
+    if top5 in (0b11111, 0b11101):
+        raise DecodeError(f"BL suffix without prefix 0x{halfword:04x}")
+
+    raise DecodeError(f"cannot decode Thumb instruction 0x{halfword:04x}")
+
+
+def _decode_misc(halfword: int) -> Instruction:
+    sub = bits(halfword, 11, 8)
+    # ADD/SUB SP, #imm7*4.
+    if sub == 0b0000:
+        imm = bits(halfword, 6, 0) * 4
+        op = Op.SUB if bit(halfword, 7) else Op.ADD
+        return DataProcessing(cond=Cond.AL, width=2, mnemonic=op.name.lower(),
+                              op=op, rd=13, rn=13, operand2=Operand2(imm=imm),
+                              set_flags=False)
+    # PUSH {rlist[, lr]} / POP {rlist[, pc]}.
+    if sub in (0b0100, 0b0101, 0b1100, 0b1101):
+        load = bool(bit(halfword, 11))
+        extra = bit(halfword, 8)
+        reglist = [i for i in range(8) if bit(halfword, i)]
+        if extra:
+            reglist.append(15 if load else 14)
+        if not reglist:
+            raise DecodeError(f"empty PUSH/POP list 0x{halfword:04x}")
+        if load:
+            return LoadStoreMultiple(cond=Cond.AL, width=2, mnemonic="pop",
+                                     load=True, rn=13, reglist=tuple(reglist),
+                                     before=False, increment=True,
+                                     writeback=True)
+        return LoadStoreMultiple(cond=Cond.AL, width=2, mnemonic="push",
+                                 load=False, rn=13, reglist=tuple(reglist),
+                                 before=True, increment=False, writeback=True)
+    # BKPT.
+    if sub == 0b1110:
+        return Breakpoint(cond=Cond.AL, width=2, mnemonic="bkpt",
+                          imm=bits(halfword, 7, 0))
+    # NOP hint (1011 1111 0000 0000).
+    if halfword == 0xBF00:
+        return Nop(cond=Cond.AL, width=2, mnemonic="nop")
+    raise DecodeError(f"cannot decode Thumb misc 0x{halfword:04x}")

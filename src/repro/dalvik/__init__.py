@@ -1,0 +1,39 @@
+"""The Dalvik virtual machine substrate (as modified by TaintDroid).
+
+A register-based bytecode VM with the structures every NDroid mechanism
+hooks or parses:
+
+* a DVM call stack **in emulated memory** with TaintDroid's layout — taint
+  tags interleaved with registers, a ``StackSaveArea`` per frame, parameter
+  taints stored in the caller's outs area for native callees (paper Fig. 1);
+* a heap with a **moving (semispace) garbage collector**, so direct object
+  pointers go stale exactly as on Android ≥ 4.0;
+* an **indirect reference table**: native code holds irefs, and
+  ``dvmDecodeIndirectRef`` maps them to current object addresses (the
+  reason NDroid keys its shadow memory for Java objects by iref);
+* an interpreter whose per-instruction taint propagation implements
+  TaintDroid's policy, used by both the TaintDroid baseline and NDroid
+  (which reuses TaintDroid's Java-side tracking, Section V.A).
+"""
+
+from repro.dalvik.classes import ClassDef, Field, Method, MethodBuilder
+from repro.dalvik.heap import DvmHeap, ObjectRecord
+from repro.dalvik.instructions import Ins, Op
+from repro.dalvik.irt import IndirectRefTable
+from repro.dalvik.stack import DvmStack, Frame
+from repro.dalvik.vm import DalvikVM
+
+__all__ = [
+    "DalvikVM",
+    "ClassDef",
+    "Field",
+    "Method",
+    "MethodBuilder",
+    "DvmHeap",
+    "ObjectRecord",
+    "IndirectRefTable",
+    "DvmStack",
+    "Frame",
+    "Ins",
+    "Op",
+]

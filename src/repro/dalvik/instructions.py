@@ -1,0 +1,169 @@
+"""Dalvik bytecode: opcodes and the instruction record.
+
+A reduced but faithful register-based instruction set.  Operands follow
+Dalvik conventions: ``vA``/``vB``/``vC`` register indices, literals,
+string/type/field/method references, and label-based branch targets that
+:class:`~repro.dalvik.classes.MethodBuilder` resolves to indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+class Op(enum.Enum):
+    """Dalvik opcodes (names follow dexdump mnemonics)."""
+
+    NOP = "nop"
+    # moves
+    MOVE = "move"
+    MOVE_OBJECT = "move-object"
+    MOVE_RESULT = "move-result"
+    MOVE_RESULT_OBJECT = "move-result-object"
+    MOVE_EXCEPTION = "move-exception"
+    # constants
+    CONST = "const"
+    CONST_STRING = "const-string"
+    # returns
+    RETURN_VOID = "return-void"
+    RETURN = "return"
+    RETURN_OBJECT = "return-object"
+    # arithmetic / logic (int)
+    ADD_INT = "add-int"
+    SUB_INT = "sub-int"
+    MUL_INT = "mul-int"
+    DIV_INT = "div-int"
+    REM_INT = "rem-int"
+    AND_INT = "and-int"
+    OR_INT = "or-int"
+    XOR_INT = "xor-int"
+    SHL_INT = "shl-int"
+    SHR_INT = "shr-int"
+    USHR_INT = "ushr-int"
+    ADD_INT_LIT = "add-int/lit"
+    MUL_INT_LIT = "mul-int/lit"
+    NEG_INT = "neg-int"
+    NOT_INT = "not-int"
+    # objects
+    NEW_INSTANCE = "new-instance"
+    NEW_ARRAY = "new-array"
+    ARRAY_LENGTH = "array-length"
+    AGET = "aget"
+    APUT = "aput"
+    AGET_OBJECT = "aget-object"
+    APUT_OBJECT = "aput-object"
+    IGET = "iget"
+    IPUT = "iput"
+    IGET_OBJECT = "iget-object"
+    IPUT_OBJECT = "iput-object"
+    SGET = "sget"
+    SPUT = "sput"
+    SGET_OBJECT = "sget-object"
+    SPUT_OBJECT = "sput-object"
+    # calls
+    INVOKE_VIRTUAL = "invoke-virtual"
+    INVOKE_DIRECT = "invoke-direct"
+    INVOKE_STATIC = "invoke-static"
+    # control flow
+    GOTO = "goto"
+    IF_EQ = "if-eq"
+    IF_NE = "if-ne"
+    IF_LT = "if-lt"
+    IF_GE = "if-ge"
+    IF_GT = "if-gt"
+    IF_LE = "if-le"
+    IF_EQZ = "if-eqz"
+    IF_NEZ = "if-nez"
+    IF_LTZ = "if-ltz"
+    IF_GEZ = "if-gez"
+    # exceptions
+    THROW = "throw"
+    # strings (modelled String ops the framework uses heavily)
+    STRING_CONCAT = "string-concat"   # vA = vB + vC (String)
+    INT_TO_STRING = "int-to-string"   # vA = String.valueOf(vB)
+
+
+# Opcodes whose destination holds an object reference.
+REF_DEST_OPS = frozenset({
+    Op.MOVE_OBJECT, Op.MOVE_RESULT_OBJECT, Op.MOVE_EXCEPTION,
+    Op.CONST_STRING, Op.NEW_INSTANCE, Op.NEW_ARRAY, Op.AGET_OBJECT,
+    Op.IGET_OBJECT, Op.SGET_OBJECT, Op.STRING_CONCAT, Op.INT_TO_STRING,
+})
+
+BINARY_OPS = {
+    Op.ADD_INT: lambda a, b: a + b,
+    Op.SUB_INT: lambda a, b: a - b,
+    Op.MUL_INT: lambda a, b: a * b,
+    Op.DIV_INT: lambda a, b: _c_div(a, b),
+    Op.REM_INT: lambda a, b: _c_rem(a, b),
+    Op.AND_INT: lambda a, b: a & b,
+    Op.OR_INT: lambda a, b: a | b,
+    Op.XOR_INT: lambda a, b: a ^ b,
+    Op.SHL_INT: lambda a, b: a << (b & 31),
+    Op.SHR_INT: lambda a, b: a >> (b & 31),
+    Op.USHR_INT: lambda a, b: (a & 0xFFFF_FFFF) >> (b & 31),
+}
+
+COMPARE_OPS = {
+    Op.IF_EQ: lambda a, b: a == b,
+    Op.IF_NE: lambda a, b: a != b,
+    Op.IF_LT: lambda a, b: a < b,
+    Op.IF_GE: lambda a, b: a >= b,
+    Op.IF_GT: lambda a, b: a > b,
+    Op.IF_LE: lambda a, b: a <= b,
+}
+
+COMPARE_Z_OPS = {
+    Op.IF_EQZ: lambda a: a == 0,
+    Op.IF_NEZ: lambda a: a != 0,
+    Op.IF_LTZ: lambda a: a < 0,
+    Op.IF_GEZ: lambda a: a >= 0,
+}
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("divide by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _c_rem(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+@dataclass
+class Ins:
+    """One Dalvik instruction.
+
+    ``a``/``b``/``c`` are register indices (or a literal for ``lit``
+    forms); ``literal`` holds const values or string literals; ``target``
+    holds a label (resolved to ``target_index`` by the method builder);
+    ``symbol`` names a class/field/method for object ops and invokes;
+    ``args`` lists argument registers for invokes.
+    """
+
+    op: Op
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    literal: Any = None
+    target: Optional[str] = None
+    target_index: int = -1
+    symbol: str = ""
+    args: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        if self.op in (Op.INVOKE_VIRTUAL, Op.INVOKE_DIRECT, Op.INVOKE_STATIC):
+            parts.append("{" + ", ".join(f"v{r}" for r in self.args) + "}")
+            parts.append(self.symbol)
+        else:
+            parts.append(f"v{self.a}")
+            if self.symbol:
+                parts.append(self.symbol)
+            if self.target is not None:
+                parts.append(f"-> {self.target}")
+        return " ".join(parts)

@@ -1,0 +1,21 @@
+"""The machine emulator — this reproduction's QEMU.
+
+:class:`Emulator` runs ARM/Thumb code from emulated memory through the
+decoder/executor, maintains a translation (decode) cache, and exposes the
+instrumentation surfaces NDroid plugs into:
+
+* **host functions** — Python implementations registered at emulated
+  addresses (libc, libdvm, JNI); calling one from emulated code traps into
+  Python, exactly as QEMU helpers do.
+* **entry/exit hooks** — analysis callbacks attached to function addresses
+  at "translation time" (the paper's TCG instrumentation, Section V.G).
+* **branch listeners** — every control transfer is reported as
+  ``(i_from, i_to)``, the event the multilevel hooking conditions T1..T6
+  are defined over (Fig. 5).
+* **instruction tracers** — called with the decoded IR before each
+  instruction executes (the paper's instruction tracer, Section V.C).
+"""
+
+from repro.emulator.emulator import EXIT_ADDRESS, Emulator, HostContext
+
+__all__ = ["Emulator", "HostContext", "EXIT_ADDRESS"]

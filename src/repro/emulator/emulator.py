@@ -1,0 +1,307 @@
+"""Core fetch/decode/execute loop with instrumentation surfaces."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import EmulationError
+from repro.common.events import EventLog
+from repro.cpu.arm_decoder import decode_arm
+from repro.cpu.executor import Executor
+from repro.cpu.isa import Instruction
+from repro.cpu.state import LR, PC, SP, CpuState
+from repro.cpu.thumb_decoder import decode_thumb
+from repro.memory.memory import Memory
+from repro.memory.regions import MemoryMap
+
+# Returning to this address stops the run loop; the call bridge sets LR to
+# it before jumping into a native method (QEMU's equivalent is returning to
+# the JNI trampoline).
+EXIT_ADDRESS = 0xFFFF_0000
+
+BranchListener = Callable[[int, int, "Emulator"], None]
+Tracer = Callable[[Instruction, "Emulator"], None]
+Hook = Callable[["Emulator"], None]
+SyscallHandler = Callable[[int, "Emulator"], None]
+
+
+class HostContext:
+    """Argument accessor handed to host functions (AAPCS view).
+
+    The first four arguments live in R0-R3; the rest are on the stack.
+    ``returns`` sets R0 (and R1 for 64-bit results).
+    """
+
+    def __init__(self, emu: "Emulator") -> None:
+        self.emu = emu
+        self.cpu = emu.cpu
+        self.memory = emu.memory
+
+    def arg(self, index: int) -> int:
+        if index < 4:
+            return self.cpu.regs[index]
+        return self.memory.read_u32(self.cpu.sp + 4 * (index - 4))
+
+    def set_result(self, value: int, high: Optional[int] = None) -> None:
+        self.cpu.write_reg(0, value)
+        if high is not None:
+            self.cpu.write_reg(1, high)
+
+    def cstring_arg(self, index: int) -> str:
+        return self.memory.read_cstring(self.arg(index)).decode(
+            "utf-8", errors="replace")
+
+
+# A host function receives a HostContext; returning an int sets R0.
+HostFunction = Callable[[HostContext], Optional[int]]
+
+
+class _RegisteredHost:
+    __slots__ = ("name", "function")
+
+    def __init__(self, name: str, function: HostFunction) -> None:
+        self.name = name
+        self.function = function
+
+
+class Emulator:
+    """An emulated ARM machine with analysis instrumentation."""
+
+    def __init__(self, memory: Optional[Memory] = None,
+                 event_log: Optional[EventLog] = None) -> None:
+        self.memory = memory if memory is not None else Memory()
+        self.cpu = CpuState()
+        self.memory_map = MemoryMap()
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.executor = Executor(self.cpu, self.memory,
+                                 svc_handler=self._handle_svc)
+
+        self._decode_cache: Dict[Tuple[int, bool], Instruction] = {}
+        self._host_functions: Dict[int, _RegisteredHost] = {}
+        self._entry_hooks: Dict[int, List[Hook]] = {}
+        self._exit_hooks: Dict[int, List[Hook]] = {}
+        self._pending_exits: List[Tuple[int, int, Hook]] = []
+        self._branch_listeners: List[BranchListener] = []
+        self._tracers: List[Tracer] = []
+        self.syscall_handler: Optional[SyscallHandler] = None
+
+        self.instruction_count = 0
+        self.host_call_count = 0
+        self.decode_count = 0
+        self._running = False
+        self._stop_requested = False
+        # Nested call() invocations each get their own return sentinel so
+        # an inner function's return never triggers an outer caller's
+        # pending exit hooks (both would otherwise target EXIT_ADDRESS).
+        self._call_depth = 0
+
+    # -- code/data loading ----------------------------------------------------
+
+    def load(self, address: int, data: bytes) -> None:
+        self.memory.write_bytes(address, data)
+        self.invalidate_cache()
+
+    def invalidate_cache(self) -> None:
+        self._decode_cache.clear()
+
+    # -- host functions -------------------------------------------------------
+
+    def register_host_function(self, address: int, name: str,
+                               function: HostFunction) -> int:
+        """Install a Python-implemented function at an emulated address."""
+        if address in self._host_functions:
+            raise EmulationError(
+                f"host function already registered @ 0x{address:08x}")
+        self._host_functions[address] = _RegisteredHost(name, function)
+        return address
+
+    def host_function_at(self, address: int) -> Optional[str]:
+        registered = self._host_functions.get(address)
+        return registered.name if registered else None
+
+    def is_host_address(self, address: int) -> bool:
+        return (address & ~1) in self._host_functions
+
+    def call_host(self, address: int) -> None:
+        """Invoke a host function as if emulated code branched to it.
+
+        Used by host functions that internally call other hooked functions
+        (e.g. ``CallVoidMethodA`` → ``dvmCallMethodA`` → ``dvmInterpret``),
+        so the branch-event chain the multilevel hooks watch is preserved,
+        and entry/exit hooks fire exactly as for an emulated call.
+        """
+        caller_pc = self.cpu.pc
+        self._notify_branch(caller_pc, address)
+        self._dispatch_host(address, simulate_return=False,
+                            return_address=caller_pc + 4)
+        self._notify_branch(address, caller_pc + 4)
+        self._fire_exit_hooks(caller_pc + 4)
+
+    # -- hooks -----------------------------------------------------------------
+
+    def add_entry_hook(self, address: int, hook: Hook) -> None:
+        self._entry_hooks.setdefault(address & ~1, []).append(hook)
+
+    def add_exit_hook(self, address: int, hook: Hook) -> None:
+        self._exit_hooks.setdefault(address & ~1, []).append(hook)
+
+    def add_branch_listener(self, listener: BranchListener) -> None:
+        self._branch_listeners.append(listener)
+
+    def add_tracer(self, tracer: Tracer) -> None:
+        self._tracers.append(tracer)
+
+    def remove_tracer(self, tracer: Tracer) -> None:
+        self._tracers.remove(tracer)
+
+    def _notify_branch(self, i_from: int, i_to: int) -> None:
+        for listener in self._branch_listeners:
+            listener(i_from, i_to, self)
+
+    def _fire_entry_hooks(self, address: int,
+                          return_address: Optional[int] = None) -> None:
+        hooks = self._entry_hooks.get(address & ~1)
+        if hooks:
+            for hook in hooks:
+                hook(self)
+        exit_hooks = self._exit_hooks.get(address & ~1)
+        if exit_hooks:
+            if return_address is None:
+                return_address = self.cpu.lr
+            return_address &= ~1
+            for hook in exit_hooks:
+                self._pending_exits.append((return_address, self.cpu.sp, hook))
+
+    def _fire_exit_hooks(self, address: int) -> None:
+        if not self._pending_exits:
+            return
+        address &= ~1
+        # Fire every pending exit whose recorded return site we just reached
+        # with the stack back at (or above) the call-time level.
+        remaining: List[Tuple[int, int, Hook]] = []
+        for return_address, sp_at_entry, hook in self._pending_exits:
+            if return_address == address and self.cpu.sp >= sp_at_entry:
+                hook(self)
+            else:
+                remaining.append((return_address, sp_at_entry, hook))
+        self._pending_exits = remaining
+
+    # -- syscalls ---------------------------------------------------------------
+
+    def _handle_svc(self, imm: int, cpu: CpuState, memory: Memory) -> None:
+        if self.syscall_handler is None:
+            raise EmulationError(f"SVC #{imm} but no syscall handler installed")
+        self.syscall_handler(imm, self)
+
+    # -- execution ---------------------------------------------------------------
+
+    def _decode(self, address: int, thumb: bool) -> Instruction:
+        key = (address, thumb)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
+        self.decode_count += 1
+        if thumb:
+            halfword = self.memory.read_u16(address)
+            next_halfword = self.memory.read_u16(address + 2)
+            ir = decode_thumb(halfword, next_halfword)
+        else:
+            ir = decode_arm(self.memory.read_u32(address))
+        self._decode_cache[key] = ir
+        return ir
+
+    def step(self) -> None:
+        """Execute a single instruction (or host function) at PC."""
+        pc = self.cpu.pc
+        if self.is_host_address(pc):
+            self._dispatch_host(pc & ~1, simulate_return=True)
+            return
+        ir = self._decode(pc, self.cpu.thumb)
+        for tracer in self._tracers:
+            tracer(ir, self)
+        wrote_pc = self.executor.execute(ir)
+        self.instruction_count += 1
+        if wrote_pc:
+            target = self.cpu.pc
+            self._notify_branch(pc, target)
+            self._fire_exit_hooks(target)
+            if not self.is_host_address(target):
+                # Host dispatch fires entry hooks itself on the next step.
+                self._fire_entry_hooks(target)
+        else:
+            self.cpu.pc = pc + ir.width
+
+    def _dispatch_host(self, address: int, simulate_return: bool,
+                       return_address: Optional[int] = None) -> None:
+        registered = self._host_functions.get(address)
+        if registered is None:
+            raise EmulationError(f"no host function @ 0x{address:08x}")
+        self.host_call_count += 1
+        # Capture the return address NOW: the host body may run nested
+        # emulation (e.g. the JNI bridge calling into native code), which
+        # clobbers LR exactly as a real call would.
+        if return_address is None:
+            return_address = self.cpu.lr
+        self._fire_entry_hooks(address, return_address=return_address)
+        result = registered.function(HostContext(self))
+        if result is not None:
+            self.cpu.write_reg(0, result & 0xFFFF_FFFF)
+        if simulate_return:
+            self.cpu.thumb = bool(return_address & 1)
+            self.cpu.pc = return_address & ~1
+            self._notify_branch(address, self.cpu.pc)
+            self._fire_exit_hooks(self.cpu.pc)
+
+    def call(self, address: int, args: Tuple[int, ...] = (),
+             max_steps: int = 5_000_000) -> int:
+        """Call an emulated (or host) function with AAPCS arguments.
+
+        Extra arguments beyond four are pushed on the stack.  Returns R0.
+        Calls nest (host functions invoke native code and vice versa);
+        each nesting level returns to its own sentinel address.
+        """
+        stack_args = list(args[4:])
+        for index, value in enumerate(args[:4]):
+            self.cpu.write_reg(index, value & 0xFFFF_FFFF)
+        saved_sp = self.cpu.sp
+        if stack_args:
+            self.cpu.sp = self.cpu.sp - 4 * len(stack_args)
+            self.memory.write_words(self.cpu.sp,
+                                    [value & 0xFFFF_FFFF for value in stack_args])
+        sentinel = EXIT_ADDRESS + 16 * self._call_depth
+        self._call_depth += 1
+        try:
+            self.cpu.lr = sentinel
+            self.cpu.thumb = bool(address & 1)
+            self.cpu.pc = address & ~1
+            self._notify_branch(sentinel, self.cpu.pc)
+            if not self.is_host_address(self.cpu.pc):
+                # Host dispatch fires entry hooks itself inside step().
+                self._fire_entry_hooks(self.cpu.pc)
+            self.run(max_steps=max_steps, stop_at=sentinel)
+        finally:
+            self._call_depth -= 1
+        self.cpu.sp = saved_sp
+        return self.cpu.regs[0]
+
+    def run(self, max_steps: int = 5_000_000,
+            stop_at: int = EXIT_ADDRESS) -> int:
+        """Run until control returns to ``stop_at``.
+
+        Returns the number of steps executed.  Raises on runaway loops so a
+        broken scenario fails fast instead of hanging the test suite.
+        """
+        self._stop_requested = False
+        steps = 0
+        while self.cpu.pc != stop_at:
+            if self._stop_requested:
+                break
+            if steps >= max_steps:
+                raise EmulationError(
+                    f"exceeded {max_steps} steps @ pc=0x{self.cpu.pc:08x}")
+            self.step()
+            steps += 1
+        return steps
+
+    def stop(self) -> None:
+        self._stop_requested = True

@@ -1,0 +1,30 @@
+"""The Android application framework simulation.
+
+Provides what sits between apps and the substrates:
+
+* a :class:`DeviceProfile` holding the sensitive values TaintDroid taints
+  at its sources (IMEI, IMSI, ICCID, line-1 number, contacts, SMS, GPS);
+* framework API **intrinsics** — telephony, contacts, SMS, location
+  (sources) and network/file/SMS-send Java APIs (sinks);
+* ``System.loadLibrary``: assembles an app's bundled native library into a
+  third-party region and binds ``Java_*`` symbols to its native methods;
+* :class:`AndroidPlatform`, the facade that assembles the whole device and
+  is the entry point used by examples, scenario apps and benchmarks;
+* :class:`Apk`, the installable app bundle.
+"""
+
+from repro.framework.android import AndroidPlatform
+from repro.framework.apk import Apk
+from repro.framework.device import DeviceProfile
+from repro.framework.leaks import LeakRecord, LeakRegistry
+from repro.framework.monkey import MonkeyRunner, MonkeySession
+
+__all__ = [
+    "AndroidPlatform",
+    "Apk",
+    "DeviceProfile",
+    "LeakRecord",
+    "LeakRegistry",
+    "MonkeyRunner",
+    "MonkeySession",
+]

@@ -1,0 +1,188 @@
+"""The assembled device: :class:`AndroidPlatform`.
+
+One platform = one emulated phone: CPU/emulator, kernel, libc/libm, the
+Dalvik VM, the JNI layer, framework APIs, a device profile, and the leak
+registry.  Analysis systems (TaintDroid, NDroid, the DroidScope
+comparator) attach to a platform after construction.
+
+Typical use::
+
+    platform = AndroidPlatform()
+    TaintDroid.attach(platform)           # baseline
+    NDroid.attach(platform)               # the paper's system
+    platform.install(apk)
+    platform.run_app(apk)
+    print(platform.leaks.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import DalvikError
+from repro.common.events import EventLog
+from repro.cpu.assembler import Program, assemble
+from repro.dalvik.heap import Slot
+from repro.dalvik.vm import DalvikVM
+from repro.emulator.emulator import Emulator
+from repro.framework.apk import Apk
+from repro.framework.api import FrameworkApi
+from repro.framework.device import DeviceProfile
+from repro.framework.leaks import LeakRegistry
+from repro.jni.layer import JniLayer
+from repro.kernel.kernel import Kernel
+from repro.libc.libc import CLibrary
+from repro.libc.libm import MathLibrary
+from repro.memory.memory import Memory
+
+NATIVE_STACK_TOP = 0x0800_0000
+NATIVE_STACK_SIZE = 0x0010_0000
+APP_LIBRARY_BASE = 0x6000_0000
+APP_LIBRARY_STRIDE = 0x0010_0000
+
+
+class AndroidPlatform:
+    """A complete simulated Android device."""
+
+    def __init__(self, device: Optional[DeviceProfile] = None) -> None:
+        self.event_log = EventLog()
+        self.memory = Memory()
+        self.emu = Emulator(memory=self.memory, event_log=self.event_log)
+        self.kernel = Kernel(self.memory, event_log=self.event_log)
+        self.kernel.spawn_process("system_server")
+        self.app_process = self.kernel.spawn_process("app_process")
+        self.kernel.set_current(self.app_process)
+        # The app process shares the emulator's memory map so both the
+        # loader and the kernel's task structs describe the same mappings.
+        self.app_process.memory_map = self.emu.memory_map
+        self.emu.syscall_handler = self.kernel.handle_svc
+
+        self.libc = CLibrary(self.emu, self.kernel)
+        self.libm = MathLibrary(self.emu)
+        self.vm = DalvikVM(self.memory, event_log=self.event_log)
+        self.jni = JniLayer(self.emu, self.vm)
+        self.device = device if device is not None else DeviceProfile.default()
+        self.leaks = LeakRegistry()
+
+        # Analysis systems attach here.
+        self.taintdroid = None
+        self.ndroid = None
+        self.droidscope = None
+
+        self.api = FrameworkApi(self)
+        self.api.register_all()
+        self.libc.dlopen_handler = self._dlopen
+        self.libc.dlsym_handler = self._dlsym
+
+        self.emu.cpu.sp = NATIVE_STACK_TOP
+        self.emu.memory_map.map(NATIVE_STACK_TOP - NATIVE_STACK_SIZE,
+                                NATIVE_STACK_SIZE, "[stack]", perms="rw-")
+        from repro.dalvik.stack import DVM_STACK_BASE, DVM_STACK_SIZE
+        self.emu.memory_map.map(DVM_STACK_BASE - DVM_STACK_SIZE,
+                                DVM_STACK_SIZE, "[dalvik stack]", perms="rw-")
+        self.kernel.sync_tasks_to_guest()
+
+        self._installed: Dict[str, Apk] = {}
+        self._loaded_libraries: Dict[str, Program] = {}
+        self._library_handles: List[str] = []
+        self._next_library_base = APP_LIBRARY_BASE
+        # The VM starts with taint slots maintained but no policy consumer;
+        # the vanilla configuration disables the bookkeeping entirely.
+        self.vm.taint_tracking = False
+
+    # -- app management -------------------------------------------------------------
+
+    def install(self, apk: Apk) -> None:
+        """Register the app's classes (its dex) with the VM."""
+        if apk.package in self._installed:
+            raise DalvikError(f"{apk.package} already installed")
+        for class_def in apk.classes:
+            self.vm.register_class(class_def)
+        self._installed[apk.package] = apk
+        self.event_log.emit("framework", "install", apk.package,
+                            package=apk.package,
+                            libraries=sorted(apk.native_libraries))
+
+    def run_app(self, apk: Apk, args: Optional[List[Slot]] = None) -> Slot:
+        """Invoke the app's ``main``; libraries load via System.loadLibrary."""
+        return self.vm.call_main(apk.main_symbol(), args or [])
+
+    # -- native library loading --------------------------------------------------------
+
+    def load_library(self, name: str) -> Program:
+        """System.loadLibrary: assemble, map (third-party) and bind."""
+        if name in self._loaded_libraries:
+            return self._loaded_libraries[name]
+        source = None
+        for apk in self._installed.values():
+            if name in apk.native_libraries:
+                source = apk.native_libraries[name]
+                break
+        if source is None:
+            raise DalvikError(f"UnsatisfiedLinkError: no library {name!r}")
+        base = self._next_library_base
+        self._next_library_base += APP_LIBRARY_STRIDE
+        externs = dict(self.libc.symbols)
+        externs.update(self.libm.symbols)
+        program = assemble(source, base=base, externs=externs)
+        self.emu.load(base, program.code)
+        size = max((len(program.code) + 0xFFF) & ~0xFFF, 0x1000)
+        self.emu.memory_map.map(base, size, name, perms="r-x",
+                                third_party=True)
+        self.kernel.sync_tasks_to_guest()
+        self._loaded_libraries[name] = program
+        self._library_handles.append(name)
+        self._bind_native_methods(program)
+        self.event_log.emit("framework", "loadLibrary",
+                            f"{name} @0x{base:08x}", name=name, base=base,
+                            size=len(program.code))
+        # Run JNI_OnLoad if the library exports one (libraries that bind
+        # their methods via RegisterNatives do it here).  The first
+        # argument is the env pointer; the real ABI passes JavaVM*, whose
+        # only use in practice is GetEnv — this shortcut preserves the
+        # observable behaviour.
+        if "JNI_OnLoad" in program.symbols:
+            self.emu.call(program.entry("JNI_OnLoad"),
+                          args=(self.jni.env_pointer(), 0))
+            self.event_log.emit("framework", "JNI_OnLoad", name, name=name)
+        return program
+
+    def _bind_native_methods(self, program: Program) -> None:
+        """Bind ``Java_pkg_Class_method`` symbols to native methods."""
+        for class_def in self.vm.classes.values():
+            for method in class_def.methods.values():
+                if method.is_native and method.native_address == 0:
+                    symbol = method.jni_symbol()
+                    if symbol in program.symbols:
+                        method.native_address = program.entry(symbol)
+
+    def _dlopen(self, path: str) -> int:
+        name = path.rsplit("/", 1)[-1]
+        try:
+            self.load_library(name)
+        except DalvikError:
+            return 0
+        try:
+            return self._library_handles.index(name) + 1
+        except ValueError:
+            return 0
+
+    def _dlsym(self, handle: int, symbol: str) -> int:
+        index = handle - 1
+        if not 0 <= index < len(self._library_handles):
+            return 0
+        program = self._loaded_libraries[self._library_handles[index]]
+        if symbol not in program.symbols:
+            return 0
+        return program.entry(symbol)
+
+    # -- measurement helpers -----------------------------------------------------------
+
+    def work_counters(self) -> Dict[str, int]:
+        return {
+            "native_instructions": self.emu.instruction_count,
+            "dalvik_instructions": self.vm.dalvik_instructions,
+            "host_calls": self.emu.host_call_count,
+            "syscalls": self.kernel.syscall_count,
+            "gc_count": self.vm.heap.gc_count,
+        }

@@ -1,0 +1,51 @@
+"""The installable app bundle.
+
+An :class:`Apk` carries what the analyses in Section III inspect: the app's
+classes (dex), its bundled native libraries (as assembly source, our
+equivalent of ``lib/armeabi/*.so``), whether its Java code calls
+``System.loadLibrary``, any *embedded dex* payloads (the Type II trick of
+shipping a compressed dex that does the loading), and market metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dalvik.classes import ClassDef
+
+
+@dataclass
+class EmbeddedDex:
+    """A secondary dex file an app can load dynamically (Section III.B)."""
+
+    name: str
+    calls_load_library: bool = False
+    classes: List[ClassDef] = field(default_factory=list)
+
+
+@dataclass
+class Apk:
+    package: str
+    category: str = "Tools"
+    classes: List[ClassDef] = field(default_factory=list)
+    # library name -> ARM assembly source (assembled at install time).
+    native_libraries: Dict[str, str] = field(default_factory=dict)
+    # Library names the Java code passes to System.loadLibrary().
+    load_library_calls: List[str] = field(default_factory=list)
+    embedded_dex: List[EmbeddedDex] = field(default_factory=list)
+    pure_native: bool = False
+    # Java classes that *declare* native methods (used by the §III study).
+    downloads: int = 0
+
+    def declares_native_methods(self) -> bool:
+        return any(method.is_native
+                   for class_def in self.classes
+                   for method in class_def.methods.values())
+
+    def main_symbol(self) -> str:
+        """The conventional entry point: first class's ``main`` method."""
+        for class_def in self.classes:
+            if "main" in class_def.methods:
+                return f"{class_def.name}->main"
+        raise ValueError(f"{self.package} has no main method")

@@ -1,0 +1,78 @@
+"""Device identity and user data — the values behind TaintDroid's sources.
+
+The defaults echo the paper's logs: the emulator's line-1 number
+``15555215554`` and network operator ``310260`` appear verbatim in the
+case-3 PoC (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class Contact:
+    """One address-book entry (the case-2 PoC leaks these fields)."""
+    contact_id: str
+    name: str
+    email: str
+
+    def formatted(self) -> str:
+        return f"{self.contact_id} {self.name} {self.email}"
+
+
+@dataclass
+class SmsMessage:
+    """One stored SMS message (a TaintDroid SMS-source item)."""
+    sender: str
+    body: str
+
+
+@dataclass
+class DeviceProfile:
+    """Everything sensitive a device knows."""
+
+    imei: str = "356938035643809"
+    imsi: str = "310260000000000"
+    iccid: str = "89014103211118510720"
+    line1_number: str = "15555215554"
+    network_operator: str = "310260"
+    device_serial: str = "EMULATOR29X1"
+    latitude: float = 22.3964
+    longitude: float = 114.1095
+    contacts: List[Contact] = field(default_factory=list)
+    sms_messages: List[SmsMessage] = field(default_factory=list)
+    accounts: List[str] = field(default_factory=list)
+
+    @classmethod
+    def default(cls) -> "DeviceProfile":
+        """The profile used throughout the scenario apps and tests."""
+        return cls(
+            contacts=[
+                Contact("1", "Vincent", "cx@gg.com"),
+                Contact("2", "Alice", "alice@example.com"),
+                Contact("3", "Bob", "bob@example.com"),
+            ],
+            sms_messages=[
+                SmsMessage("10086", "Your verification code is 8731"),
+                SmsMessage("+85212345678", "Meet at 7pm"),
+            ],
+            accounts=["user@gmail.com"],
+        )
+
+    def location_string(self) -> str:
+        return f"{self.latitude:.4f},{self.longitude:.4f}"
+
+    def contacts_dump(self) -> str:
+        return ";".join(contact.formatted() for contact in self.contacts)
+
+    def sms_dump(self) -> str:
+        return ";".join(f"{message.sender}:{message.body}"
+                        for message in self.sms_messages)
+
+    def device_info_dump(self) -> str:
+        """The blob the case-3 PoC exfiltrates (Fig. 9)."""
+        return (f"DeviceId = {self.imei} Line1Number = {self.line1_number} "
+                f"NetworkOperator = {self.network_operator} "
+                f"SimSerial = {self.iccid}")

@@ -1,0 +1,24 @@
+"""The JNI layer: ``libdvm``'s boundary-crossing machinery.
+
+Materialises everything the paper's DVM hook engine instruments
+(Section V.B), at real addresses inside the emulated ``libdvm.so`` region:
+
+* **JNI entry** — ``dvmCallJNIMethod``, the call bridge through which every
+  Java→native invocation passes (with TaintDroid's interleaved parameter
+  taints in the outs area it receives);
+* **JNI exit** — the ``Call<Type>Method{,V,A}`` family, funnelling through
+  ``dvmCallMethod*`` and ``dvmInterpret`` exactly as in Table II;
+* **object creation** — NOF→MAF pairs of Table III (``NewStringUTF`` →
+  ``dvmCreateStringFromCstr`` etc.);
+* **field access** — the ``Get*/Set*Field`` functions of Table IV;
+* **exception** — ``ThrowNew`` → ``initException`` → ``dvmCallMethod``;
+
+plus the JNIEnv function table in guest memory, so native ARM code calls
+JNI functions through real function pointers (``ldr ip,[r0]; ldr ip,[ip,#off];
+blx ip``).
+"""
+
+from repro.jni.layer import JniLayer
+from repro.jni.slots import JNI_SLOTS, jni_offset
+
+__all__ = ["JniLayer", "JNI_SLOTS", "jni_offset"]

@@ -1,0 +1,63 @@
+"""JNIEnv function-table slot assignments.
+
+Native assembly reaches a JNI function by loading its pointer from the
+env's function table::
+
+    ldr ip, [r0]              ; r0 = JNIEnv*, [r0] = function table
+    ldr ip, [ip, #<offset>]   ; offset = 4 * slot index
+    blx ip
+
+Scenario apps interpolate ``jni_offset("NewStringUTF")`` into their
+assembly sources.  Slot numbering is ours (stable, dense); the real JNI
+table's numbering differs but nothing in the reproduction depends on the
+absolute indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PRIMS = ["Boolean", "Byte", "Char", "Short", "Int", "Long", "Float",
+          "Double"]
+_CALL_TYPES = ["Void", "Object"] + _PRIMS
+
+_names = [
+    "FindClass",
+    "GetMethodID", "GetStaticMethodID", "GetFieldID", "GetStaticFieldID",
+    "NewObject", "NewObjectV", "NewObjectA",
+    "NewString", "NewStringUTF",
+    "GetStringUTFChars", "ReleaseStringUTFChars", "GetStringLength",
+    "GetStringUTFLength",
+    "NewObjectArray", "GetObjectArrayElement", "SetObjectArrayElement",
+    "GetArrayLength",
+    "NewGlobalRef", "DeleteGlobalRef", "DeleteLocalRef",
+    "Throw", "ThrowNew", "ExceptionOccurred", "ExceptionClear",
+    "GetByteArrayRegion", "SetByteArrayRegion",
+    "GetIntArrayRegion", "SetIntArrayRegion",
+    "GetObjectClass", "RegisterNatives", "UnregisterNatives",
+]
+for _type in _PRIMS:
+    _names.append(f"New{_type}Array")
+for _type in _CALL_TYPES:
+    _names.append(f"Call{_type}Method")
+    _names.append(f"Call{_type}MethodV")
+    _names.append(f"Call{_type}MethodA")
+    _names.append(f"CallStatic{_type}Method")
+    _names.append(f"CallStatic{_type}MethodV")
+    _names.append(f"CallStatic{_type}MethodA")
+    _names.append(f"CallNonvirtual{_type}Method")
+    _names.append(f"CallNonvirtual{_type}MethodV")
+    _names.append(f"CallNonvirtual{_type}MethodA")
+for _type in ["Object"] + _PRIMS:
+    _names.append(f"Get{_type}Field")
+    _names.append(f"Set{_type}Field")
+    _names.append(f"GetStatic{_type}Field")
+    _names.append(f"SetStatic{_type}Field")
+
+JNI_SLOTS: Dict[str, int] = {name: index for index, name in enumerate(_names)}
+JNI_FUNCTION_COUNT = len(_names)
+
+
+def jni_offset(name: str) -> int:
+    """Byte offset of ``name``'s pointer within the JNIEnv function table."""
+    return 4 * JNI_SLOTS[name]

@@ -1,0 +1,32 @@
+"""The simulated Linux kernel under the Android platform.
+
+Provides the observable surface NDroid interacts with:
+
+* a virtual file system (the PoC of case 2 writes contacts to
+  ``/sdcard/CONTACTS`` through it),
+* a socket/network layer that records every transmission (the sinks of the
+  QQPhoneBook and ePhone scenarios),
+* a process table whose task structures are materialised **inside guest
+  memory**, so the OS-level view reconstructor can rebuild the process list
+  and memory maps by parsing raw bytes — the same virtual machine
+  introspection DroidScope performs and NDroid borrows (Section V.F),
+* an ARM-EABI syscall dispatcher (``r7`` holds the number, ``svc #0``
+  traps).
+"""
+
+from repro.kernel.filesystem import FileSystem, RegularFile
+from repro.kernel.kernel import Kernel
+from repro.kernel.network import NetworkStack, Socket, Transmission
+from repro.kernel.process import Process
+from repro.kernel.syscalls import NR
+
+__all__ = [
+    "Kernel",
+    "FileSystem",
+    "RegularFile",
+    "NetworkStack",
+    "Socket",
+    "Transmission",
+    "Process",
+    "NR",
+]

@@ -1,0 +1,269 @@
+"""The kernel facade: processes, descriptors, and syscall dispatch.
+
+Exposes two call paths, as a real kernel does:
+
+* a **Python API** (``sys_open``, ``sys_write``…) used by the modelled libc
+  host functions — this is the equivalent of libc's syscall wrappers, and
+* a **trap path** via ``svc #0`` with the ARM EABI convention (number in
+  ``r7``, arguments in ``r0``–``r5``), installed as the emulator's
+  ``syscall_handler``.
+
+Every write-like operation accepts per-byte taints; when code traps
+directly without taint information, the kernel consults its pluggable
+``taint_provider`` (installed by NDroid's taint engine) so raw syscalls
+are sinks too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import KernelError
+from repro.common.events import EventLog
+from repro.common.taint import TAINT_CLEAR, TaintLabel
+from repro.kernel.filesystem import FileSystem
+from repro.kernel.network import AF_INET, NetworkStack, SOCK_STREAM
+from repro.kernel.process import (
+    KERNEL_DATA_BASE,
+    KERNEL_DATA_SIZE,
+    TASK_LIST_HEAD,
+    FileDescriptor,
+    Process,
+)
+from repro.kernel.syscalls import NR
+from repro.memory.allocator import BumpAllocator
+from repro.memory.memory import Memory
+
+# open(2) flag bits (bionic values).
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_TRUNC = 0o1000
+O_APPEND = 0o2000
+
+TaintProvider = Callable[[int, int], List[TaintLabel]]
+
+
+class Kernel:
+    """All kernel state for one emulated machine."""
+
+    def __init__(self, memory: Memory,
+                 event_log: Optional[EventLog] = None) -> None:
+        self.memory = memory
+        self.event_log = event_log if event_log is not None else EventLog()
+        self.filesystem = FileSystem()
+        self.network = NetworkStack()
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 1
+        self.current: Optional[Process] = None
+        self._kernel_allocator = BumpAllocator(KERNEL_DATA_BASE,
+                                               KERNEL_DATA_SIZE)
+        # NDroid's taint engine installs this so raw SVC writes see taints.
+        self.taint_provider: Optional[TaintProvider] = None
+        self.syscall_count = 0
+
+    # -- process management ----------------------------------------------------
+
+    def spawn_process(self, name: str) -> Process:
+        process = Process(pid=self._next_pid, name=name)
+        self._next_pid += 1
+        self.processes[process.pid] = process
+        if self.current is None:
+            self.current = process
+        self.sync_tasks_to_guest()
+        return process
+
+    def set_current(self, process: Process) -> None:
+        if process.pid not in self.processes:
+            raise KernelError(f"unknown process pid={process.pid}")
+        self.current = process
+
+    def sync_tasks_to_guest(self) -> None:
+        """Re-serialise the task list into guest memory (see process.py)."""
+        ordered = sorted(self.processes.values(), key=lambda p: p.pid)
+        next_task = 0
+        # Serialise back-to-front so each task knows its successor.
+        for process in reversed(ordered):
+            next_task = process.sync_to_guest(self.memory,
+                                              self._kernel_allocator,
+                                              next_task)
+        self.memory.write_u32(TASK_LIST_HEAD, next_task)
+
+    def _require_current(self) -> Process:
+        if self.current is None:
+            raise KernelError("no current process")
+        return self.current
+
+    def _descriptor(self, fd: int) -> FileDescriptor:
+        process = self._require_current()
+        descriptor = process.fds.get(fd)
+        if descriptor is None:
+            raise KernelError(f"bad fd {fd} in pid {process.pid}")
+        return descriptor
+
+    # -- files --------------------------------------------------------------------
+
+    def sys_open(self, path: str, flags: int = O_RDONLY) -> int:
+        process = self._require_current()
+        file = self.filesystem.open_or_create(
+            path, create=bool(flags & O_CREAT), truncate=bool(flags & O_TRUNC))
+        fd = process.allocate_fd()
+        offset = file.size if flags & O_APPEND else 0
+        process.fds[fd] = FileDescriptor(
+            fd=fd, kind="file", path=path, file=file, offset=offset,
+            writable=bool(flags & (O_WRONLY | O_RDWR | O_CREAT | O_APPEND)))
+        self.event_log.emit("kernel", "open", f"{path} -> fd {fd}",
+                            path=path, fd=fd, flags=flags)
+        return fd
+
+    def sys_close(self, fd: int) -> int:
+        process = self._require_current()
+        descriptor = self._descriptor(fd)
+        if descriptor.kind == "socket":
+            self.network.close(fd)
+        del process.fds[fd]
+        self.event_log.emit("kernel", "close", f"fd {fd}", fd=fd)
+        return 0
+
+    def sys_write(self, fd: int, payload: bytes,
+                  taints: Optional[List[TaintLabel]] = None) -> int:
+        descriptor = self._descriptor(fd)
+        if taints is not None and len(taints) != len(payload):
+            raise KernelError("taint list length mismatch")
+        if descriptor.kind == "socket":
+            return self.network.send(fd, payload, taints)
+        if not descriptor.writable:
+            raise KernelError(f"fd {fd} not writable")
+        written = descriptor.file.write_at(descriptor.offset, payload, taints)
+        descriptor.offset += written
+        self.event_log.emit("kernel", "write",
+                            f"fd {fd} ({descriptor.path}) {written} bytes",
+                            fd=fd, path=descriptor.path, length=written)
+        return written
+
+    def sys_read(self, fd: int,
+                 length: int) -> Tuple[bytes, List[TaintLabel]]:
+        descriptor = self._descriptor(fd)
+        if descriptor.kind == "socket":
+            chunk = self.network.recv(fd, length)
+            return chunk, [TAINT_CLEAR] * len(chunk)
+        chunk, taints = descriptor.file.read_at(descriptor.offset, length)
+        descriptor.offset += len(chunk)
+        return chunk, taints
+
+    def sys_stat(self, path: str) -> Dict[str, int]:
+        if self.filesystem.is_dir(path):
+            return {"size": 0, "is_dir": 1}
+        file = self.filesystem.lookup(path)
+        return {"size": file.size, "is_dir": 0}
+
+    def sys_mkdir(self, path: str) -> int:
+        self.filesystem.mkdir(path)
+        return 0
+
+    def sys_unlink(self, path: str) -> int:
+        self.filesystem.remove(path)
+        return 0
+
+    def sys_rename(self, old: str, new: str) -> int:
+        self.filesystem.rename(old, new)
+        return 0
+
+    # -- sockets --------------------------------------------------------------------
+
+    def sys_socket(self, domain: int = AF_INET,
+                   type_: int = SOCK_STREAM) -> int:
+        process = self._require_current()
+        fd = process.allocate_fd()
+        socket = self.network.create_socket(fd, domain, type_)
+        process.fds[fd] = FileDescriptor(fd=fd, kind="socket", socket=socket)
+        self.event_log.emit("kernel", "socket", f"fd {fd}", fd=fd)
+        return fd
+
+    def sys_connect(self, fd: int, destination: str) -> int:
+        self._descriptor(fd)
+        self.network.connect(fd, destination)
+        self.event_log.emit("kernel", "connect", f"fd {fd} -> {destination}",
+                            fd=fd, destination=destination)
+        return 0
+
+    def sys_bind(self, fd: int, address: str) -> int:
+        self._descriptor(fd)
+        self.network.bind(fd, address)
+        return 0
+
+    def sys_listen(self, fd: int) -> int:
+        self._descriptor(fd)
+        self.network.listen(fd)
+        return 0
+
+    def sys_send(self, fd: int, payload: bytes,
+                 taints: Optional[List[TaintLabel]] = None) -> int:
+        self._descriptor(fd)
+        return self.network.send(fd, payload, taints)
+
+    def sys_sendto(self, fd: int, payload: bytes, destination: str,
+                   taints: Optional[List[TaintLabel]] = None) -> int:
+        self._descriptor(fd)
+        return self.network.send(fd, payload, taints,
+                                 destination=destination)
+
+    def sys_recv(self, fd: int, length: int) -> bytes:
+        self._descriptor(fd)
+        return self.network.recv(fd, length)
+
+    # -- the SVC trap path ---------------------------------------------------------
+
+    def handle_svc(self, imm: int, emu) -> None:
+        """Emulator syscall handler: ARM EABI convention."""
+        del imm  # EABI passes the number in r7, not the SVC immediate.
+        cpu, memory = emu.cpu, emu.memory
+        number = cpu.regs[7]
+        self.syscall_count += 1
+        if not NR.has(number):
+            raise KernelError(f"unknown syscall {number}")
+        nr = NR(number)
+        args = cpu.regs[:6]
+
+        if nr == NR.WRITE or nr == NR.SEND:
+            address, length = args[1], args[2]
+            payload = memory.read_bytes(address, length)
+            taints = (self.taint_provider(address, length)
+                      if self.taint_provider else None)
+            cpu.write_reg(0, self.sys_write(args[0], payload, taints))
+        elif nr == NR.SENDTO:
+            address, length = args[1], args[2]
+            payload = memory.read_bytes(address, length)
+            destination = memory.read_cstring(args[4]).decode(
+                "utf-8", errors="replace") if args[4] else ""
+            taints = (self.taint_provider(address, length)
+                      if self.taint_provider else None)
+            cpu.write_reg(0, self.sys_sendto(args[0], payload, destination,
+                                             taints))
+        elif nr == NR.READ or nr == NR.RECV:
+            chunk, __ = self.sys_read(args[0], args[2])
+            memory.write_bytes(args[1], chunk)
+            cpu.write_reg(0, len(chunk))
+        elif nr == NR.OPEN:
+            path = memory.read_cstring(args[0]).decode("utf-8")
+            cpu.write_reg(0, self.sys_open(path, args[1]))
+        elif nr == NR.CLOSE:
+            cpu.write_reg(0, self.sys_close(args[0]))
+        elif nr == NR.SOCKET:
+            cpu.write_reg(0, self.sys_socket(args[0], args[1]))
+        elif nr == NR.CONNECT:
+            destination = memory.read_cstring(args[1]).decode("utf-8")
+            cpu.write_reg(0, self.sys_connect(args[0], destination))
+        elif nr == NR.MKDIR:
+            path = memory.read_cstring(args[0]).decode("utf-8")
+            cpu.write_reg(0, self.sys_mkdir(path))
+        elif nr == NR.GETPID:
+            cpu.write_reg(0, self._require_current().pid)
+        elif nr == NR.EXIT:
+            emu.stop()
+        else:
+            # Recognised but unmodelled syscalls return success; they are
+            # hooked for observation (Table VII), not for behaviour.
+            self.event_log.emit("kernel", "syscall.stub", nr.name, nr=number)
+            cpu.write_reg(0, 0)

@@ -1,0 +1,47 @@
+"""ARM EABI syscall numbers.
+
+Native code traps with ``r7`` holding the number and ``svc #0``; the
+numbers below follow ``arch/arm/include/asm/unistd.h`` for the 2.6.29
+kernel the paper runs (Section VI).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NR(enum.IntEnum):
+    """Syscall numbers (ARM EABI)."""
+
+    EXIT = 1
+    FORK = 2
+    READ = 3
+    WRITE = 4
+    OPEN = 5
+    CLOSE = 6
+    UNLINK = 10
+    EXECVE = 11
+    GETPID = 20
+    PTRACE = 26
+    KILL = 37
+    RENAME = 38
+    MKDIR = 39
+    IOCTL = 54
+    FCNTL = 55
+    MUNMAP = 91
+    STAT = 106
+    SELECT = 142
+    MMAP2 = 192
+    SOCKET = 281
+    BIND = 282
+    CONNECT = 283
+    LISTEN = 284
+    ACCEPT = 285
+    SEND = 289
+    SENDTO = 290
+    RECV = 291
+    RECVFROM = 292
+
+    @classmethod
+    def has(cls, value: int) -> bool:
+        return value in cls._value2member_map_

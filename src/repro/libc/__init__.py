@@ -1,0 +1,21 @@
+"""The modelled C library (bionic libc + libm).
+
+The paper does not trace libc instruction-by-instruction: "we model the
+taint propagation operations for popular functions" (Section V.D, Table
+VI).  Accordingly this package provides *host-implemented* libc/libm
+functions registered at addresses inside the emulated ``libc.so``/
+``libm.so`` regions.  Emulated native code calls them through ordinary
+``blx``, and NDroid's system-library hook engine attaches taint handlers
+and sink checks to exactly these addresses.
+"""
+
+from repro.libc.libc import CLibrary
+from repro.libc.libm import MathLibrary
+from repro.libc.taint_interface import NativeTaintInterface, NullTaintInterface
+
+__all__ = [
+    "CLibrary",
+    "MathLibrary",
+    "NativeTaintInterface",
+    "NullTaintInterface",
+]

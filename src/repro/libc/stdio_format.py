@@ -1,0 +1,213 @@
+"""printf/scanf-family formatting with byte-level taint provenance.
+
+``format_with_taints`` renders a C format string against a vararg reader
+and returns both the output bytes and a parallel taint list: bytes
+substituted from a ``%s`` argument inherit the source string's byte taints;
+bytes rendered from integer/float arguments inherit the argument's
+register taint.  This is how a tainted contact name keeps its taint across
+``sprintf``/``fprintf`` in the case-2 PoC (Fig. 8).
+
+Supported conversions: ``%d %i %u %x %X %c %s %p %f %g %%`` with optional
+flags/width/precision (``%-08.3d`` style), enough for the scenario apps
+and libc tests.  ``sscanf_parse`` supports ``%d %u %x %s %c``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.taint import TAINT_CLEAR, TaintLabel
+from repro.memory.memory import Memory
+
+# A vararg reader: index -> 32-bit word.  Index advances per consumed word.
+VarargReader = Callable[[int], int]
+# Taint of a vararg word (register or stack slot).
+VarargTaint = Callable[[int], TaintLabel]
+
+
+class FormatError(ValueError):
+    """A malformed or unsupported printf/scanf conversion."""
+    pass
+
+
+def format_with_taints(
+    memory: Memory,
+    fmt: bytes,
+    read_vararg: VarargReader,
+    vararg_taint: Optional[VarargTaint] = None,
+    string_taints: Optional[Callable[[int, int], List[TaintLabel]]] = None,
+) -> Tuple[bytes, List[TaintLabel]]:
+    """Render ``fmt``; returns (output_bytes, per-byte taints)."""
+    if vararg_taint is None:
+        vararg_taint = lambda index: TAINT_CLEAR
+    if string_taints is None:
+        string_taints = lambda address, length: [TAINT_CLEAR] * length
+
+    out = bytearray()
+    taints: List[TaintLabel] = []
+    arg_index = 0
+    i = 0
+
+    def emit(data: bytes, label_list: List[TaintLabel]) -> None:
+        out.extend(data)
+        taints.extend(label_list)
+
+    while i < len(fmt):
+        char = fmt[i]
+        if char != ord("%"):
+            emit(bytes([char]), [TAINT_CLEAR])
+            i += 1
+            continue
+        i += 1
+        if i >= len(fmt):
+            raise FormatError("dangling % at end of format")
+        if fmt[i] == ord("%"):
+            emit(b"%", [TAINT_CLEAR])
+            i += 1
+            continue
+
+        # Parse flags, width, precision, length modifiers.
+        spec_start = i
+        while i < len(fmt) and chr(fmt[i]) in "-+ 0#":
+            i += 1
+        while i < len(fmt) and chr(fmt[i]).isdigit():
+            i += 1
+        if i < len(fmt) and fmt[i] == ord("."):
+            i += 1
+            while i < len(fmt) and chr(fmt[i]).isdigit():
+                i += 1
+        while i < len(fmt) and chr(fmt[i]) in "hlLqjzt":
+            i += 1
+        if i >= len(fmt):
+            raise FormatError("truncated conversion specification")
+        conversion = chr(fmt[i])
+        spec = "%" + fmt[spec_start:i].decode("ascii") + conversion
+        # strip C length modifiers Python doesn't understand
+        spec = spec.replace("ll", "").replace("h", "").replace("l", "") \
+            .replace("q", "").replace("z", "").replace("j", "").replace("t", "")
+        i += 1
+
+        if conversion == "s":
+            address = read_vararg(arg_index)
+            pointer_taint = vararg_taint(arg_index)
+            arg_index += 1
+            data = memory.read_cstring(address)
+            data_taints = list(string_taints(address, len(data)))
+            rendered = spec % data.decode("utf-8", errors="replace")
+            rendered_bytes = rendered.encode("utf-8")
+            # Align taints with possible padding from a width specifier.
+            pad = len(rendered_bytes) - len(data)
+            if pad > 0:
+                if rendered.startswith(" ") or rendered.startswith("0"):
+                    data_taints = [TAINT_CLEAR] * pad + data_taints
+                else:
+                    data_taints = data_taints + [TAINT_CLEAR] * pad
+            elif pad < 0:  # precision truncated the string
+                data_taints = data_taints[:len(rendered_bytes)]
+            data_taints = [t | pointer_taint for t in data_taints]
+            emit(rendered_bytes, data_taints)
+        elif conversion in "dioxXuc":
+            value = read_vararg(arg_index)
+            label = vararg_taint(arg_index)
+            arg_index += 1
+            if conversion == "c":
+                rendered = spec % (value & 0xFF)
+            elif conversion in "di":
+                signed = value - 0x1_0000_0000 if value & 0x8000_0000 else value
+                rendered = spec % signed
+            else:
+                rendered = spec % value
+            data = rendered.encode("ascii")
+            emit(data, [label] * len(data))
+        elif conversion == "p":
+            value = read_vararg(arg_index)
+            label = vararg_taint(arg_index)
+            arg_index += 1
+            data = f"0x{value:x}".encode("ascii")
+            emit(data, [label] * len(data))
+        elif conversion in "fFeEgG":
+            # Soft-float doubles occupy two consecutive vararg words.
+            low = read_vararg(arg_index)
+            high = read_vararg(arg_index + 1)
+            label = vararg_taint(arg_index) | vararg_taint(arg_index + 1)
+            arg_index += 2
+            value = struct.unpack("<d", struct.pack("<II", low, high))[0]
+            data = (spec % value).encode("ascii")
+            emit(data, [label] * len(data))
+        else:
+            raise FormatError(f"unsupported conversion %{conversion}")
+
+    return bytes(out), taints
+
+
+def sscanf_parse(memory: Memory, text: bytes, fmt: bytes,
+                 pointers: List[int]) -> int:
+    """Minimal sscanf: parse ``text`` per ``fmt`` into emulated memory.
+
+    Returns the number of conversions stored, as C sscanf does.
+    """
+    ti = 0
+    fi = 0
+    stored = 0
+    pointer_index = 0
+
+    def skip_space() -> None:
+        nonlocal ti
+        while ti < len(text) and chr(text[ti]).isspace():
+            ti += 1
+
+    while fi < len(fmt):
+        fchar = chr(fmt[fi])
+        if fchar.isspace():
+            skip_space()
+            fi += 1
+            continue
+        if fchar != "%":
+            if ti >= len(text) or text[ti] != fmt[fi]:
+                return stored
+            ti += 1
+            fi += 1
+            continue
+        fi += 1
+        if fi >= len(fmt):
+            raise FormatError("dangling % in scanf format")
+        conversion = chr(fmt[fi])
+        fi += 1
+        if pointer_index >= len(pointers):
+            raise FormatError("not enough pointers for scanf conversions")
+        target = pointers[pointer_index]
+        pointer_index += 1
+
+        if conversion in "dux":
+            skip_space()
+            start = ti
+            base = 16 if conversion == "x" else 10
+            if ti < len(text) and chr(text[ti]) in "+-":
+                ti += 1
+            digits = "0123456789abcdefABCDEF" if base == 16 else "0123456789"
+            while ti < len(text) and chr(text[ti]) in digits:
+                ti += 1
+            if ti == start:
+                return stored
+            value = int(text[start:ti].decode("ascii"), base)
+            memory.write_i32(target, value)
+            stored += 1
+        elif conversion == "s":
+            skip_space()
+            start = ti
+            while ti < len(text) and not chr(text[ti]).isspace():
+                ti += 1
+            if ti == start:
+                return stored
+            memory.write_bytes(target, text[start:ti] + b"\x00")
+            stored += 1
+        elif conversion == "c":
+            if ti >= len(text):
+                return stored
+            memory.write_u8(target, text[ti])
+            ti += 1
+            stored += 1
+        else:
+            raise FormatError(f"unsupported scanf conversion %{conversion}")
+    return stored

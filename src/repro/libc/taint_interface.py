@@ -1,0 +1,52 @@
+"""Bridge between the behavioural libc and a native taint engine.
+
+The modelled libc is purely behavioural; taint *propagation* for it is the
+job of NDroid's system-library hook engine.  But data that leaves the
+process through the kernel (file writes, socket sends, formatted output)
+must carry byte taints at departure time, so the libc asks an installed
+:class:`NativeTaintInterface` for them.  Under a TaintDroid-only or vanilla
+configuration the :class:`NullTaintInterface` is used and nothing in the
+native world is tainted — which is precisely the blindness the paper
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.taint import TAINT_CLEAR, TaintLabel
+
+
+class NativeTaintInterface:
+    """Read-side view of a native taint engine."""
+
+    def memory_taints(self, address: int, length: int) -> List[TaintLabel]:
+        raise NotImplementedError
+
+    def memory_taint_union(self, address: int, length: int) -> TaintLabel:
+        result = TAINT_CLEAR
+        for label in self.memory_taints(address, length):
+            result |= label
+        return result
+
+    def register_taint(self, index: int) -> TaintLabel:
+        raise NotImplementedError
+
+    def write_memory_taints(self, address: int,
+                            labels: List[TaintLabel]) -> None:
+        """Write-side hook: formatted output lands tainted in memory."""
+        raise NotImplementedError
+
+
+class NullTaintInterface(NativeTaintInterface):
+    """No native taint tracking (vanilla and TaintDroid-only setups)."""
+
+    def memory_taints(self, address: int, length: int) -> List[TaintLabel]:
+        return [TAINT_CLEAR] * length
+
+    def register_taint(self, index: int) -> TaintLabel:
+        return TAINT_CLEAR
+
+    def write_memory_taints(self, address: int,
+                            labels: List[TaintLabel]) -> None:
+        return None

@@ -1,0 +1,22 @@
+"""Byte-addressable memory, memory-map regions, and the native heap.
+
+This is the emulated machine's physical/virtual memory substrate.  It is
+deliberately simple — a sparse page store — but exposes the two surfaces
+the paper's mechanisms need:
+
+* word/byte loads and stores used by the ARM/Thumb executor, and
+* a region table (like ``/proc/<pid>/maps``) that the OS-level view
+  reconstructor introspects to find module base addresses.
+"""
+
+from repro.memory.allocator import BumpAllocator, FreeListAllocator
+from repro.memory.memory import Memory
+from repro.memory.regions import MemoryMap, Region
+
+__all__ = [
+    "Memory",
+    "Region",
+    "MemoryMap",
+    "BumpAllocator",
+    "FreeListAllocator",
+]

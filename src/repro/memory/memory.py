@@ -1,0 +1,140 @@
+"""Sparse byte-addressable memory with little-endian word accessors.
+
+The store is page-based (4 KiB pages in a dict) so a 4 GiB address space
+costs nothing until touched.  All multi-byte accessors are little-endian,
+matching ARM's default data endianness on Android.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import MemoryError_
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+ADDRESS_MASK = 0xFFFF_FFFF
+
+
+class Memory:
+    """A sparse 32-bit address space.
+
+    By default reads of never-written bytes return zero (like zero-fill
+    pages).  With ``strict=True``, reading an untouched page raises
+    :class:`MemoryError_`, which catches wild pointers in tests.
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self.strict = strict
+
+    # -- page plumbing ----------------------------------------------------
+
+    def _page_for_read(self, address: int) -> Optional[bytearray]:
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None and self.strict:
+            raise MemoryError_(address, "read of unmapped page")
+        return page
+
+    def _page_for_write(self, address: int) -> bytearray:
+        index = address >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def touched_pages(self) -> int:
+        """Number of pages ever written (used by memory-pressure tests)."""
+        return len(self._pages)
+
+    # -- byte access ------------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        address &= ADDRESS_MASK
+        page = self._page_for_read(address)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def write_u8(self, address: int, value: int) -> None:
+        address &= ADDRESS_MASK
+        self._page_for_write(address)[address & PAGE_MASK] = value & 0xFF
+
+    # -- halfword/word access (little-endian) ------------------------------
+
+    def read_u16(self, address: int) -> int:
+        return self.read_u8(address) | (self.read_u8(address + 1) << 8)
+
+    def write_u16(self, address: int, value: int) -> None:
+        self.write_u8(address, value)
+        self.write_u8(address + 1, value >> 8)
+
+    def read_u32(self, address: int) -> int:
+        return self.read_u16(address) | (self.read_u16(address + 2) << 16)
+
+    def write_u32(self, address: int, value: int) -> None:
+        self.write_u16(address, value)
+        self.write_u16(address + 2, value >> 16)
+
+    def read_i32(self, address: int) -> int:
+        value = self.read_u32(address)
+        return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+    def write_i32(self, address: int, value: int) -> None:
+        self.write_u32(address, value & 0xFFFF_FFFF)
+
+    def read_u64(self, address: int) -> int:
+        return self.read_u32(address) | (self.read_u32(address + 4) << 32)
+
+    def write_u64(self, address: int, value: int) -> None:
+        self.write_u32(address, value & 0xFFFF_FFFF)
+        self.write_u32(address + 4, (value >> 32) & 0xFFFF_FFFF)
+
+    # -- bulk access -------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        return bytes(self.read_u8(address + i) for i in range(length))
+
+    def write_bytes(self, address: int, data: Iterable[int]) -> None:
+        for offset, byte in enumerate(bytes(data)):
+            self.write_u8(address + offset, byte)
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated C string (without the terminator)."""
+        out = bytearray()
+        for offset in range(limit):
+            byte = self.read_u8(address + offset)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise MemoryError_(address, f"unterminated C string (>{limit} bytes)")
+
+    def write_cstring(self, address: int, text: str) -> int:
+        """Write ``text`` as UTF-8 plus a NUL terminator; return byte count."""
+        data = text.encode("utf-8") + b"\x00"
+        self.write_bytes(address, data)
+        return len(data)
+
+    def fill(self, address: int, length: int, value: int = 0) -> None:
+        for offset in range(length):
+            self.write_u8(address + offset, value)
+
+    def copy(self, dest: int, src: int, length: int) -> None:
+        """memmove semantics: correct even for overlapping ranges."""
+        data = self.read_bytes(src, length)
+        self.write_bytes(dest, data)
+
+    # -- word lists (for LDM/STM and stack dumps) ---------------------------
+
+    def read_words(self, address: int, count: int) -> List[int]:
+        return [self.read_u32(address + 4 * i) for i in range(count)]
+
+    def write_words(self, address: int, words: Iterable[int]) -> None:
+        for index, word in enumerate(words):
+            self.write_u32(address + 4 * index, word)
+
+    def snapshot_range(self, address: int, length: int) -> Tuple[int, bytes]:
+        """Capture (address, bytes) for later comparison in tests."""
+        return address, self.read_bytes(address, length)

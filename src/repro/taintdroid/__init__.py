@@ -1,0 +1,18 @@
+"""The TaintDroid baseline (Enck et al., OSDI 2010), as the paper uses it.
+
+TaintDroid modifies the application framework and the DVM: sources attach
+taint labels, the interpreter propagates them per instruction, and
+Java-context sinks check them.  In this reproduction those three pieces
+live in the framework intrinsics, the Dalvik interpreter, and the sink
+intrinsics respectively — attaching :class:`TaintDroid` switches them on.
+
+What TaintDroid deliberately does **not** do — and what the paper's Table I
+cases exploit — is track anything in the native context.  Its only JNI
+rule is the call-bridge policy: the return value of a native method is
+tainted iff any parameter was tainted (implemented in
+``repro.jni.layer.JniLayer._impl_dvmCallJNIMethod``).
+"""
+
+from repro.taintdroid.system import TaintDroid
+
+__all__ = ["TaintDroid"]

@@ -1,0 +1,33 @@
+"""TaintDroid attachment object."""
+
+from __future__ import annotations
+
+from repro.common.taint import TaintLabel, describe_taint
+from repro.framework.leaks import LeakRecord
+
+
+class TaintDroid:
+    """Enables framework sources, DVM propagation and Java sinks."""
+
+    def __init__(self, platform) -> None:
+        self.platform = platform
+
+    @classmethod
+    def attach(cls, platform) -> "TaintDroid":
+        system = cls(platform)
+        platform.taintdroid = system
+        # The modified DVM propagates taints per instruction.
+        platform.vm.taint_tracking = True
+        platform.event_log.emit("taintdroid", "attach",
+                                "TaintDroid instrumentation enabled")
+        return system
+
+    def report_leak(self, sink: str, taint: TaintLabel, destination: str,
+                    payload: bytes) -> None:
+        self.platform.leaks.report(LeakRecord(
+            detector="taintdroid", sink=sink, taint=taint,
+            destination=destination, payload=payload, context="java"))
+        self.platform.event_log.emit(
+            "taintdroid", "leak",
+            f"{sink} -> {destination} taint={describe_taint(taint)}",
+            sink=sink, taint=taint, destination=destination)

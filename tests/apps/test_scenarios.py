@@ -1,0 +1,96 @@
+"""Structural tests over every scenario app.
+
+These don't run the apps (the integration suite does); they validate the
+bundles themselves: classes register cleanly, native libraries assemble,
+declared native methods find their binding symbols, and the scenario
+metadata is coherent.
+"""
+
+import pytest
+
+from repro.apps import ALL_SCENARIOS
+from repro.cpu.assembler import assemble
+from repro.framework import AndroidPlatform
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {name: build() for name, build in ALL_SCENARIOS.items()}
+
+
+class TestBundles:
+    def test_all_scenarios_build(self, scenarios):
+        assert len(scenarios) == 11
+
+    @pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+    def test_apk_well_formed(self, scenarios, name):
+        scenario = scenarios[name]
+        apk = scenario.apk
+        assert apk.package
+        assert apk.classes
+        assert apk.main_symbol().endswith("->main")
+        # Every declared load call has a matching bundled library.
+        for library in apk.load_library_calls:
+            assert library in apk.native_libraries
+
+    @pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+    def test_native_libraries_assemble(self, scenarios, name):
+        platform = AndroidPlatform()
+        apk = scenarios[name].apk
+        externs = dict(platform.libc.symbols)
+        externs.update(platform.libm.symbols)
+        for source in apk.native_libraries.values():
+            program = assemble(source, base=0x6000_0000, externs=externs)
+            assert program.code
+
+    @pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+    def test_native_methods_have_binding_symbols(self, scenarios, name):
+        """Each native method resolves via Java_* export (except the
+        RegisterNatives-style apps, of which the scenarios have none)."""
+        platform = AndroidPlatform()
+        apk = scenarios[name].apk
+        externs = dict(platform.libc.symbols)
+        externs.update(platform.libm.symbols)
+        exported = set()
+        for source in apk.native_libraries.values():
+            program = assemble(source, base=0x6000_0000, externs=externs)
+            exported.update(program.symbols)
+        for class_def in apk.classes:
+            for method in class_def.methods.values():
+                if method.is_native:
+                    assert method.jni_symbol() in exported, \
+                        f"{method.full_name} has no {method.jni_symbol()}"
+
+    def test_metadata_consistency(self, scenarios):
+        for name, scenario in scenarios.items():
+            assert scenario.name == name
+            if scenario.expected_taint:
+                assert scenario.expected_destination
+            if scenario.taintdroid_alone_detects:
+                assert scenario.case == "1"
+
+    def test_scenario_cases_cover_table1(self, scenarios):
+        cases = {s.case for s in scenarios.values()}
+        assert {"1", "1'", "2", "3", "4"} <= cases
+
+    def test_paper_identifiers_present(self, scenarios):
+        qq = scenarios["qqphonebook"]
+        assert any(c.name == "Lcom/tencent/tccsync/LoginUtil;"
+                   for c in qq.apk.classes)
+        login = qq.apk.classes[0].method("makeLoginRequestPackageMd5")
+        assert login.shorty == "IILLLLLLLLII"       # Fig. 6's shorty
+        ephone = scenarios["ephone"]
+        general = ephone.apk.classes[0].method("callregister")
+        assert general.shorty == "ILLLLLLLII"        # Fig. 7's shorty
+        poc = scenarios["poc_case2"]
+        record = poc.apk.classes[0].method("recordContact")
+        assert record.shorty == "ZLLL"               # Fig. 8's shorty
+
+
+class TestJniSymbolNaming:
+    def test_jni_symbol_mangling(self):
+        from repro.dalvik.classes import Method
+        method = Method("Lcom/tencent/tccsync/LoginUtil;", "getPostUrl",
+                        "LI", 0x0008 | 0x0100)
+        assert method.jni_symbol() == \
+            "Java_com_tencent_tccsync_LoginUtil_getPostUrl"

@@ -1,0 +1,64 @@
+"""Unit tests for the taint-label encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import taint as T
+
+
+def test_labels_are_distinct_bits():
+    labels = [
+        T.TAINT_LOCATION, T.TAINT_CONTACTS, T.TAINT_MIC, T.TAINT_PHONE_NUMBER,
+        T.TAINT_LOCATION_GPS, T.TAINT_LOCATION_NET, T.TAINT_LOCATION_LAST,
+        T.TAINT_CAMERA, T.TAINT_ACCELEROMETER, T.TAINT_SMS, T.TAINT_IMEI,
+        T.TAINT_IMSI, T.TAINT_ICCID, T.TAINT_DEVICE_SN, T.TAINT_ACCOUNT,
+        T.TAINT_HISTORY,
+    ]
+    assert len(set(labels)) == len(labels)
+    for label in labels:
+        assert label != 0
+        assert label & (label - 1) == 0, "each label must be a single bit"
+
+
+def test_paper_log_values_decode():
+    # Fig. 6: QQPhoneBook parameter taint 0x202 = SMS | CONTACTS.
+    assert T.combine(T.TAINT_SMS, T.TAINT_CONTACTS) == 0x202
+    # Fig. 9: case-3 PoC taint 0x1602 = ICCID | IMEI | SMS | CONTACTS.
+    assert T.combine(T.TAINT_ICCID, T.TAINT_IMEI, T.TAINT_SMS,
+                     T.TAINT_CONTACTS) == 0x1602
+
+
+def test_combine_empty_is_clear():
+    assert T.combine() == T.TAINT_CLEAR
+
+
+def test_describe_taint():
+    assert T.describe_taint(0) == "CLEAR"
+    assert T.describe_taint(0x202) == "CONTACTS|SMS"
+    assert "IMEI" in T.describe_taint(T.TAINT_IMEI)
+
+
+def test_describe_taint_unknown_bits():
+    text = T.describe_taint(0x8000_0000)
+    assert "0x80000000" in text
+
+
+def test_has_taint():
+    assert T.has_taint(0x202, T.TAINT_SMS)
+    assert not T.has_taint(0x202, T.TAINT_IMEI)
+    assert not T.has_taint(0, T.TAINT_SMS)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+def test_combine_is_union(a, b):
+    merged = T.combine(a, b)
+    assert merged == (a | b)
+    assert T.combine(a, b) == T.combine(b, a)
+    assert T.combine(a, a) == a & 0xFFFF_FFFF
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+       st.integers(0, 2**32 - 1))
+def test_combine_is_associative(a, b, c):
+    assert T.combine(T.combine(a, b), c) == T.combine(a, T.combine(b, c))

@@ -1,0 +1,124 @@
+"""The iref-keyed shadow memory vs the moving GC (DESIGN ablation).
+
+NDroid keys its Java-object shadow taints by indirect reference precisely
+because the collector moves objects: "as the direct pointers of Java
+objects may be changed, the shadow memory uses the indirect reference as
+key" (Section V.B).  These tests demonstrate both halves: the iref-keyed
+store survives a collection, and a direct-pointer-keyed store provably
+breaks.
+"""
+
+import pytest
+
+from repro.common.taint import TAINT_IMEI, TAINT_SMS
+from repro.core import NDroid
+from repro.core.taint_engine import TaintEngine
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.framework import AndroidPlatform
+from repro.jni.slots import jni_offset
+
+
+@pytest.fixture
+def env():
+    platform = AndroidPlatform()
+    ndroid = NDroid.attach(platform)
+    return platform, ndroid
+
+
+def test_iref_shadow_survives_gc(env):
+    platform, ndroid = env
+    record = platform.vm.heap.alloc_string("moving secret",
+                                           taint=TAINT_SMS)
+    iref = platform.vm.irt.add_global(record.address)
+    ndroid.taint_engine.set_iref(iref, TAINT_SMS)
+    old_address = record.address
+    platform.vm.gc()
+    assert record.address != old_address
+    # The iref still decodes and its shadow taint is intact.
+    assert platform.vm.irt.decode(iref) == record.address
+    assert ndroid.taint_engine.get_iref(iref) == TAINT_SMS
+
+
+def test_direct_pointer_keying_breaks_under_gc(env):
+    """The counterfactual design: keying by raw address goes stale."""
+    platform, __ = env
+    engine = TaintEngine()
+    record = platform.vm.heap.alloc_string("moving secret")
+    platform.vm.irt.add_global(record.address)
+    # Hypothetical NDroid that keys object shadow by direct pointer:
+    engine.set_memory(record.address, record.byte_size(), TAINT_SMS)
+    platform.vm.gc()
+    # The taint is still attached to the OLD address...
+    assert engine.get_memory(record.address, record.byte_size()) == 0
+    # ...where no object lives anymore.
+    from repro.common.errors import DalvikError
+    new_address = record.address
+    assert platform.vm.heap.contains(new_address)
+
+
+def test_end_to_end_leak_survives_gc_between_calls(env):
+    """A case-1'-style flow with a forced GC between the two native calls.
+
+    The tainted String object moves while native code still holds state;
+    NDroid must still catch the leak when the second call fetches it.
+    """
+    platform, ndroid = env
+    cls = ClassDef("LGc;")
+    platform.vm.register_class(cls)
+    stash = cls.add_method(MethodBuilder("LGc;", "stash", "IL", static=True,
+                                         native=True).build())
+    fetch = cls.add_method(MethodBuilder("LGc;", "fetch", "L", static=True,
+                                         native=True).build())
+    from repro.cpu.assembler import assemble
+    source = f"""
+    stash_impl:
+        push {{r4, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r1, r0
+        ldr r0, =buffer
+        ldr ip, =strcpy
+        blx ip
+        mov r0, #0
+        pop {{r4, pc}}
+    fetch_impl:
+        push {{r4, lr}}
+        mov r4, r0
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('NewStringUTF')}]
+        ldr r1, =buffer
+        blx ip
+        pop {{r4, pc}}
+    .align 2
+    buffer:
+        .space 64
+    """
+    program = assemble(source, base=0x6300_0000,
+                       externs=platform.libc.symbols)
+    platform.emu.load(0x6300_0000, program.code)
+    platform.emu.memory_map.map(0x6300_0000, 0x1000, "libgc.so",
+                                third_party=True)
+    platform.kernel.sync_tasks_to_guest()
+    platform.ndroid.refresh_view()
+    stash.native_address = program.entry("stash_impl")
+    fetch.native_address = program.entry("fetch_impl")
+
+    imei = platform.vm.heap.alloc_string(platform.device.imei,
+                                         taint=TAINT_IMEI)
+    keep = platform.vm.irt.add_global(imei.address)
+    platform.vm.call_main("LGc;->stash",
+                          [Slot(imei.address, TAINT_IMEI, True)])
+    # Force two collections: every object moves (and moves back).
+    platform.vm.gc()
+    platform.vm.gc()
+    result = platform.vm.call_main("LGc;->fetch")
+    # The fetched String is tainted despite the moves.
+    assert result.taint & TAINT_IMEI
+    fetched = platform.vm.heap.get(result.value)
+    assert fetched.taint & TAINT_IMEI
+    assert fetched.text == platform.device.imei

@@ -1,0 +1,158 @@
+"""Table VI — the modelled standard-function taint handlers.
+
+Each test drives a real libc call from assembled native code with seeded
+taints and checks the system-library hook engine's propagation.
+"""
+
+import pytest
+
+from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.core import NDroid
+from repro.cpu.assembler import assemble
+from repro.framework import AndroidPlatform
+
+CODE_BASE = 0x6100_0000
+DATA = 0x0005_0000
+
+
+@pytest.fixture
+def env():
+    platform = AndroidPlatform()
+    ndroid = NDroid.attach(platform)
+    return platform, ndroid
+
+
+def call_libc(platform, name, *args):
+    return platform.emu.call(platform.libc.address_of(name), args=args)
+
+
+class TestMemoryModels:
+    def test_memcpy_listing3(self, env):
+        """The paper's Listing 3: per-byte source-to-dest propagation."""
+        platform, ndroid = env
+        engine = ndroid.taint_engine
+        platform.memory.write_bytes(DATA, b"abcd")
+        engine.set_memory(DATA, 2, TAINT_SMS)
+        call_libc(platform, "memcpy", DATA + 64, DATA, 4)
+        assert engine.memory_bytes(DATA + 64, 4) == \
+            [TAINT_SMS, TAINT_SMS, 0, 0]
+
+    def test_memset_spreads_value_taint(self, env):
+        platform, ndroid = env
+        ndroid.taint_engine.set_register(1, TAINT_IMEI)
+        call_libc(platform, "memset", DATA, 0x41, 8)
+        assert ndroid.taint_engine.get_memory(DATA, 8) == TAINT_IMEI
+
+    def test_malloc_returns_clean_memory(self, env):
+        platform, ndroid = env
+        pointer = call_libc(platform, "malloc", 32)
+        # Poison then free + realloc cycle: fresh allocations are clean.
+        ndroid.taint_engine.set_memory(pointer, 32, TAINT_SMS)
+        call_libc(platform, "free", pointer)
+        assert ndroid.taint_engine.get_memory(pointer, 32) == 0
+        fresh = call_libc(platform, "malloc", 32)
+        assert ndroid.taint_engine.get_memory(fresh, 32) == 0
+
+    def test_realloc_moves_taints(self, env):
+        platform, ndroid = env
+        pointer = call_libc(platform, "malloc", 8)
+        platform.memory.write_bytes(pointer, b"secret!!")
+        ndroid.taint_engine.set_memory(pointer, 8, TAINT_CONTACTS)
+        bigger = call_libc(platform, "realloc", pointer, 64)
+        assert ndroid.taint_engine.get_memory(bigger, 8) == TAINT_CONTACTS
+
+
+class TestStringModels:
+    def test_strcpy(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "imei")
+        ndroid.taint_engine.set_memory(DATA, 5, TAINT_IMEI)
+        call_libc(platform, "strcpy", DATA + 64, DATA)
+        assert ndroid.taint_engine.get_memory(DATA + 64, 4) == TAINT_IMEI
+
+    def test_strncpy_clears_padding(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "ab")
+        ndroid.taint_engine.set_memory(DATA, 3, TAINT_SMS)
+        ndroid.taint_engine.set_memory(DATA + 64, 8, TAINT_IMEI)  # stale
+        call_libc(platform, "strncpy", DATA + 64, DATA, 8)
+        assert ndroid.taint_engine.get_memory(DATA + 64, 3) == TAINT_SMS
+        assert ndroid.taint_engine.get_memory(DATA + 67, 5) == 0
+
+    def test_strcat_appends_source_taint(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "clean")
+        platform.memory.write_cstring(DATA + 64, "dirty")
+        ndroid.taint_engine.set_memory(DATA + 64, 6, TAINT_SMS)
+        call_libc(platform, "strcat", DATA, DATA + 64)
+        assert ndroid.taint_engine.get_memory(DATA, 5) == 0
+        assert ndroid.taint_engine.get_memory(DATA + 5, 5) == TAINT_SMS
+
+    def test_strdup_copies_taint(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "payload")
+        ndroid.taint_engine.set_memory(DATA, 8, TAINT_CONTACTS)
+        copy = call_libc(platform, "strdup", DATA)
+        assert ndroid.taint_engine.get_memory(copy, 7) == TAINT_CONTACTS
+
+    def test_strlen_result_derives_from_content(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "abc")
+        ndroid.taint_engine.set_memory(DATA, 4, TAINT_SMS)
+        call_libc(platform, "strlen", DATA)
+        assert ndroid.taint_engine.get_register(0) == TAINT_SMS
+
+    def test_atoi_result_tainted(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "1234")
+        ndroid.taint_engine.set_memory(DATA, 5, TAINT_IMEI)
+        result = call_libc(platform, "atoi", DATA)
+        assert result == 1234
+        assert ndroid.taint_engine.get_register(0) == TAINT_IMEI
+
+    def test_strchr_result_pointer_taint(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "abc")
+        ndroid.taint_engine.set_register(0, TAINT_SMS)
+        call_libc(platform, "strchr", DATA, ord("b"))
+        assert ndroid.taint_engine.get_register(0) == TAINT_SMS
+
+    def test_sprintf_output_tainted(self, env):
+        platform, ndroid = env
+        platform.memory.write_cstring(DATA, "%s!")
+        platform.memory.write_cstring(DATA + 64, "imei")
+        ndroid.taint_engine.set_memory(DATA + 64, 5, TAINT_IMEI)
+        call_libc(platform, "sprintf", DATA + 128, DATA, DATA + 64)
+        assert platform.memory.read_cstring(DATA + 128) == b"imei!"
+        assert ndroid.taint_engine.get_memory(DATA + 128, 4) == TAINT_IMEI
+        # The literal '!' byte stays clean.
+        assert ndroid.taint_engine.get_memory(DATA + 132, 1) == 0
+
+
+class TestLibmModels:
+    def test_result_derives_from_arguments(self, env):
+        import struct
+        platform, ndroid = env
+        low, high = struct.unpack("<II", struct.pack("<d", 2.0))
+        ndroid.taint_engine.set_register(0, TAINT_SMS)
+        platform.emu.call(platform.libm.address_of("sqrt"),
+                          args=(low, high))
+        assert ndroid.taint_engine.get_register(0) == TAINT_SMS
+        assert ndroid.taint_engine.get_register(1) == TAINT_SMS
+
+    def test_clean_arguments_clean_result(self, env):
+        import struct
+        platform, ndroid = env
+        low, high = struct.unpack("<II", struct.pack("<d", 2.0))
+        platform.emu.call(platform.libm.address_of("sqrt"),
+                          args=(low, high))
+        assert ndroid.taint_engine.get_register(0) == 0
+
+
+class TestModelledCallCounter:
+    def test_counts_modelled_calls(self, env):
+        platform, ndroid = env
+        before = ndroid.syslib_hooks.modelled_calls
+        call_libc(platform, "memcpy", DATA + 64, DATA, 4)
+        call_libc(platform, "memset", DATA, 0, 4)
+        assert ndroid.syslib_hooks.modelled_calls == before + 2

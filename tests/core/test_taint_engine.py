@@ -1,0 +1,109 @@
+"""Unit tests for NDroid's taint engine."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.core.taint_engine import TaintEngine
+
+
+def test_shadow_registers():
+    engine = TaintEngine()
+    engine.set_register(0, TAINT_IMEI)
+    engine.add_register(0, TAINT_SMS)
+    assert engine.get_register(0) == TAINT_IMEI | TAINT_SMS
+    engine.clear_register(0)
+    assert engine.get_register(0) == 0
+
+
+def test_clear_all_registers():
+    engine = TaintEngine()
+    for index in range(16):
+        engine.set_register(index, TAINT_SMS)
+    engine.clear_all_registers()
+    assert all(engine.get_register(i) == 0 for i in range(16))
+
+
+def test_memory_byte_granularity():
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 4, TAINT_SMS)
+    assert engine.get_memory(0x1000) == TAINT_SMS
+    assert engine.get_memory(0x1003) == TAINT_SMS
+    assert engine.get_memory(0x1004) == 0
+    assert engine.get_memory(0x0FFF, 2) == TAINT_SMS  # straddles the edge
+
+
+def test_memory_add_is_union():
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 2, TAINT_SMS)
+    engine.add_memory(0x1001, 2, TAINT_CONTACTS)
+    assert engine.get_memory(0x1000, 1) == TAINT_SMS
+    assert engine.get_memory(0x1001, 1) == TAINT_SMS | TAINT_CONTACTS
+    assert engine.get_memory(0x1002, 1) == TAINT_CONTACTS
+
+
+def test_set_memory_zero_clears():
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 8, TAINT_SMS)
+    engine.set_memory(0x1000, 8, 0)
+    assert engine.tainted_bytes == 0
+
+
+def test_copy_memory_is_per_byte():
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 1, TAINT_SMS)
+    engine.set_memory(0x1002, 1, TAINT_CONTACTS)
+    engine.copy_memory(0x2000, 0x1000, 4)
+    assert engine.memory_bytes(0x2000, 4) == \
+        [TAINT_SMS, 0, TAINT_CONTACTS, 0]
+
+
+def test_copy_clears_stale_dest_taint():
+    engine = TaintEngine()
+    engine.set_memory(0x2000, 4, TAINT_IMEI)
+    engine.copy_memory(0x2000, 0x1000, 4)  # source is clean
+    assert engine.get_memory(0x2000, 4) == 0
+
+
+def test_iref_shadow():
+    engine = TaintEngine()
+    engine.set_iref(0x5F80_0005, TAINT_SMS)
+    engine.add_iref(0x5F80_0005, TAINT_IMEI)
+    assert engine.get_iref(0x5F80_0005) == TAINT_SMS | TAINT_IMEI
+    assert engine.get_iref(0x5F80_0009) == 0
+    engine.set_iref(0, TAINT_SMS)  # NULL irefs are ignored
+    assert engine.get_iref(0) == 0
+
+
+def test_native_taint_interface_view():
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 2, TAINT_SMS)
+    assert engine.memory_taints(0x1000, 3) == [TAINT_SMS, TAINT_SMS, 0]
+    engine.set_register(2, TAINT_IMEI)
+    assert engine.register_taint(2) == TAINT_IMEI
+    engine.write_memory_taints(0x3000, [TAINT_CONTACTS, 0])
+    assert engine.get_memory(0x3000, 1) == TAINT_CONTACTS
+
+
+def test_memory_addresses_wrap_32_bits():
+    engine = TaintEngine()
+    engine.set_memory(0xFFFF_FFFF, 2, TAINT_SMS)
+    assert engine.get_memory(0xFFFF_FFFF) == TAINT_SMS
+    assert engine.get_memory(0x0) == TAINT_SMS
+
+
+@given(st.integers(0, 0xFFFF_0000), st.integers(1, 64),
+       st.integers(1, 0xFFFF_FFFF))
+def test_set_then_get_roundtrip(address, length, label):
+    engine = TaintEngine()
+    engine.set_memory(address, length, label)
+    assert engine.get_memory(address, length) == label
+    assert engine.get_memory(address + length, 1) == 0
+
+
+@given(st.lists(st.integers(0, 0xFF), min_size=1, max_size=32))
+def test_copy_preserves_byte_pattern(labels):
+    engine = TaintEngine()
+    engine.set_memory_bytes(0x1000, labels)
+    engine.copy_memory(0x2000, 0x1000, len(labels))
+    assert engine.memory_bytes(0x2000, len(labels)) == labels

@@ -1,0 +1,177 @@
+"""Section VII extension — taint protection against evasion.
+
+An attacker app that clears its own taint tags by writing into the DVM
+stack (TaintDroid's interleaved taint slots), and one that patches a
+trusted libc function; the protection monitor must flag both, and in
+``restore`` mode undo the writes.
+"""
+
+import pytest
+
+from repro.common.taint import TAINT_IMEI
+from repro.core import NDroid
+from repro.core.taint_protection import TaintProtection
+from repro.cpu.assembler import assemble
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.dalvik.stack import DVM_STACK_BASE
+from repro.framework import AndroidPlatform
+
+NATIVE_BASE = 0x6400_0000
+
+
+def make_platform(mode="report"):
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    protection = TaintProtection.attach(platform, mode=mode)
+    return platform, protection
+
+
+def load_attacker(platform, source):
+    program = assemble(source, base=NATIVE_BASE,
+                       externs=platform.libc.symbols)
+    platform.emu.load(NATIVE_BASE, program.code)
+    platform.emu.memory_map.map(NATIVE_BASE, 0x1000, "libattack.so",
+                                third_party=True)
+    platform.kernel.sync_tasks_to_guest()
+    platform.ndroid.refresh_view()
+    return program
+
+
+def test_requires_ndroid():
+    platform = AndroidPlatform()
+    with pytest.raises(RuntimeError):
+        TaintProtection.attach(platform)
+
+
+def test_bad_mode_rejected():
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    with pytest.raises(ValueError):
+        TaintProtection.attach(platform, mode="panic")
+
+
+class TestStackManipulation:
+    ATTACK = f"""
+    attack:                   ; scrub a taint slot in the DVM stack
+        ldr r0, =0x{DVM_STACK_BASE - 0x100:x}
+        mov r1, #0
+        str r1, [r0]
+        bx lr
+    """
+
+    def test_report_mode_flags_dvm_stack_write(self):
+        platform, protection = make_platform("report")
+        program = load_attacker(platform, self.ATTACK)
+        platform.emu.call(program.entry("attack"))
+        assert len(protection.stack_alerts()) == 1
+        alert = protection.stack_alerts()[0]
+        assert alert.region == "[dalvik stack]"
+        assert not alert.restored
+        # The write itself went through in report mode.
+        assert platform.memory.read_u32(DVM_STACK_BASE - 0x100) == 0
+
+    def test_restore_mode_undoes_the_write(self):
+        platform, protection = make_platform("restore")
+        target = DVM_STACK_BASE - 0x100
+        platform.memory.write_u32(target, 0xDEAD)
+        program = load_attacker(platform, self.ATTACK)
+        platform.emu.call(program.entry("attack"))
+        assert protection.stack_alerts()[0].restored
+        assert platform.memory.read_u32(target) == 0xDEAD
+
+    def test_taint_scrub_attack_end_to_end(self):
+        """Attacker clears the frame taint slot of a tainted parameter.
+
+        With protection in restore mode the taint survives and the leak
+        is still caught by the Java sink.
+        """
+        for mode, taint_survives in (("report", False), ("restore", True)):
+            platform, protection = make_platform(mode)
+            cls = ClassDef("LScrub;")
+            platform.vm.register_class(cls)
+            # Push a frame holding a tainted value, attack its taint slot,
+            # then read the taint back.
+            method = MethodBuilder("LScrub;", "victim", "V", static=True,
+                                   registers=2).ret_void().build()
+            frame = platform.vm.stack.push_frame(method)
+            frame.set(0, 1234, TAINT_IMEI)
+            slot = frame.taint_address(0)
+            attack = f"""
+            attack:
+                ldr r0, =0x{slot:x}
+                mov r1, #0
+                str r1, [r0]
+                mov r0, r0
+                bx lr
+            """
+            program = load_attacker(platform, attack)
+            platform.emu.call(program.entry("attack"))
+            assert protection.stack_alerts(), mode
+            survived = frame.get_taint(0) == TAINT_IMEI
+            assert survived == taint_survives, mode
+            platform.vm.stack.pop_frame()
+
+
+class TestTrustedCodeModification:
+    def test_patching_libc_detected(self):
+        platform, protection = make_platform("report")
+        libc_base = platform.emu.memory_map.base_of("libc.so")
+        attack = f"""
+        attack:
+            ldr r0, =0x{libc_base + 0x10:x}
+            ldr r1, =0xdeadbeef
+            str r1, [r0]
+            bx lr
+        """
+        program = load_attacker(platform, attack)
+        platform.emu.call(program.entry("attack"))
+        alerts = protection.code_alerts()
+        assert len(alerts) == 1
+        assert alerts[0].region == "libc.so"
+
+    def test_restore_mode_repairs_trusted_code(self):
+        platform, protection = make_platform("restore")
+        libdvm_base = platform.emu.memory_map.base_of("libdvm.so")
+        original = platform.memory.read_u32(libdvm_base + 0x20)
+        attack = f"""
+        attack:
+            ldr r0, =0x{libdvm_base + 0x20:x}
+            ldr r1, =0x41414141
+            str r1, [r0]
+            mov r0, r0
+            bx lr
+        """
+        program = load_attacker(platform, attack)
+        platform.emu.call(program.entry("attack"))
+        assert protection.code_alerts()[0].restored
+        assert platform.memory.read_u32(libdvm_base + 0x20) == original
+
+
+class TestNoFalsePositives:
+    def test_normal_native_stores_not_flagged(self):
+        platform, protection = make_platform("report")
+        benign = """
+        work:
+            push {r4, lr}
+            ldr r0, =scratch
+            mov r1, #42
+            str r1, [r0]
+            pop {r4, pc}
+        scratch:
+            .space 8
+        """
+        program = load_attacker(platform, benign)
+        platform.emu.call(program.entry("work"))
+        assert not protection.alerts
+
+    def test_system_code_writes_not_flagged(self):
+        """The DVM itself writes its own stack constantly."""
+        platform, protection = make_platform("report")
+        cls = ClassDef("LOk;")
+        platform.vm.register_class(cls)
+        cls.add_method(MethodBuilder("LOk;", "main", "I", static=True,
+                                     registers=2)
+                       .const(0, 5).ret(0).build())
+        platform.vm.call_main("LOk;->main")
+        assert not protection.alerts

@@ -1,0 +1,164 @@
+"""Unit tests for the view reconstructor, SourcePolicy map and multilevel
+hooking manager."""
+
+import pytest
+
+from repro.common.taint import TAINT_IMEI, TAINT_SMS
+from repro.core.multilevel import MultilevelHookManager
+from repro.core.source_policy import SourcePolicy, SourcePolicyMap
+from repro.core.view_reconstructor import ViewReconstructor
+from repro.kernel import Kernel
+from repro.memory import Memory
+
+
+class TestViewReconstructor:
+    def _kernel(self):
+        memory = Memory()
+        kernel = Kernel(memory)
+        process = kernel.spawn_process("com.example.app")
+        process.memory_map.map(0x4000_0000, 0x2_0000, "libdvm.so")
+        process.memory_map.map(0x6000_0000, 0x1000, "libapp.so",
+                               third_party=True)
+        kernel.sync_tasks_to_guest()
+        return memory, kernel
+
+    def test_reconstructs_processes_from_raw_memory(self):
+        memory, kernel = self._kernel()
+        view = ViewReconstructor(memory).reconstruct()
+        assert len(view.processes) == 1
+        process = view.processes[0]
+        assert process.pid == 1
+        assert process.comm.startswith("com.example.app"[:15])
+        assert len(process.vmas) == 2
+
+    def test_module_base_lookup(self):
+        memory, kernel = self._kernel()
+        reconstructor = ViewReconstructor(memory)
+        assert reconstructor.module_base("libdvm.so") == 0x4000_0000
+        with pytest.raises(KeyError):
+            reconstructor.module_base("libmissing.so")
+
+    def test_third_party_classification(self):
+        memory, kernel = self._kernel()
+        reconstructor = ViewReconstructor(memory)
+        assert reconstructor.is_third_party(0x6000_0010)
+        assert not reconstructor.is_third_party(0x4000_0010)
+        assert not reconstructor.is_third_party(0x9999_0000)
+
+    def test_cache_and_invalidate(self):
+        memory, kernel = self._kernel()
+        reconstructor = ViewReconstructor(memory)
+        reconstructor.view()
+        reconstructor.view()
+        assert reconstructor.reconstructions == 1
+        kernel.current.memory_map.map(0x7000_0000, 0x1000, "libnew.so",
+                                      third_party=True)
+        kernel.sync_tasks_to_guest()
+        assert not reconstructor.is_third_party(0x7000_0000)  # stale cache
+        reconstructor.invalidate()
+        assert reconstructor.is_third_party(0x7000_0000)
+
+    def test_multiple_processes(self):
+        memory = Memory()
+        kernel = Kernel(memory)
+        kernel.spawn_process("system_server")
+        kernel.spawn_process("com.app.one")
+        view = ViewReconstructor(memory).reconstruct()
+        assert [p.pid for p in view.processes] == [1, 2]
+
+    def test_format_output(self):
+        memory, kernel = self._kernel()
+        text = ViewReconstructor(memory).view().format()
+        assert "libapp.so (3p)" in text
+        assert "pid" in text
+
+
+class TestSourcePolicyMap:
+    def test_put_lookup(self):
+        policies = SourcePolicyMap()
+        policy = SourcePolicy(method_address=0x6000_0000, t_r2=TAINT_SMS)
+        policies.put(policy)
+        assert policies.lookup(0x6000_0000) is policy
+        assert policies.lookup(0x6000_0001) is policy  # thumb bit masked
+        assert policies.lookup(0x6000_0010) is None
+        assert policies.hits == 2
+
+    def test_has_taint(self):
+        assert SourcePolicy(0x0, t_r1=TAINT_IMEI).has_taint()
+        assert SourcePolicy(0x0, stack_args_taints=[TAINT_SMS]).has_taint()
+        assert not SourcePolicy(0x0).has_taint()
+
+    def test_handler_invoked_via_apply(self):
+        applied = []
+        policy = SourcePolicy(0x1000,
+                              handler=lambda p, cpu: applied.append(p))
+        policy.apply(cpu=None)
+        assert applied == [policy]
+
+    def test_register_taints_order(self):
+        policy = SourcePolicy(0x0, t_r0=1, t_r1=2, t_r2=4, t_r3=8)
+        assert policy.register_taints() == [1, 2, 4, 8]
+
+
+class TestMultilevelHookManager:
+    SYMBOLS = {
+        "CallVoidMethodA": 0x4000_8000,
+        "dvmCallMethodA": 0x4000_0030,
+        "dvmInterpret": 0x4000_0010,
+    }
+
+    def _manager(self, third_party_ranges=((0x6000_0000, 0x6100_0000),)):
+        def is_third_party(address):
+            return any(lo <= address < hi for lo, hi in third_party_ranges)
+        manager = MultilevelHookManager(self.SYMBOLS, is_third_party)
+        manager.add_chain(["CallVoidMethodA", "dvmCallMethodA",
+                           "dvmInterpret"])
+        return manager
+
+    def test_chain_armed_from_third_party(self):
+        manager = self._manager()
+        manager.on_branch(0x6000_0100, self.SYMBOLS["CallVoidMethodA"])
+        assert manager.gate("CallVoidMethodA")
+        manager.on_branch(self.SYMBOLS["CallVoidMethodA"] + 4,
+                          self.SYMBOLS["dvmCallMethodA"])
+        assert manager.gate("dvmCallMethodA")
+        manager.on_branch(self.SYMBOLS["dvmCallMethodA"] + 4,
+                          self.SYMBOLS["dvmInterpret"])
+        assert manager.gate("dvmInterpret")
+        assert manager.native_provenance_active()
+
+    def test_chain_not_armed_from_system_code(self):
+        manager = self._manager()
+        # Entry from libdvm itself (not third-party): T1 false.
+        manager.on_branch(0x4000_0200, self.SYMBOLS["CallVoidMethodA"])
+        assert not manager.gate("CallVoidMethodA")
+        manager.on_branch(self.SYMBOLS["CallVoidMethodA"] + 4,
+                          self.SYMBOLS["dvmCallMethodA"])
+        assert not manager.gate("dvmCallMethodA")
+
+    def test_inner_function_alone_not_armed(self):
+        manager = self._manager()
+        # dvmInterpret invoked without the chain prefix: must not fire.
+        manager.on_branch(0x4000_0200, self.SYMBOLS["dvmInterpret"])
+        assert not manager.gate("dvmInterpret")
+
+    def test_gate_consumes_armed_flag(self):
+        manager = self._manager()
+        manager.on_branch(0x6000_0100, self.SYMBOLS["CallVoidMethodA"])
+        assert manager.gate("CallVoidMethodA")
+        assert not manager.gate("CallVoidMethodA")
+
+    def test_unknown_chain_function_rejected(self):
+        manager = self._manager()
+        with pytest.raises(KeyError):
+            manager.add_chain(["NoSuchFunction"])
+
+    def test_return_unwinds_chain(self):
+        manager = self._manager()
+        head = self.SYMBOLS["CallVoidMethodA"]
+        manager.on_branch(0x6000_0100, head)
+        assert manager.native_provenance_active()
+        # Return branch out of the head function (host-function return
+        # events always originate at the function's own address).
+        manager.on_branch(head, 0x6000_0104)
+        assert not manager.native_provenance_active()

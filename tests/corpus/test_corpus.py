@@ -1,0 +1,123 @@
+"""Corpus generator + study pipeline tests (Section III / Fig. 2)."""
+
+import pytest
+
+from repro.corpus import (
+    AppRecord,
+    CorpusGenerator,
+    PAPER_PARAMETERS,
+    analyze_corpus,
+)
+from repro.corpus.appmodel import EmbeddedDexInfo
+from repro.corpus.study import classify
+
+
+class TestClassifier:
+    def test_type1_is_load_call(self):
+        record = AppRecord("a", "Tools",
+                           dex_strings=("Ljava/lang/System;->loadLibrary",),
+                           native_libraries=("libx.so",))
+        assert classify(record) == "I"
+
+    def test_type1_without_libs_still_type1(self):
+        record = AppRecord("a", "Tools",
+                           dex_strings=("Ljava/lang/System;->load",))
+        assert classify(record) == "I"
+
+    def test_type2_is_libs_without_call(self):
+        record = AppRecord("a", "Tools", native_libraries=("libx.so",))
+        assert classify(record) == "II"
+
+    def test_type3_is_pure_native(self):
+        record = AppRecord("a", "Game", native_libraries=("libmain.so",),
+                           manifest_flags=("android.app.NativeActivity",))
+        assert classify(record) == "III"
+
+    def test_plain_app_is_none(self):
+        record = AppRecord("a", "Tools",
+                           dex_strings=("Landroid/app/Activity;->onCreate",))
+        assert classify(record) == "none"
+
+    def test_embedded_dex_load_detection(self):
+        dex = EmbeddedDexInfo("assets/p.dex",
+                              ("Ljava/lang/System;->loadLibrary",))
+        record = AppRecord("a", "Tools", native_libraries=("libx.so",),
+                           embedded_dex=(dex,))
+        assert classify(record) == "II"
+        assert record.has_loadable_embedded_dex()
+
+
+class TestGeneratorCalibration:
+    """At scale=1 the corpus reproduces the paper's exact marginals."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        records = CorpusGenerator(seed=2014, scale=0.05).generate()
+        return analyze_corpus(records)
+
+    def test_scaled_counts_proportional(self, report):
+        assert report.total_apps == pytest.approx(227_911 * 0.05, rel=0.01)
+        assert len(report.type1) == pytest.approx(37_506 * 0.05, rel=0.01)
+        assert len(report.type2) == pytest.approx(1_738 * 0.05, rel=0.02)
+        assert len(report.type3) == pytest.approx(16 * 0.05, abs=2)
+
+    def test_type1_without_libs_and_admob(self, report):
+        assert report.type1_without_libs == pytest.approx(4_034 * 0.05,
+                                                          rel=0.02)
+        assert report.admob_share_of_libless_type1 == pytest.approx(
+            0.481, abs=0.02)
+
+    def test_type2_loadable(self, report):
+        assert report.type2_loadable == pytest.approx(394 * 0.05, rel=0.05)
+
+    def test_game_category_dominates_type1(self, report):
+        shares = report.type1_category_shares
+        assert shares["Game"] == pytest.approx(0.42, abs=0.02)
+        assert max(shares, key=shares.get) == "Game"
+        for name, expected in PAPER_PARAMETERS.type1_categories:
+            if name in ("Game", "Other"):
+                continue
+            assert shares.get(name, 0.0) == pytest.approx(expected, abs=0.015)
+
+    def test_game_engines_top_bundled_libraries(self, report):
+        top = [name for name, __ in report.library_popularity[:6]]
+        engine_like = {"libunity.so", "libmono.so", "libgdx.so",
+                       "libbox2d.so", "libcocos2dcpp.so",
+                       "libandroidgl20.so"}
+        assert len(engine_like.intersection(top)) >= 3
+
+    def test_percentage_of_jni_apps(self, report):
+        # Paper reports 16.46% using native libraries from this crawl.
+        assert 14.0 < report.percent_using_jni < 19.0
+
+    def test_determinism(self):
+        first = CorpusGenerator(seed=7, scale=0.01).generate()
+        second = CorpusGenerator(seed=7, scale=0.01).generate()
+        assert [r.package for r in first] == [r.package for r in second]
+        third = CorpusGenerator(seed=8, scale=0.01).generate()
+        assert [r.package for r in first] != [r.package for r in third]
+
+    def test_summary_formatting(self, report):
+        text = report.format_summary()
+        assert "type I" in text
+        assert "Game" in text
+
+
+class TestLibraryKinds:
+    """Section III.A's manual analysis of the top-20 libraries."""
+
+    def test_top20_dominated_by_engines_then_media(self):
+        records = CorpusGenerator(seed=2014, scale=0.05).generate()
+        report = analyze_corpus(records)
+        kinds = report.library_kind_distribution(top=20)
+        assert kinds.get("game-engine", 0) >= 5
+        assert kinds.get("media", 0) >= 3
+        assert kinds.get("ndk-system", 0) >= 2
+        # Engines dominate, as the paper observes.
+        assert kinds["game-engine"] == max(kinds.values())
+
+    def test_kind_distribution_respects_top_parameter(self):
+        records = CorpusGenerator(seed=2014, scale=0.02).generate()
+        report = analyze_corpus(records)
+        top5 = report.library_kind_distribution(top=5)
+        assert sum(top5.values()) == 5

@@ -1,0 +1,74 @@
+"""Unit tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import bits
+
+
+def test_u32_s32():
+    assert bits.u32(-1) == 0xFFFF_FFFF
+    assert bits.s32(0xFFFF_FFFF) == -1
+    assert bits.s32(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+
+def test_bit_and_bits():
+    assert bits.bit(0b1010, 1) == 1
+    assert bits.bit(0b1010, 0) == 0
+    assert bits.bits(0xABCD, 15, 12) == 0xA
+    assert bits.bits(0xABCD, 7, 0) == 0xCD
+
+
+def test_sign_extend():
+    assert bits.sign_extend(0xFF, 8) == -1
+    assert bits.sign_extend(0x7F, 8) == 127
+    assert bits.sign_extend(0x800, 12) == -2048
+
+
+def test_ror32():
+    assert bits.ror32(0x1, 1) == 0x8000_0000
+    assert bits.ror32(0x12345678, 0) == 0x12345678
+    assert bits.ror32(0x12345678, 32) == 0x12345678
+
+
+def test_lsl32():
+    assert bits.lsl32(1, 0) == (1, -1)
+    assert bits.lsl32(1, 31) == (0x8000_0000, 0)
+    assert bits.lsl32(3, 31) == (0x8000_0000, 1)
+    assert bits.lsl32(1, 32) == (0, 1)
+    assert bits.lsl32(1, 33) == (0, 0)
+
+
+def test_lsr32():
+    assert bits.lsr32(0x8000_0000, 31) == (1, 0)
+    assert bits.lsr32(0x8000_0000, 32) == (0, 1)
+    assert bits.lsr32(0xF0, 4) == (0xF, 0)
+    assert bits.lsr32(0xF0, 5) == (0x7, 1)
+
+
+def test_asr32():
+    assert bits.asr32(0x8000_0000, 4) == (0xF800_0000, 0)
+    assert bits.asr32(0x8000_0000, 32) == (0xFFFF_FFFF, 1)
+    assert bits.asr32(0x4000_0000, 32) == (0, 0)
+
+
+def test_encode_arm_immediate():
+    assert bits.encode_arm_immediate(0xFF) == (0, 0xFF)
+    rotate, imm8 = bits.encode_arm_immediate(0x3FC)
+    assert bits.ror32(imm8, 2 * rotate) == 0x3FC
+    with pytest.raises(ValueError):
+        bits.encode_arm_immediate(0x12345678)
+
+
+@given(st.integers(0, 0xFFFF_FFFF), st.integers(0, 64))
+def test_ror_is_rotation(value, amount):
+    rotated = bits.ror32(value, amount)
+    assert bits.ror32(rotated, (32 - amount) % 32) == bits.u32(value)
+
+
+@given(st.integers(0, 255), st.integers(0, 15))
+def test_every_modified_immediate_roundtrips(imm8, rotate):
+    value = bits.ror32(imm8, 2 * rotate)
+    found_rotate, found_imm8 = bits.encode_arm_immediate(value)
+    assert bits.ror32(found_imm8, 2 * found_rotate) == value

@@ -1,0 +1,166 @@
+"""Property tests: assembler → decoder → IR consistency.
+
+Hypothesis generates instruction fields, the assembler encodes them, the
+decoder decodes the word, and the IR must describe the same operation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import isa
+from repro.cpu.arm_decoder import decode_arm
+from repro.cpu.assembler import assemble
+from repro.cpu.bits import ror32
+from repro.cpu.thumb_decoder import decode_thumb
+
+registers = st.integers(0, 12)  # avoid sp/lr/pc corner semantics
+low_registers = st.integers(0, 7)
+
+DP_MNEMONICS = ["and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+                "orr", "bic"]
+
+
+def first_word(source):
+    program = assemble(source, base=0)
+    return int.from_bytes(program.code[:4], "little")
+
+
+def first_half(source):
+    program = assemble(".thumb\n" + source, base=0)
+    return int.from_bytes(program.code[:2], "little")
+
+
+class TestArmRoundtrip:
+    @given(st.sampled_from(DP_MNEMONICS), registers, registers, registers)
+    def test_data_processing_registers(self, mnemonic, rd, rn, rm):
+        word = first_word(f"{mnemonic} r{rd}, r{rn}, r{rm}")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.DataProcessing)
+        assert ir.mnemonic == mnemonic
+        assert ir.rd == rd
+        assert ir.rn == rn
+        assert ir.operand2.rm == rm
+        assert not ir.set_flags
+
+    @given(st.sampled_from(DP_MNEMONICS), registers, registers,
+           st.integers(0, 255), st.integers(0, 15))
+    def test_data_processing_immediates(self, mnemonic, rd, rn, imm8,
+                                        rotate):
+        value = ror32(imm8, 2 * rotate)
+        word = first_word(f"{mnemonic} r{rd}, r{rn}, #{value}")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.DataProcessing)
+        assert ir.rd == rd
+        assert ir.operand2.imm == value
+
+    @given(registers, registers,
+           st.sampled_from(["lsl", "lsr", "asr", "ror"]),
+           st.integers(1, 31))
+    def test_shifted_operands(self, rd, rm, shift, amount):
+        word = first_word(f"mov r{rd}, r{rm}, {shift} #{amount}")
+        ir = decode_arm(word)
+        assert ir.operand2.rm == rm
+        assert ir.operand2.shift_imm == amount
+        assert ir.operand2.shift_type.name.lower() == shift
+
+    @given(registers, registers, st.integers(0, 4095),
+           st.booleans(), st.booleans())
+    def test_load_store_immediate(self, rd, rn, offset, load, byte):
+        mnemonic = ("ldr" if load else "str") + ("b" if byte else "")
+        word = first_word(f"{mnemonic} r{rd}, [r{rn}, #{offset}]")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.LoadStore)
+        assert ir.load == load
+        assert ir.rd == rd and ir.rn == rn
+        assert ir.offset_imm == offset
+        assert ir.size == (1 if byte else 4)
+        assert ir.pre_indexed and not ir.writeback
+
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=8,
+                    unique=True))
+    def test_push_pop_register_lists(self, regs):
+        names = ", ".join(f"r{r}" for r in sorted(regs))
+        word = first_word(f"push {{{names}}}")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.LoadStoreMultiple)
+        assert not ir.load
+        assert set(ir.reglist) == set(regs)
+        word = first_word(f"pop {{{names}}}")
+        ir = decode_arm(word)
+        assert ir.load
+        assert set(ir.reglist) == set(regs)
+
+    @given(registers, registers, registers)
+    def test_mul(self, rd, rm, rs):
+        word = first_word(f"mul r{rd}, r{rm}, r{rs}")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.Multiply)
+        assert (ir.rd, ir.rm, ir.rs) == (rd, rm, rs)
+
+    @given(st.integers(0, 0xFFFF), registers)
+    def test_movw(self, imm16, rd):
+        word = first_word(f"movw r{rd}, #{imm16}")
+        ir = decode_arm(word)
+        assert isinstance(ir, isa.MoveWide)
+        assert ir.imm16 == imm16 and ir.rd == rd and not ir.top
+
+    @given(st.sampled_from(["eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+                            "hi", "ls", "ge", "lt", "gt", "le"]))
+    def test_condition_codes(self, cond):
+        word = first_word(f"mov{cond} r1, r2")
+        ir = decode_arm(word)
+        assert ir.cond.name.lower() == cond
+
+
+class TestThumbRoundtrip:
+    @given(low_registers, st.integers(0, 255))
+    def test_mov_imm8(self, rd, imm):
+        ir = decode_thumb(first_half(f"mov r{rd}, #{imm}"))
+        assert isinstance(ir, isa.DataProcessing)
+        assert ir.op == isa.Op.MOV
+        assert ir.rd == rd
+        assert ir.operand2.imm == imm
+
+    @given(low_registers, low_registers, low_registers)
+    def test_add_registers(self, rd, rn, rm):
+        ir = decode_thumb(first_half(f"add r{rd}, r{rn}, r{rm}"))
+        assert ir.op == isa.Op.ADD
+        assert (ir.rd, ir.rn, ir.operand2.rm) == (rd, rn, rm)
+
+    @given(low_registers, low_registers, st.integers(0, 31))
+    def test_word_load_imm5(self, rd, rn, imm5):
+        ir = decode_thumb(first_half(f"ldr r{rd}, [r{rn}, #{imm5 * 4}]"))
+        assert isinstance(ir, isa.LoadStore)
+        assert ir.load and ir.size == 4
+        assert ir.offset_imm == imm5 * 4
+
+    @given(st.lists(low_registers, min_size=1, max_size=6, unique=True))
+    def test_thumb_push(self, regs):
+        names = ", ".join(f"r{r}" for r in sorted(regs))
+        ir = decode_thumb(first_half(f"push {{{names}}}"))
+        assert isinstance(ir, isa.LoadStoreMultiple)
+        assert set(ir.reglist) == set(regs)
+
+
+class TestExecutableEquivalence:
+    """ARM and Thumb encodings of the same computation agree."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_same_arithmetic_both_modes(self, a, b):
+        from repro.emulator import Emulator
+
+        def run(mode_prefix, thumb):
+            emu = Emulator()
+            emu.cpu.sp = 0x10000
+            program = assemble(f"""{mode_prefix}
+            main:
+                add r0, r0, r1
+                lsl r2, r0, #1
+                sub r0, r2, r1
+                bx lr
+            """, base=0x1000)
+            emu.load(0x1000, program.code)
+            return emu.call(program.entry("main"), args=(a, b))
+
+        assert run("", False) == run(".thumb", True) == (2 * (a + b) - b)

@@ -1,0 +1,151 @@
+"""Differential property tests: the executor vs a Python reference model.
+
+Hypothesis drives random operand values through assembled instructions
+and checks results (and the NZCV flags where defined) against independent
+Python computations of the ARM semantics.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.assembler import assemble
+from repro.emulator import Emulator
+
+words = st.integers(0, 0xFFFF_FFFF)
+
+
+def run_fragment(source, r0=0, r1=0, r2=0, r3=0):
+    emu = Emulator()
+    program = assemble("main:\n" + source + "\n bx lr", base=0x1000)
+    emu.load(0x1000, program.code)
+    emu.cpu.sp = 0x10000
+    emu.call(program.entry("main"), args=(r0, r1, r2, r3))
+    return emu.cpu
+
+
+def signed(value):
+    value &= 0xFFFF_FFFF
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+class TestArithmeticDifferential:
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_adds_flags(self, a, b):
+        cpu = run_fragment("adds r0, r0, r1", r0=a, r1=b)
+        total = a + b
+        assert cpu.regs[0] == total & 0xFFFF_FFFF
+        assert cpu.flag_c == (total > 0xFFFF_FFFF)
+        assert cpu.flag_z == (total & 0xFFFF_FFFF == 0)
+        assert cpu.flag_n == bool(total & 0x8000_0000)
+        expected_v = (signed(a) + signed(b)) != signed(total)
+        assert cpu.flag_v == expected_v
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_subs_flags(self, a, b):
+        cpu = run_fragment("subs r0, r0, r1", r0=a, r1=b)
+        result = (a - b) & 0xFFFF_FFFF
+        assert cpu.regs[0] == result
+        assert cpu.flag_c == (a >= b)          # C = NOT borrow
+        assert cpu.flag_z == (result == 0)
+        expected_v = (signed(a) - signed(b)) != signed(result)
+        assert cpu.flag_v == expected_v
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_mul(self, a, b):
+        cpu = run_fragment("mul r0, r0, r1", r0=a, r1=b)
+        assert cpu.regs[0] == (a * b) & 0xFFFF_FFFF
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_umull_is_64_bit_product(self, a, b):
+        cpu = run_fragment("umull r2, r3, r0, r1", r0=a, r1=b)
+        product = a * b
+        assert cpu.regs[2] == product & 0xFFFF_FFFF
+        assert cpu.regs[3] == product >> 32
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_smull_signed_product(self, a, b):
+        cpu = run_fragment("smull r2, r3, r0, r1", r0=a, r1=b)
+        product = signed(a) * signed(b)
+        assert cpu.regs[2] == product & 0xFFFF_FFFF
+        assert cpu.regs[3] == (product >> 32) & 0xFFFF_FFFF
+
+    @given(words, words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_logical_ops(self, a, b, c):
+        cpu = run_fragment("""
+            and r3, r0, r1
+            orr r3, r3, r2
+            eor r0, r3, r1
+        """, r0=a, r1=b, r2=c)
+        assert cpu.regs[0] == (((a & b) | c) ^ b) & 0xFFFF_FFFF
+
+    @given(words, st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_shifts(self, value, amount):
+        cpu = run_fragment(f"mov r0, r0, lsl #{amount}", r0=value)
+        assert cpu.regs[0] == (value << amount) & 0xFFFF_FFFF
+        cpu = run_fragment(f"mov r0, r0, lsr #{amount or 1}", r0=value)
+        assert cpu.regs[0] == value >> (amount or 1)
+        cpu = run_fragment(f"mov r0, r0, asr #{amount or 1}", r0=value)
+        assert cpu.regs[0] == (signed(value) >> (amount or 1)) & 0xFFFF_FFFF
+
+    @given(words)
+    @settings(max_examples=40, deadline=None)
+    def test_clz(self, value):
+        cpu = run_fragment("clz r0, r0", r0=value)
+        assert cpu.regs[0] == 32 - value.bit_length()
+
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_cmp_branch_consistency(self, a, b):
+        """Signed comparisons through flags match Python's."""
+        cpu = run_fragment("""
+            cmp r0, r1
+            movlt r2, #1
+            movge r2, #0
+            movhi r3, #1
+            movls r3, #0
+        """, r0=a, r1=b)
+        assert cpu.regs[2] == int(signed(a) < signed(b))
+        assert cpu.regs[3] == int(a > b)
+
+
+class TestMemoryDifferential:
+    @given(st.lists(words, min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_push_pop_lifo(self, values):
+        emu = Emulator()
+        store = "\n".join(
+            f"ldr r1, =0x{v:x}\n str r1, [sp, #-4]!" for v in values)
+        load = "\n".join(
+            f"ldr r{2 + i % 2}, [sp], #4\n add r0, r0, r{2 + i % 2}"
+            for i in range(len(values)))
+        program = assemble(f"main:\n mov r0, #0\n{store}\n{load}\n bx lr",
+                           base=0x1000)
+        emu.load(0x1000, program.code)
+        emu.cpu.sp = 0x20000
+        result = emu.call(program.entry("main"))
+        assert result == sum(values) & 0xFFFF_FFFF
+        assert emu.cpu.sp == 0x20000  # balanced
+
+    @given(words, st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_byte_truncation(self, value, offset):
+        emu = Emulator()
+        program = assemble("""
+        main:
+            strb r0, [r1]
+            ldrb r0, [r1]
+            bx lr
+        """, base=0x1000)
+        emu.load(0x1000, program.code)
+        emu.cpu.sp = 0x20000
+        result = emu.call(program.entry("main"),
+                          args=(value, 0x3000 + offset))
+        assert result == value & 0xFF

@@ -1,0 +1,228 @@
+"""Thumb-mode tests: assemble 16-bit code, run it, check interworking."""
+
+import pytest
+
+from repro.common.errors import AssemblerError, DecodeError
+from repro.cpu.assembler import assemble
+from repro.cpu.thumb_decoder import decode_thumb
+from repro.emulator import Emulator
+
+CODE_BASE = 0x0002_0000
+STACK_TOP = 0x0800_0000
+
+
+def run_thumb(source, args=()):
+    emu = Emulator()
+    program = assemble(".thumb\n" + source, base=CODE_BASE)
+    emu.load(CODE_BASE, program.code)
+    emu.cpu.sp = STACK_TOP
+    entry = program.entry("main")
+    assert entry & 1, "thumb entry point must carry the Thumb bit"
+    result = emu.call(entry, args=args)
+    return result, emu
+
+
+class TestThumbBasics:
+    def test_mov_imm8(self):
+        result, _ = run_thumb("main: mov r0, #42\n bx lr")
+        assert result == 42
+
+    def test_add_sub_imm3(self):
+        result, _ = run_thumb("main: add r0, r1, #5\n bx lr", args=(0, 10))
+        assert result == 15
+        result, _ = run_thumb("main: sub r0, r1, #3\n bx lr", args=(0, 10))
+        assert result == 7
+
+    def test_add_registers(self):
+        result, _ = run_thumb("main: add r0, r0, r1\n bx lr", args=(20, 22))
+        assert result == 42
+
+    def test_alu_register_ops(self):
+        result, _ = run_thumb("main: and r0, r1\n bx lr", args=(0xFC, 0x0F))
+        assert result == 0x0C
+        result, _ = run_thumb("main: orr r0, r1\n bx lr", args=(0xF0, 0x0F))
+        assert result == 0xFF
+        result, _ = run_thumb("main: eor r0, r1\n bx lr", args=(0xFF, 0xF0))
+        assert result == 0x0F
+        result, _ = run_thumb("main: mul r0, r0, r1\n bx lr", args=(6, 7))
+        assert result == 42
+        result, _ = run_thumb("main: mvn r0, r1\n bx lr", args=(0, 0))
+        assert result == 0xFFFF_FFFF
+
+    def test_shift_immediate(self):
+        result, _ = run_thumb("main: lsl r0, r1, #4\n bx lr", args=(0, 3))
+        assert result == 48
+        result, _ = run_thumb("main: lsr r0, r1, #4\n bx lr", args=(0, 0x100))
+        assert result == 0x10
+
+    def test_neg(self):
+        result, _ = run_thumb("main: neg r0, r1\n bx lr", args=(0, 5))
+        assert result == 0xFFFF_FFFB
+
+    def test_cmp_and_conditional_branch(self):
+        source = """
+        main:
+            cmp r0, #5
+            beq equal
+            mov r0, #0
+            bx lr
+        equal:
+            mov r0, #1
+            bx lr
+        """
+        result, _ = run_thumb(source, args=(5,))
+        assert result == 1
+        result, _ = run_thumb(source, args=(6,))
+        assert result == 0
+
+    def test_unconditional_branch(self):
+        source = """
+        main:
+            b skip
+            mov r0, #0
+            bx lr
+        skip:
+            mov r0, #9
+            bx lr
+        """
+        result, _ = run_thumb(source)
+        assert result == 9
+
+
+class TestThumbMemory:
+    def test_word_imm5(self):
+        source = """
+        main:
+            str r1, [r0, #4]
+            ldr r0, [r0, #4]
+            bx lr
+        """
+        result, _ = run_thumb(source, args=(0x3000, 0x1234))
+        assert result == 0x1234
+
+    def test_register_offset(self):
+        source = """
+        main:
+            str r2, [r0, r1]
+            ldr r0, [r0, r1]
+            bx lr
+        """
+        result, _ = run_thumb(source, args=(0x3000, 8, 77))
+        assert result == 77
+
+    def test_byte_halfword(self):
+        source = """
+        main:
+            strb r1, [r0, #0]
+            strh r2, [r0, #2]
+            ldrb r3, [r0, #0]
+            ldrh r0, [r0, #2]
+            add r0, r0, r3
+            bx lr
+        """
+        result, _ = run_thumb(source, args=(0x3000, 0x1AB, 0x1234))
+        assert result == 0x1234 + 0xAB
+
+    def test_push_pop_roundtrip(self):
+        source = """
+        main:
+            push {r4, lr}
+            mov r4, #7
+            mov r0, r4
+            pop {r4, pc}
+        """
+        result, _ = run_thumb(source)
+        assert result == 7
+
+    def test_sp_relative(self):
+        source = """
+        main:
+            sub sp, #8
+            str r0, [sp, #4]
+            ldr r0, [sp, #4]
+            add sp, #8
+            bx lr
+        """
+        result, _ = run_thumb(source, args=(0x42,))
+        assert result == 0x42
+
+    def test_literal_pool(self):
+        source = """
+        main:
+            ldr r0, =0x12345678
+            bx lr
+        """
+        result, _ = run_thumb(source)
+        assert result == 0x12345678
+
+
+class TestThumbCalls:
+    def test_bl_pair(self):
+        source = """
+        main:
+            push {lr}
+            mov r0, #5
+            bl triple
+            pop {pc}
+        triple:
+            mov r1, #3
+            mul r0, r0, r1
+            bx lr
+        """
+        result, _ = run_thumb(source)
+        assert result == 15
+
+    def test_interworking_thumb_to_arm(self):
+        # Thumb main calls an ARM helper via BX, which returns via BX LR.
+        emu = Emulator()
+        program = assemble("""
+        .thumb
+        main:
+            push {lr}
+            ldr r2, =arm_helper
+            mov r0, #10
+            blx r2
+            pop {pc}
+        .align 2
+        .arm
+        arm_helper:
+            add r0, r0, #32
+            bx lr
+        """, base=CODE_BASE)
+        emu.load(CODE_BASE, program.code)
+        emu.cpu.sp = STACK_TOP
+        result = emu.call(program.entry("main"))
+        assert result == 42
+
+    def test_hi_register_mov(self):
+        source = """
+        main:
+            mov r1, #13
+            mov r10, r1
+            mov r0, r10
+            bx lr
+        """
+        result, _ = run_thumb(source)
+        assert result == 13
+
+
+class TestThumbDecoder:
+    def test_bl_prefix_requires_suffix(self):
+        with pytest.raises(DecodeError):
+            decode_thumb(0xF000, 0x0000)
+
+    def test_dangling_suffix_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_thumb(0xF800)
+
+    def test_empty_push_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_thumb(0xB400)
+
+    def test_cond_always_on_nonbranch_rejected_by_assembler(self):
+        with pytest.raises(AssemblerError):
+            assemble(".thumb\nmain: moveq r0, #1")
+
+    def test_nop(self):
+        ir = decode_thumb(0xBF00)
+        assert ir.mnemonic == "nop"

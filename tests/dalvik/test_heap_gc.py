@@ -1,0 +1,219 @@
+"""Heap, moving-GC and indirect-reference-table tests.
+
+These pin down the behaviour that motivates NDroid's iref-keyed shadow
+memory: after a collection every direct pointer changes, but irefs decode
+to the object's new location.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DalvikError, JNIError
+from repro.common.taint import TAINT_SMS
+from repro.dalvik import ClassDef, DalvikVM, IndirectRefTable, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.memory import Memory
+
+
+@pytest.fixture
+def vm():
+    return DalvikVM(Memory())
+
+
+class TestHeap:
+    def test_string_bytes_in_guest_memory(self, vm):
+        record = vm.heap.alloc_string("hello")
+        data = vm.memory.read_cstring(record.data_address())
+        assert data == b"hello"
+        assert vm.memory.read_u32(record.address + 4) == 5  # length header
+
+    def test_array_elements_synced(self, vm):
+        record = vm.heap.alloc_array("I", 3)
+        record.elements[1].value = 42
+        vm.heap.sync_array_to_memory(record)
+        assert vm.memory.read_u32(record.data_address() + 4) == 42
+
+    def test_stale_pointer_detected(self, vm):
+        with pytest.raises(DalvikError):
+            vm.heap.get(0xDEAD_BEEF)
+
+    def test_string_taint_storage(self, vm):
+        record = vm.heap.alloc_string("sms body", taint=TAINT_SMS)
+        assert record.taint == TAINT_SMS
+
+
+class TestMovingGC:
+    def test_live_object_moves_and_is_reachable(self, vm):
+        iref_table = vm.irt
+        record = vm.heap.alloc_string("survivor")
+        iref = iref_table.add_global(record.address)
+        old_address = record.address
+        moved = vm.gc()
+        assert moved == 1
+        assert record.address != old_address
+        assert iref_table.decode(iref) == record.address
+        assert vm.heap.get(record.address).text == "survivor"
+        # The bytes moved too.
+        assert vm.memory.read_cstring(record.data_address()) == b"survivor"
+
+    def test_unreferenced_object_collected(self, vm):
+        vm.heap.alloc_string("garbage")
+        kept = vm.heap.alloc_string("kept")
+        vm.irt.add_global(kept.address)
+        vm.gc()
+        assert vm.heap.live_objects == 1
+
+    def test_direct_pointer_goes_stale_after_gc(self, vm):
+        record = vm.heap.alloc_string("moving")
+        vm.irt.add_global(record.address)
+        old_address = record.address
+        vm.gc()
+        with pytest.raises(DalvikError):
+            vm.heap.get(old_address)
+
+    def test_frame_references_updated(self, vm):
+        cls = ClassDef("LTest;")
+        vm.register_class(cls)
+        record = vm.heap.alloc_string("in frame")
+        frame = vm.stack.push_frame(
+            MethodBuilder("LTest;", "m", "V", static=True,
+                          registers=2).ret_void().build())
+        frame.set(0, record.address, TAINT_SMS, is_ref=True)
+        vm.gc()
+        assert frame.get(0) == record.address
+        assert frame.get_taint(0) == TAINT_SMS  # taint survives the move
+        assert vm.heap.get(frame.get(0)).text == "in frame"
+        vm.stack.pop_frame()
+
+    def test_object_graph_traversal(self, vm):
+        cls = ClassDef("LNode;")
+        cls.add_instance_field("next", "L")
+        vm.register_class(cls)
+        leaf = vm.heap.alloc_string("leaf")
+        node = vm.new_instance("LNode;")
+        node.fields["next"] = Slot(leaf.address, 0, True)
+        vm.irt.add_global(node.address)
+        vm.gc()
+        assert vm.heap.live_objects == 2
+        assert vm.heap.get(node.fields["next"].value).text == "leaf"
+
+    def test_array_of_references_updated(self, vm):
+        element = vm.heap.alloc_string("elem")
+        array = vm.heap.alloc_array("L", 2)
+        array.elements[0] = Slot(element.address, 0, True)
+        vm.heap.sync_array_to_memory(array)
+        vm.irt.add_global(array.address)
+        vm.gc()
+        new_element_address = array.elements[0].value
+        assert vm.heap.get(new_element_address).text == "elem"
+        # Guest-memory mirror updated as well.
+        assert vm.memory.read_u32(array.data_address()) == new_element_address
+
+    def test_static_reference_updated(self, vm):
+        cls = ClassDef("LHolder;")
+        cls.add_static_field("ref", "L")
+        vm.register_class(cls)
+        record = vm.heap.alloc_string("static target")
+        vm.set_static("LHolder;->ref", record.address, TAINT_SMS, is_ref=True)
+        vm.gc()
+        value, taint = vm.get_static("LHolder;->ref")
+        assert vm.heap.get(value).text == "static target"
+        assert taint == TAINT_SMS
+
+    def test_allocation_triggers_collection_when_full(self, vm):
+        # Fill most of a semispace with garbage, then allocate more: the
+        # collector must reclaim it rather than dying.
+        for __ in range(150):
+            vm.heap.alloc_array("I", 4000)
+        kept = vm.heap.alloc_string("alive")
+        vm.irt.add_global(kept.address)
+        for __ in range(200):
+            vm.heap.alloc_array("I", 4000)
+        assert vm.heap.gc_count >= 1
+        assert vm.heap.get(vm.irt.decode(vm.irt.roots()[0])).text == "alive"
+
+    def test_interned_string_reusable_after_gc(self, vm):
+        first = vm.intern_string("shared")
+        vm.irt.add_global(first)
+        vm.gc()
+        second = vm.intern_string("shared")
+        assert vm.heap.get(second).text == "shared"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["alloc", "gc", "drop"]),
+                    min_size=1, max_size=40))
+    def test_gc_never_loses_referenced_objects(self, operations):
+        vm = DalvikVM(Memory())
+        live = {}
+        counter = 0
+        for operation in operations:
+            if operation == "alloc":
+                text = f"obj{counter}"
+                counter += 1
+                record = vm.heap.alloc_string(text)
+                live[vm.irt.add_global(record.address)] = text
+            elif operation == "gc":
+                vm.gc()
+            elif operation == "drop" and live:
+                iref = next(iter(live))
+                vm.irt.remove(iref)
+                del live[iref]
+        vm.gc()
+        for iref, text in live.items():
+            assert vm.heap.get(vm.irt.decode(iref)).text == text
+        assert vm.heap.live_objects == len(live)
+
+
+class TestIndirectRefTable:
+    def test_decode_roundtrip(self):
+        table = IndirectRefTable()
+        iref = table.add_local(0x4100_1234)
+        assert table.is_indirect(iref)
+        assert table.decode(iref) == 0x4100_1234
+
+    def test_direct_pointer_passthrough(self):
+        table = IndirectRefTable()
+        assert table.decode(0x4100_5678) == 0x4100_5678
+
+    def test_null_passthrough(self):
+        table = IndirectRefTable()
+        assert table.add_local(0) == 0
+        assert table.decode(0) == 0
+
+    def test_remove_then_decode_raises(self):
+        table = IndirectRefTable()
+        iref = table.add_local(0x4100_0010)
+        table.remove(iref)
+        with pytest.raises(JNIError):
+            table.decode(iref)
+        with pytest.raises(JNIError):
+            table.remove(iref)
+
+    def test_slot_reuse_after_remove(self):
+        table = IndirectRefTable()
+        first = table.add_local(0x4100_0010)
+        table.remove(first)
+        table.add_local(0x4100_0020)
+        assert table.local_count() == 1
+
+    def test_move_updates_entries(self):
+        table = IndirectRefTable()
+        iref = table.add_global(0x4100_0010)
+        table.on_object_moved(0x4100_0010, 0x4180_0040)
+        assert table.decode(iref) == 0x4180_0040
+
+    def test_locals_and_globals_separate(self):
+        table = IndirectRefTable()
+        local = table.add_local(0x4100_0010)
+        global_ = table.add_global(0x4100_0020)
+        assert local != global_
+        assert table.local_count() == 1
+        assert table.global_count() == 1
+
+    def test_irefs_never_look_like_heap_addresses(self):
+        table = IndirectRefTable()
+        for index in range(100):
+            iref = table.add_local(0x4100_0000 + index * 8)
+            assert table.is_indirect(iref)
+            assert not (0x4100_0000 <= iref < 0x4200_0000)

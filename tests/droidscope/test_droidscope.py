@@ -1,0 +1,53 @@
+"""DroidScope comparator tests."""
+
+from repro.apps import ALL_SCENARIOS
+from repro.apps.base import run_scenario
+from repro.bench.harness import make_platform
+from repro.droidscope import DroidScopeSim
+
+
+def test_attach_enables_taintdroid():
+    platform = make_platform("droidscope")
+    assert platform.taintdroid is not None
+    assert platform.droidscope is not None
+
+
+def test_traces_every_region():
+    platform = make_platform("droidscope")
+    scenario = ALL_SCENARIOS["benign"]()
+    run_scenario(scenario, platform)
+    sim = platform.droidscope
+    stats = sim.statistics()
+    assert stats["traced_instructions"] > 0
+    assert stats["traced_instructions"] == sim.context_lookups
+
+
+def test_dalvik_reconstruction_per_instruction():
+    platform = make_platform("droidscope")
+    scenario = ALL_SCENARIOS["benign"]()
+    run_scenario(scenario, platform)
+    stats = platform.droidscope.statistics()
+    assert stats["dalvik_reconstructions"] >= \
+        platform.vm.dalvik_instructions - 5
+
+
+def test_library_calls_walked():
+    platform = make_platform("droidscope")
+    scenario = ALL_SCENARIOS["case2"]()
+    run_scenario(scenario, platform)
+    assert platform.droidscope.statistics()["library_walk_bytes"] > 0
+
+
+def test_no_new_jni_flows_vs_taintdroid():
+    """The published result: DroidScope reports no new JNI flows."""
+    for name in ("case1", "case1_prime", "case2"):
+        scenario = ALL_SCENARIOS[name]()
+        td_platform = make_platform("taintdroid")
+        run_scenario(scenario, td_platform)
+        ds_platform = make_platform("droidscope")
+        run_scenario(ALL_SCENARIOS[name](), ds_platform)
+        td_detected = td_platform.leaks.detected_by(
+            "taintdroid", scenario.expected_taint)
+        ds_detected = ds_platform.leaks.detected_by(
+            "taintdroid", scenario.expected_taint)
+        assert td_detected == ds_detected, name

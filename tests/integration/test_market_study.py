@@ -1,0 +1,106 @@
+"""Section VI's manual app study: 8 phone/SMS/contacts apps.
+
+The paper: "NDroid found that 3 apps delivered the contact and SMS
+information to native code.  One app (i.e., ephone3.3) further sends out
+the contact information through native code."
+"""
+
+import pytest
+
+from repro.apps.market import MARKET_APPS, run_market_study
+from repro.core import NDroid
+from repro.framework import AndroidPlatform
+from repro.framework.monkey import MonkeyRunner
+
+
+@pytest.fixture(scope="module")
+def observations():
+    return run_market_study(seed=7, events=12)
+
+
+def test_eight_apps(observations):
+    assert len(observations) == 8
+
+
+def test_three_apps_deliver_sensitive_data_to_native(observations):
+    delivering = [o.package for o in observations if o.delivered_to_native]
+    assert sorted(delivering) == ["com.market.contactsync",
+                                  "com.market.ephone",
+                                  "com.market.smsbackup"]
+
+
+def test_exactly_one_app_leaks(observations):
+    leaking = [o for o in observations if o.leaked]
+    assert len(leaking) == 1
+    assert leaking[0].package == "com.market.ephone"
+    assert any("comwave" in d for d in leaking[0].leak_destinations)
+
+
+def test_delivery_without_leak_is_distinguished(observations):
+    by_package = {o.package: o for o in observations}
+    backup = by_package["com.market.smsbackup"]
+    assert backup.delivered_to_native and not backup.leaked
+    sync = by_package["com.market.contactsync"]
+    assert sync.delivered_to_native and not sync.leaked
+
+
+def test_java_only_sensitive_use_not_flagged(observations):
+    """Apps touching contacts/SMS purely in Java deliver nothing."""
+    by_package = {o.package: o for o in observations}
+    for package in ("com.market.contactwidget", "com.market.smsfilter",
+                    "com.market.phoneinfo"):
+        assert not by_package[package].delivered_to_native, package
+        assert not by_package[package].leaked, package
+
+
+class TestMonkeyRunner:
+    def test_discovers_handlers(self):
+        apk = MARKET_APPS["com.market.smsfilter"]()
+        handlers = MonkeyRunner.discover_handlers(apk)
+        assert "Lcom/market/smsfilter/Main;->onFilter" in handlers
+        assert "Lcom/market/smsfilter/Main;->onScan" in handlers
+        # main is not a handler.
+        assert not any(h.endswith("->main") for h in handlers)
+
+    def test_deterministic_for_seed(self):
+        platform = AndroidPlatform()
+        NDroid.attach(platform)
+        apk = MARKET_APPS["com.market.dialer"]()
+        platform.install(apk)
+        first = MonkeyRunner(platform, seed=3).run(apk, events=6)
+        platform2 = AndroidPlatform()
+        NDroid.attach(platform2)
+        apk2 = MARKET_APPS["com.market.dialer"]()
+        platform2.install(apk2)
+        second = MonkeyRunner(platform2, seed=3).run(apk2, events=6)
+        assert first.events_fired == second.events_fired
+
+    def test_coverage_metric(self):
+        platform = AndroidPlatform()
+        NDroid.attach(platform)
+        apk = MARKET_APPS["com.market.smsfilter"]()  # two handlers
+        platform.install(apk)
+        session = MonkeyRunner(platform, seed=0).run(apk, events=1)
+        assert session.coverage == 0.5  # one of two handlers hit
+
+    def test_low_event_count_can_miss_the_leak(self):
+        """The paper's coverage caveat: random input may skip the leaking
+        path entirely (Section VII)."""
+        outcomes = set()
+        for seed in range(6):
+            platform = AndroidPlatform()
+            NDroid.attach(platform)
+            apk = MARKET_APPS["com.market.ephone"]()
+            # Add a decoy handler so the monkey can spend its one event
+            # elsewhere.
+            from repro.dalvik.classes import MethodBuilder
+            cls = apk.classes[0]
+            cls.add_method(MethodBuilder(cls.name, "onAbout", "V",
+                                         static=True, registers=1)
+                           .ret_void().build())
+            platform.install(apk)
+            MonkeyRunner(platform, seed=seed).run(apk, events=1)
+            outcomes.add(bool(platform.leaks.records))
+        assert outcomes == {True, False}, (
+            "with one random event some seeds must hit the leak and "
+            "some must miss it")

@@ -1,0 +1,89 @@
+"""Unit tests for the virtual file system."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.common.taint import TAINT_CONTACTS, TAINT_SMS
+from repro.kernel import FileSystem
+
+
+def test_create_write_read():
+    fs = FileSystem()
+    file = fs.create("/sdcard/CONTACTS")
+    file.write_at(0, b"1 Vincent cx@gg.com")
+    chunk, taints = file.read_at(0, 100)
+    assert chunk == b"1 Vincent cx@gg.com"
+    assert all(t == 0 for t in taints)
+
+
+def test_write_preserves_taint_per_byte():
+    fs = FileSystem()
+    file = fs.create("/sdcard/out")
+    file.write_at(0, b"ab", taints=[TAINT_CONTACTS, TAINT_SMS])
+    chunk, taints = file.read_at(0, 2)
+    assert chunk == b"ab"
+    assert taints == [TAINT_CONTACTS, TAINT_SMS]
+    assert file.taint_union() == TAINT_CONTACTS | TAINT_SMS
+
+
+def test_sparse_write_extends_file():
+    fs = FileSystem()
+    file = fs.create("/data/f")
+    file.write_at(4, b"xy")
+    assert file.size == 6
+    chunk, _ = file.read_at(0, 6)
+    assert chunk == b"\x00\x00\x00\x00xy"
+
+
+def test_open_or_create_truncate():
+    fs = FileSystem()
+    file = fs.create("/data/f")
+    file.write_at(0, b"old", taints=[TAINT_SMS] * 3)
+    same = fs.open_or_create("/data/f", create=False, truncate=True)
+    assert same.size == 0
+    assert same.taint_union() == 0
+
+
+def test_missing_file_raises():
+    fs = FileSystem()
+    with pytest.raises(KernelError):
+        fs.lookup("/nope")
+    with pytest.raises(KernelError):
+        fs.open_or_create("/nope", create=False, truncate=False)
+
+
+def test_mkdir_and_listdir():
+    fs = FileSystem()
+    fs.mkdir("/data/app")
+    fs.create("/data/app/a.txt")
+    fs.create("/data/app/b.txt")
+    assert fs.listdir("/data/app") == ["a.txt", "b.txt"]
+    assert "app" in fs.listdir("/data")
+
+
+def test_mkdir_needs_parent():
+    fs = FileSystem()
+    with pytest.raises(KernelError):
+        fs.mkdir("/no/such/parent")
+
+
+def test_relative_path_rejected():
+    fs = FileSystem()
+    with pytest.raises(KernelError):
+        fs.create("relative.txt")
+
+
+def test_rename_and_remove():
+    fs = FileSystem()
+    fs.create("/data/a")
+    fs.rename("/data/a", "/data/b")
+    assert fs.exists("/data/b")
+    assert not fs.exists("/data/a")
+    fs.remove("/data/b")
+    assert not fs.exists("/data/b")
+
+
+def test_write_read_text_helpers():
+    fs = FileSystem()
+    fs.write_text("/proc/version", "Linux 2.6.29")
+    assert fs.read_text("/proc/version") == "Linux 2.6.29"

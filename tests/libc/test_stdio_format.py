@@ -1,0 +1,135 @@
+"""Direct unit tests for the printf/scanf engine's taint bookkeeping."""
+
+import pytest
+
+from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.libc.stdio_format import FormatError, format_with_taints, sscanf_parse
+from repro.memory import Memory
+
+
+def fmt(memory, format_bytes, args, arg_taints=None, string_taints=None):
+    arg_taints = arg_taints or {}
+    string_taints = string_taints or {}
+
+    def taints_of(address, length):
+        labels = string_taints.get(address)
+        if labels is None:
+            return [0] * length
+        return (labels + [0] * length)[:length]
+
+    return format_with_taints(
+        memory, format_bytes,
+        read_vararg=lambda i: args[i],
+        vararg_taint=lambda i: arg_taints.get(i, 0),
+        string_taints=taints_of)
+
+
+class TestFormat:
+    def test_plain_text_untainted(self):
+        data, taints = fmt(Memory(), b"hello %% world", [])
+        assert data == b"hello % world"
+        assert all(t == 0 for t in taints)
+
+    def test_int_conversions(self):
+        data, __ = fmt(Memory(), b"%d %i %u %x %X %c",
+                       [(-5) & 0xFFFFFFFF, 7, 0xFFFFFFFF, 255, 255,
+                        ord("Z")])
+        assert data == b"-5 7 4294967295 ff FF Z"
+
+    def test_int_taint_covers_rendered_digits(self):
+        data, taints = fmt(Memory(), b"n=%d", [1234],
+                           arg_taints={0: TAINT_IMEI})
+        assert data == b"n=1234"
+        assert taints[:2] == [0, 0]
+        assert all(t == TAINT_IMEI for t in taints[2:])
+
+    def test_string_bytes_keep_their_own_taints(self):
+        memory = Memory()
+        memory.write_cstring(0x100, "ab")
+        data, taints = fmt(memory, b"[%s]", [0x100],
+                           string_taints={0x100: [TAINT_SMS, 0]})
+        assert data == b"[ab]"
+        assert taints == [0, TAINT_SMS, 0, 0]
+
+    def test_pointer_taint_unions_into_string(self):
+        memory = Memory()
+        memory.write_cstring(0x100, "x")
+        __, taints = fmt(memory, b"%s", [0x100],
+                         arg_taints={0: TAINT_CONTACTS})
+        assert taints == [TAINT_CONTACTS]
+
+    def test_width_padding_is_untainted(self):
+        memory = Memory()
+        memory.write_cstring(0x100, "ab")
+        data, taints = fmt(memory, b"%5s", [0x100],
+                           string_taints={0x100: [TAINT_SMS, TAINT_SMS]})
+        assert data == b"   ab"
+        assert taints == [0, 0, 0, TAINT_SMS, TAINT_SMS]
+
+    def test_precision_truncates_taints(self):
+        memory = Memory()
+        memory.write_cstring(0x100, "abcdef")
+        data, taints = fmt(memory, b"%.3s", [0x100],
+                           string_taints={0x100: [TAINT_SMS] * 6})
+        assert data == b"abc"
+        assert taints == [TAINT_SMS] * 3
+
+    def test_double_consumes_two_words(self):
+        import struct
+        low, high = struct.unpack("<II", struct.pack("<d", 2.5))
+        data, taints = fmt(Memory(), b"%.1f %d", [low, high, 7],
+                           arg_taints={1: TAINT_IMEI})
+        assert data == b"2.5 7"
+        assert taints[0] == TAINT_IMEI  # either word's taint spreads
+
+    def test_pointer_conversion(self):
+        data, __ = fmt(Memory(), b"%p", [0xDEAD])
+        assert data == b"0xdead"
+
+    def test_dangling_percent_rejected(self):
+        with pytest.raises(FormatError):
+            fmt(Memory(), b"oops %", [])
+
+    def test_unsupported_conversion_rejected(self):
+        with pytest.raises(FormatError):
+            fmt(Memory(), b"%q", [0])
+
+    def test_length_modifiers_stripped(self):
+        data, __ = fmt(Memory(), b"%ld %llu", [5, 6])
+        assert data == b"5 6"
+
+
+class TestSscanf:
+    def test_mixed_conversions(self):
+        memory = Memory()
+        count = sscanf_parse(memory, b"id=42 name=bob x", b"id=%d name=%s",
+                             [0x100, 0x200])
+        assert count == 2
+        assert memory.read_i32(0x100) == 42
+        assert memory.read_cstring(0x200) == b"bob"
+
+    def test_hex_and_char(self):
+        memory = Memory()
+        count = sscanf_parse(memory, b"ff Q", b"%x %c", [0x100, 0x200])
+        assert count == 2
+        assert memory.read_u32(0x100) == 255
+        assert memory.read_u8(0x200) == ord("Q")
+
+    def test_negative_numbers(self):
+        memory = Memory()
+        sscanf_parse(memory, b"-17", b"%d", [0x100])
+        assert memory.read_i32(0x100) == -17
+
+    def test_stops_at_mismatch(self):
+        memory = Memory()
+        count = sscanf_parse(memory, b"a=1 b=x", b"a=%d b=%d",
+                             [0x100, 0x200])
+        assert count == 1
+
+    def test_literal_mismatch_stops_early(self):
+        memory = Memory()
+        assert sscanf_parse(memory, b"foo", b"bar%d", [0x100]) == 0
+
+    def test_too_few_pointers_rejected(self):
+        with pytest.raises(FormatError):
+            sscanf_parse(Memory(), b"1 2", b"%d %d", [0x100])

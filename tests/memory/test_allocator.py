@@ -1,0 +1,122 @@
+"""Unit tests for the native heap allocators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.memory import BumpAllocator, FreeListAllocator
+
+
+class TestBumpAllocator:
+    def test_alloc_is_monotonic_and_aligned(self):
+        bump = BumpAllocator(0x1000, 0x1000)
+        a = bump.alloc(10)
+        b = bump.alloc(10)
+        assert a % 8 == 0 and b % 8 == 0
+        assert b >= a + 10
+
+    def test_custom_alignment(self):
+        bump = BumpAllocator(0x1004, 0x1000)
+        a = bump.alloc(4, alignment=0x100)
+        assert a % 0x100 == 0
+
+    def test_exhaustion(self):
+        bump = BumpAllocator(0x1000, 0x20)
+        bump.alloc(0x18)
+        with pytest.raises(MemoryError_):
+            bump.alloc(0x18)
+
+    def test_used(self):
+        bump = BumpAllocator(0x1000, 0x100)
+        bump.alloc(8)
+        assert bump.used == 8
+
+
+class TestFreeListAllocator:
+    def test_alloc_free_reuse(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        a = heap.alloc(64)
+        heap.free(a)
+        b = heap.alloc(64)
+        assert b == a, "first-fit should reuse the freed block"
+
+    def test_free_null_is_noop(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        assert heap.free(0) == 0
+
+    def test_double_free_detected(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        a = heap.alloc(16)
+        heap.free(a)
+        with pytest.raises(MemoryError_):
+            heap.free(a)
+
+    def test_wild_free_detected(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        with pytest.raises(MemoryError_):
+            heap.free(0x9999)
+
+    def test_coalescing_allows_big_realloc(self):
+        heap = FreeListAllocator(0x1000, 0x100)
+        blocks = [heap.alloc(0x20) for _ in range(8)]
+        for block in blocks:
+            heap.free(block)
+        # After coalescing, the full arena is one block again.
+        big = heap.alloc(0x100)
+        assert big == 0x1000
+
+    def test_realloc_moves_and_reports_copy_size(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        a = heap.alloc(16)
+        new, copy = heap.realloc(a, 64)
+        assert copy == 16
+        assert heap.size_of(new) == 64
+        assert heap.size_of(a) is None
+
+    def test_realloc_null_is_alloc(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        new, copy = heap.realloc(0, 32)
+        assert copy == 0
+        assert heap.size_of(new) == 32
+
+    def test_exhaustion(self):
+        heap = FreeListAllocator(0x1000, 0x40)
+        heap.alloc(0x40)
+        with pytest.raises(MemoryError_):
+            heap.alloc(8)
+
+    def test_counters(self):
+        heap = FreeListAllocator(0x1000, 0x1000)
+        a = heap.alloc(16)
+        assert heap.live_allocations == 1
+        assert heap.live_bytes == 16
+        heap.free(a)
+        assert heap.live_allocations == 0
+        assert heap.free_bytes == 0x1000
+
+    @given(st.lists(st.integers(1, 128), min_size=1, max_size=40))
+    def test_alloc_free_all_restores_arena(self, sizes):
+        heap = FreeListAllocator(0x10000, 0x10000)
+        ptrs = [heap.alloc(size) for size in sizes]
+        assert len(set(ptrs)) == len(ptrs), "allocations must not alias"
+        for ptr in ptrs:
+            heap.free(ptr)
+        assert heap.free_bytes == 0x10000
+        assert heap.live_allocations == 0
+
+    @given(st.data())
+    def test_random_alloc_free_never_aliases(self, data):
+        heap = FreeListAllocator(0x10000, 0x8000)
+        live = {}
+        for _ in range(60):
+            if live and data.draw(st.booleans()):
+                ptr = data.draw(st.sampled_from(sorted(live)))
+                heap.free(ptr)
+                del live[ptr]
+            else:
+                size = data.draw(st.integers(1, 256))
+                ptr = heap.alloc(size)
+                for other, other_size in live.items():
+                    assert ptr + size <= other or other + other_size <= ptr
+                live[ptr] = heap.size_of(ptr)

@@ -1,0 +1,109 @@
+"""Unit tests for the sparse memory store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.memory import Memory
+
+
+def test_default_reads_zero():
+    mem = Memory()
+    assert mem.read_u8(0x1234) == 0
+    assert mem.read_u32(0xDEAD_0000) == 0
+
+
+def test_strict_mode_raises_on_untouched_page():
+    mem = Memory(strict=True)
+    with pytest.raises(MemoryError_):
+        mem.read_u8(0x5000)
+    mem.write_u8(0x5000, 1)
+    assert mem.read_u8(0x5000) == 1
+
+
+def test_u8_roundtrip_masks():
+    mem = Memory()
+    mem.write_u8(0x100, 0x1FF)
+    assert mem.read_u8(0x100) == 0xFF
+
+
+def test_u32_little_endian():
+    mem = Memory()
+    mem.write_u32(0x200, 0x11223344)
+    assert mem.read_u8(0x200) == 0x44
+    assert mem.read_u8(0x203) == 0x11
+    assert mem.read_u16(0x200) == 0x3344
+
+
+def test_u32_cross_page_boundary():
+    mem = Memory()
+    mem.write_u32(0xFFE, 0xAABBCCDD)
+    assert mem.read_u32(0xFFE) == 0xAABBCCDD
+
+
+def test_i32_sign_extension():
+    mem = Memory()
+    mem.write_i32(0x10, -5)
+    assert mem.read_i32(0x10) == -5
+    assert mem.read_u32(0x10) == 0xFFFF_FFFB
+
+
+def test_u64_roundtrip():
+    mem = Memory()
+    mem.write_u64(0x40, 0x0102030405060708)
+    assert mem.read_u64(0x40) == 0x0102030405060708
+
+
+def test_cstring_roundtrip():
+    mem = Memory()
+    n = mem.write_cstring(0x300, "hello")
+    assert n == 6
+    assert mem.read_cstring(0x300) == b"hello"
+
+
+def test_cstring_unterminated_raises():
+    mem = Memory()
+    for i in range(32):
+        mem.write_u8(0x400 + i, ord("a"))
+    with pytest.raises(MemoryError_):
+        mem.read_cstring(0x400, limit=16)
+
+
+def test_copy_overlapping_is_memmove():
+    mem = Memory()
+    mem.write_bytes(0x500, b"abcdef")
+    mem.copy(0x502, 0x500, 4)
+    assert mem.read_bytes(0x500, 6) == b"ababcd"
+
+
+def test_fill():
+    mem = Memory()
+    mem.fill(0x600, 8, 0xAB)
+    assert mem.read_bytes(0x600, 8) == b"\xab" * 8
+
+
+def test_words_roundtrip():
+    mem = Memory()
+    mem.write_words(0x700, [1, 2, 3])
+    assert mem.read_words(0x700, 3) == [1, 2, 3]
+
+
+def test_address_wraps_at_32_bits():
+    mem = Memory()
+    mem.write_u8(0x1_0000_0010, 7)
+    assert mem.read_u8(0x10) == 7
+
+
+@given(st.integers(0, 0xFFFF_F000), st.integers(0, 0xFFFF_FFFF))
+def test_u32_roundtrip_property(addr, value):
+    mem = Memory()
+    mem.write_u32(addr, value)
+    assert mem.read_u32(addr) == value
+
+
+@given(st.binary(min_size=0, max_size=64), st.integers(0, 0xFFFF_0000))
+def test_bytes_roundtrip_property(data, addr):
+    mem = Memory()
+    mem.write_bytes(addr, data)
+    assert mem.read_bytes(addr, len(data)) == data

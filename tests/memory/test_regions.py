@@ -1,0 +1,72 @@
+"""Unit tests for the memory-map region table."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.memory import MemoryMap, Region
+
+
+def test_map_and_find():
+    mm = MemoryMap()
+    mm.map(0x4000_0000, 0x1000, "libdvm.so", perms="r-x")
+    region = mm.find(0x4000_0800)
+    assert region is not None
+    assert region.name == "libdvm.so"
+    assert mm.find(0x4000_1000) is None  # end is exclusive
+
+
+def test_overlap_rejected():
+    mm = MemoryMap()
+    mm.map(0x1000, 0x1000, "a")
+    with pytest.raises(MemoryError_):
+        mm.map(0x1800, 0x1000, "b")
+
+
+def test_adjacent_regions_allowed():
+    mm = MemoryMap()
+    mm.map(0x1000, 0x1000, "a")
+    mm.map(0x2000, 0x1000, "b")
+    assert len(mm) == 2
+
+
+def test_base_of():
+    mm = MemoryMap()
+    mm.map(0x5000_0000, 0x2000, "libc.so")
+    assert mm.base_of("libc.so") == 0x5000_0000
+    with pytest.raises(MemoryError_):
+        mm.base_of("libmissing.so")
+
+
+def test_third_party_flag():
+    mm = MemoryMap()
+    mm.map(0x6000_0000, 0x1000, "libapp.so", third_party=True)
+    mm.map(0x7000_0000, 0x1000, "libc.so")
+    assert mm.is_third_party(0x6000_0400)
+    assert not mm.is_third_party(0x7000_0400)
+    assert not mm.is_third_party(0x0)
+
+
+def test_unmap():
+    mm = MemoryMap()
+    mm.map(0x1000, 0x1000, "a")
+    mm.unmap(0x1000)
+    assert mm.find(0x1000) is None
+    with pytest.raises(MemoryError_):
+        mm.unmap(0x1000)
+
+
+def test_format_like_proc_maps():
+    mm = MemoryMap()
+    mm.map(0x1000, 0x1000, "libfoo.so", perms="r-x", third_party=True)
+    text = mm.format()
+    assert "00001000-00002000" in text
+    assert "libfoo.so" in text
+    assert "(3p)" in text
+
+
+def test_iteration_sorted_by_start():
+    mm = MemoryMap()
+    mm.map(0x3000, 0x100, "c")
+    mm.map(0x1000, 0x100, "a")
+    mm.map(0x2000, 0x100, "b")
+    assert [r.name for r in mm] == ["a", "b", "c"]
