@@ -16,7 +16,7 @@ Monkey and reports per-app observations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.common.taint import TAINT_CONTACTS, TAINT_SMS
 from repro.dalvik.classes import ClassDef, MethodBuilder
@@ -317,29 +317,69 @@ class AppObservation:
     monkey_coverage: float = 0.0
 
 
-def run_market_study(seed: int = 0, events: int = 12) -> List[AppObservation]:
-    """Run all eight apps under TaintDroid+NDroid with the Monkey."""
+def _analyze_market_app(package: str, build: Callable[[], Apk],
+                        seed: int, events: int,
+                        ctx=None) -> AppObservation:
+    """Run one market app under TaintDroid+NDroid with the Monkey.
+
+    ``ctx`` is an optional :class:`repro.resilience.supervisor.RunContext`
+    — when present, the freshly built platform is attached to it so the
+    watchdog, crash-report ring buffer and fault plan are wired in.
+    """
     from repro.core import NDroid
     from repro.framework.android import AndroidPlatform
     from repro.framework.monkey import MonkeyRunner
 
-    observations = []
+    platform = AndroidPlatform()
+    ndroid = NDroid.attach(platform)
+    if ctx is not None:
+        ctx.attach(platform)
+    apk = build()
+    platform.install(apk)
+    monkey = MonkeyRunner(platform, seed=seed)
+    session = monkey.run(apk, events=events)
+    sensitive = TAINT_CONTACTS | TAINT_SMS
+    deliveries = [d for d in ndroid.tainted_native_deliveries()
+                  if d["taint"] & sensitive]
+    leaks = [r for r in platform.leaks.records if r.taint & sensitive]
+    return AppObservation(
+        package=package,
+        delivered_to_native=bool(deliveries),
+        delivered_taint=(deliveries[0]["taint"] if deliveries else 0),
+        leaked=bool(leaks),
+        leak_destinations=sorted({r.destination for r in leaks}),
+        monkey_coverage=session.coverage)
+
+
+def run_market_study(seed: int = 0, events: int = 12) -> List[AppObservation]:
+    """Run all eight apps under TaintDroid+NDroid with the Monkey."""
+    return [_analyze_market_app(package, build, seed, events)
+            for package, build in MARKET_APPS.items()]
+
+
+def run_supervised_market_study(seed: int = 0, events: int = 12,
+                                plan=None, fault_target: Optional[str] = None,
+                                supervisor=None) -> List:
+    """The market study under the resilience supervisor.
+
+    Every app runs to a classified outcome
+    (:class:`repro.resilience.SupervisedResult` with the
+    :class:`AppObservation` as its ``value``): a crash in one app yields
+    a structured crash report for that app and leaves every other app's
+    results untouched.  ``plan`` is a :class:`repro.resilience.FaultPlan`
+    applied to ``fault_target`` (one package) or, when ``fault_target``
+    is ``None``, to every app.
+    """
+    from repro.resilience import Supervisor
+
+    if supervisor is None:
+        supervisor = Supervisor(budget=2_000_000)
+    results = []
     for package, build in MARKET_APPS.items():
-        platform = AndroidPlatform()
-        ndroid = NDroid.attach(platform)
-        apk = build()
-        platform.install(apk)
-        monkey = MonkeyRunner(platform, seed=seed)
-        session = monkey.run(apk, events=events)
-        sensitive = TAINT_CONTACTS | TAINT_SMS
-        deliveries = [d for d in ndroid.tainted_native_deliveries()
-                      if d["taint"] & sensitive]
-        leaks = [r for r in platform.leaks.records if r.taint & sensitive]
-        observations.append(AppObservation(
-            package=package,
-            delivered_to_native=bool(deliveries),
-            delivered_taint=(deliveries[0]["taint"] if deliveries else 0),
-            leaked=bool(leaks),
-            leak_destinations=sorted({r.destination for r in leaks}),
-            monkey_coverage=session.coverage))
-    return observations
+        app_plan = plan if plan and fault_target in (None, package) else None
+
+        def analysis(ctx, package=package, build=build):
+            return _analyze_market_app(package, build, seed, events, ctx=ctx)
+
+        results.append(supervisor.run(package, analysis, plan=app_plan))
+    return results

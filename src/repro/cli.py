@@ -8,7 +8,9 @@ Commands:
 * ``matrix`` — run every scenario under TaintDroid-only and
   TaintDroid+NDroid and print the Table I detection matrix;
 * ``corpus`` — run the Section III study;
-* ``bench`` — run the Fig. 10 CF-Bench overhead comparison.
+* ``bench`` — run the Fig. 10 CF-Bench overhead comparison;
+* ``supervise`` — run the Section VI market study under the resilience
+  supervisor, optionally with injected faults (``--faults``).
 """
 
 from __future__ import annotations
@@ -51,6 +53,30 @@ def _build_parser() -> argparse.ArgumentParser:
                                        "comparison")
     bench.add_argument("--iterations", type=int, default=200)
     bench.add_argument("--repeats", type=int, default=2)
+
+    supervise = subparsers.add_parser(
+        "supervise",
+        help="run the market study under the resilience supervisor")
+    supervise.add_argument("--seed", type=int, default=0,
+                           help="Monkey event seed (default 0)")
+    supervise.add_argument("--events", type=int, default=12,
+                           help="Monkey events per app (default 12)")
+    supervise.add_argument("--faults", default=None,
+                           help="fault plan, comma-joined atoms: decode@N, "
+                                "memory@N, hook@N, hook:NAME, "
+                                "eintr:SYSCALL, eagain:SYSCALL, "
+                                "partial:N:SYSCALL (optional *K repeat)")
+    supervise.add_argument("--fault-seed", type=int, default=None,
+                           help="generate a random fault plan from this "
+                                "seed instead of --faults")
+    supervise.add_argument("--fault-target", default=None,
+                           help="apply the fault plan only to this package "
+                                "(default: every app)")
+    supervise.add_argument("--budget", type=int, default=2_000_000,
+                           help="instruction budget per app before the "
+                                "watchdog fires (default 2,000,000)")
+    supervise.add_argument("--report", action="store_true",
+                           help="print full crash reports for failed apps")
     return parser
 
 
@@ -129,6 +155,59 @@ def _command_bench(iterations: int, repeats: int) -> int:
     return 0
 
 
+def _command_supervise(args) -> int:
+    from repro.apps.market import run_supervised_market_study
+    from repro.resilience import FaultPlan, Supervisor
+
+    plan = None
+    if args.faults and args.fault_seed is not None:
+        print("use either --faults or --fault-seed, not both",
+              file=sys.stderr)
+        return 2
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except (ValueError, KeyError) as error:
+            print(f"bad --faults spec: {error}", file=sys.stderr)
+            return 2
+    elif args.fault_seed is not None:
+        plan = FaultPlan.random(args.fault_seed)
+
+    supervisor = Supervisor(budget=args.budget)
+    results = run_supervised_market_study(
+        seed=args.seed, events=args.events, plan=plan,
+        fault_target=args.fault_target, supervisor=supervisor)
+
+    if plan is not None:
+        target = args.fault_target or "every app"
+        print(f"fault plan: {plan.describe()} (target: {target})")
+        print()
+    print(f"{'package':<26} {'outcome':<10} {'attempts':<9} "
+          f"{'degraded':<9} {'leaked':<7} destinations")
+    for result in results:
+        observation = result.value
+        leaked = "yes" if observation and observation.leaked else "no"
+        destinations = ", ".join(observation.leak_destinations) \
+            if observation else "-"
+        print(f"{result.label:<26} {result.status:<10} "
+              f"{result.attempts:<9} {result.degraded_events:<9} "
+              f"{leaked:<7} {destinations or '-'}")
+    failed = [r for r in results if r.crash_report is not None]
+    if failed:
+        print()
+        for result in failed:
+            if args.report:
+                print(result.crash_report.format())
+                print()
+            else:
+                print(f"{result.label}: {result.error} "
+                      f"(re-run with --report for the full crash report)")
+    completed = sum(1 for r in results if r.completed)
+    print(f"\n{completed}/{len(results)} apps completed "
+          f"({len(results) - completed} contained)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to a command; returns the exit code."""
     args = _build_parser().parse_args(argv)
@@ -142,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_corpus(args.scale, args.seed)
     if args.command == "bench":
         return _command_bench(args.iterations, args.repeats)
+    if args.command == "supervise":
+        return _command_supervise(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -23,8 +23,9 @@ Instruments the JNI-related libdvm functions in five groups:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.common.errors import ReproError
 from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
 from repro.core.multilevel import MultilevelHookManager
 from repro.core.source_policy import SourcePolicy, SourcePolicyMap
@@ -48,12 +49,17 @@ class DvmHookEngine:
     """Installs and services all DVM-side hooks."""
 
     def __init__(self, platform, taint_engine: TaintEngine,
-                 multilevel: MultilevelHookManager) -> None:
+                 multilevel: MultilevelHookManager,
+                 guard: Optional[Callable] = None) -> None:
         self.platform = platform
         self.emu = platform.emu
         self.jni: JniLayer = platform.jni
         self.taint = taint_engine
         self.multilevel = multilevel
+        # Graceful-degradation wrapper (NDroid.guard_hook); identity when
+        # the engine is used standalone in tests.
+        self._guard = guard if guard is not None else \
+            (lambda name, hook, fallback=None: hook)
         self.source_policies = SourcePolicyMap()
 
         # Per-call state stacks (JNI calls nest).
@@ -78,10 +84,14 @@ class DvmHookEngine:
     def install(self) -> None:
         symbols = self.jni.symbols
         emu = self.emu
+        guard = self._guard
         emu.add_entry_hook(symbols["dvmCallJNIMethod"],
-                           self._on_call_jni_entry)
+                           guard("dvmCallJNIMethod.entry",
+                                 self._on_call_jni_entry,
+                                 self._jni_entry_fallback))
         emu.add_exit_hook(symbols["dvmCallJNIMethod"],
-                          self._on_call_jni_exit)
+                          guard("dvmCallJNIMethod.exit",
+                                self._on_call_jni_exit))
 
         # JNI exit: gate dvmCallMethod*/dvmInterpret on native provenance
         # (Fig. 5); register the multilevel chains per Table II.
@@ -91,12 +101,18 @@ class DvmHookEngine:
             self.multilevel.add_chain([name, inner, "dvmInterpret"])
         for inner in ("dvmCallMethodV", "dvmCallMethodA"):
             emu.add_entry_hook(symbols[inner],
-                               self._make_call_method_hook(inner))
-        emu.add_entry_hook(symbols["dvmInterpret"], self._on_interpret_entry)
-        emu.add_exit_hook(symbols["dvmInterpret"], self._on_interpret_exit)
+                               guard(f"{inner}.entry",
+                                     self._make_call_method_hook(inner)))
+        emu.add_entry_hook(symbols["dvmInterpret"],
+                           guard("dvmInterpret.entry",
+                                 self._on_interpret_entry))
+        emu.add_exit_hook(symbols["dvmInterpret"],
+                          guard("dvmInterpret.exit",
+                                self._on_interpret_exit))
         for name in _CALL_METHOD_NAMES:
             emu.add_exit_hook(symbols[name],
-                              self._make_call_method_exit(name))
+                              guard(f"{name}.exit",
+                                    self._make_call_method_exit(name)))
 
         # Object creation (Table III NOF -> MAF pairs).
         for head, tail in (("NewStringUTF", "dvmCreateStringFromCstr"),
@@ -107,43 +123,62 @@ class DvmHookEngine:
                            ("NewObjectArray", "dvmAllocArrayByClass")):
             self.multilevel.add_chain([head, tail])
         emu.add_entry_hook(symbols["NewStringUTF"],
-                           self._on_new_string_utf_entry)
+                           guard("NewStringUTF.entry",
+                                 self._on_new_string_utf_entry))
         emu.add_exit_hook(symbols["NewStringUTF"],
-                          self._on_new_string_exit)
-        emu.add_entry_hook(symbols["NewString"], self._on_new_string_entry)
-        emu.add_exit_hook(symbols["NewString"], self._on_new_string_exit)
+                          guard("NewStringUTF.exit",
+                                self._on_new_string_exit))
+        emu.add_entry_hook(symbols["NewString"],
+                           guard("NewString.entry",
+                                 self._on_new_string_entry))
+        emu.add_exit_hook(symbols["NewString"],
+                          guard("NewString.exit", self._on_new_string_exit))
         emu.add_exit_hook(symbols["dvmCreateStringFromCstr"],
-                          self._on_create_string_exit)
+                          guard("dvmCreateStringFromCstr.exit",
+                                self._on_create_string_exit))
         emu.add_exit_hook(symbols["dvmCreateStringFromUnicode"],
-                          self._on_create_string_exit)
+                          guard("dvmCreateStringFromUnicode.exit",
+                                self._on_create_string_exit))
 
         # Field access (Table IV).
         for name in _GET_FIELD_NAMES:
             emu.add_entry_hook(symbols[name],
-                               self._make_get_field_entry(name))
-            emu.add_exit_hook(symbols[name], self._make_get_field_exit(name))
+                               guard(f"{name}.entry",
+                                     self._make_get_field_entry(name)))
+            emu.add_exit_hook(symbols[name],
+                              guard(f"{name}.exit",
+                                    self._make_get_field_exit(name)))
         for name in _SET_FIELD_NAMES:
             emu.add_entry_hook(symbols[name],
-                               self._make_set_field_hook(name))
+                               guard(f"{name}.entry",
+                                     self._make_set_field_hook(name)))
 
         # String/array data transfer into native memory.
         emu.add_entry_hook(symbols["GetStringUTFChars"],
-                           self._on_get_string_chars_entry)
+                           guard("GetStringUTFChars.entry",
+                                 self._on_get_string_chars_entry))
         emu.add_exit_hook(symbols["GetStringUTFChars"],
-                          self._on_get_string_chars_exit)
+                          guard("GetStringUTFChars.exit",
+                                self._on_get_string_chars_exit))
         emu.add_entry_hook(symbols["GetByteArrayRegion"],
-                           self._make_get_array_region(1))
+                           guard("GetByteArrayRegion.entry",
+                                 self._make_get_array_region(1)))
         emu.add_entry_hook(symbols["GetIntArrayRegion"],
-                           self._make_get_array_region(4))
+                           guard("GetIntArrayRegion.entry",
+                                 self._make_get_array_region(4)))
         emu.add_entry_hook(symbols["SetByteArrayRegion"],
-                           self._make_set_array_region(1))
+                           guard("SetByteArrayRegion.entry",
+                                 self._make_set_array_region(1)))
         emu.add_entry_hook(symbols["SetIntArrayRegion"],
-                           self._make_set_array_region(4))
+                           guard("SetIntArrayRegion.entry",
+                                 self._make_set_array_region(4)))
 
         # Exceptions.
         self.multilevel.add_chain(["ThrowNew", "initException"])
-        emu.add_entry_hook(symbols["ThrowNew"], self._on_throw_new_entry)
-        emu.add_exit_hook(symbols["ThrowNew"], self._on_throw_new_exit)
+        emu.add_entry_hook(symbols["ThrowNew"],
+                           guard("ThrowNew.entry", self._on_throw_new_entry))
+        emu.add_exit_hook(symbols["ThrowNew"],
+                          guard("ThrowNew.exit", self._on_throw_new_exit))
 
     # ================================================================ JNI entry
 
@@ -186,7 +221,9 @@ class DvmHookEngine:
         address = method.native_address & ~1
         if address not in self._hooked_native_methods:
             self._hooked_native_methods.add(address)
-            emu.add_entry_hook(address, self._on_native_method_entry)
+            emu.add_entry_hook(address,
+                               self._guard("SourcePolicy.apply",
+                                           self._on_native_method_entry))
         if policy.has_taint():
             union = TAINT_CLEAR
             for taint in taints:
@@ -202,6 +239,25 @@ class DvmHookEngine:
                 method=method.full_name, shorty=method.shorty,
                 insn_addr=address, taints=list(taints),
                 class_name=method.class_name)
+
+    def _jni_entry_fallback(self, emu) -> TaintLabel:
+        """Quarantine stand-in for the JNI-entry hook.
+
+        Reads whatever parameter taints TaintDroid left in the outs area
+        without interpreting the method (the part that faulted) and
+        returns their union, so degradation still carries every label
+        that crossed the JNI boundary.
+        """
+        label = TAINT_CLEAR
+        args_ptr = emu.cpu.regs[0]
+        for index in range(4):
+            try:
+                __, taint = DvmStack.read_native_arg(emu.memory, args_ptr,
+                                                     index)
+            except ReproError:
+                break
+            label |= taint
+        return label
 
     def _on_native_method_entry(self, emu) -> None:
         """Step 2: apply the SourcePolicy right before the first insn."""

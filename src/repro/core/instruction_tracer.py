@@ -19,8 +19,10 @@ into the destination.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.common.errors import ReproError
 from repro.common.taint import TAINT_CLEAR
 from repro.cpu import isa
 from repro.cpu.executor import multiple_addresses, transfer_address
@@ -29,6 +31,41 @@ from repro.emulator.emulator import Emulator
 from repro.core.taint_engine import TaintEngine
 
 Handler = Callable[[isa.Instruction, Emulator], None]
+# Installed by NDroid for graceful degradation: called with the handler's
+# exception instead of letting it unwind the whole run.
+TracerFaultHandler = Callable[[ReproError, isa.Instruction, Emulator], None]
+
+
+class InstructionRingBuffer:
+    """A tracer keeping the last-N executed instructions for crash reports.
+
+    Unlike :class:`InstructionTracer` it records *every* instruction, not
+    just third-party ones: after a crash the report must show the true
+    tail of execution wherever it happened.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self._ring: Deque[Dict] = deque(maxlen=capacity)
+
+    def __call__(self, ir: isa.Instruction, emu: Emulator) -> None:
+        self._ring.append({
+            "index": emu.instruction_count,
+            "pc": emu.cpu.pc,
+            "mode": "thumb" if emu.cpu.thumb else "arm",
+            "mnemonic": ir.mnemonic,
+            "kind": type(ir).__name__,
+        })
+
+    def snapshot(self) -> List[Dict]:
+        """Oldest-to-newest copies of the recorded instructions."""
+        return [dict(entry) for entry in self._ring]
+
+    def format(self) -> str:
+        lines = [f"  #{e['index']:<8} {e['pc']:08x} [{e['mode']:>5}] "
+                 f"{e['mnemonic']} ({e['kind']})"
+                 for e in self.snapshot()]
+        return "\n".join(lines) if lines else "  (no instructions recorded)"
 
 
 class InstructionTracer:
@@ -44,6 +81,9 @@ class InstructionTracer:
         self._use_handler_cache = handler_cache
         self.traced_instructions = 0
         self.cache_hits = 0
+        # NDroid installs this so a faulting propagation handler degrades
+        # the run (conservative over-taint) instead of killing it.
+        self.fault_handler: Optional[TracerFaultHandler] = None
 
     # -- the emulator tracer callback -----------------------------------------
 
@@ -67,7 +107,13 @@ class InstructionTracer:
                 self.cache_hits += 1
         else:
             handler = self._select_handler(ir)
-        handler(ir, emu)
+        if self.fault_handler is None:
+            handler(ir, emu)
+            return
+        try:
+            handler(ir, emu)
+        except ReproError as error:
+            self.fault_handler(error, ir, emu)
 
     def invalidate_region_cache(self) -> None:
         self._region_cache.clear()

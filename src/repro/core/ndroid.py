@@ -15,8 +15,10 @@ Attachment order mirrors the architecture diagram:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
+from repro.common.errors import DalvikThrow, ReproError
+from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
 from repro.core.dvm_hooks import DvmHookEngine
 from repro.core.instruction_tracer import InstructionTracer
 from repro.core.multilevel import MultilevelHookManager
@@ -41,9 +43,16 @@ class NDroid:
         self.instruction_tracer = InstructionTracer(
             self.taint_engine, self._is_third_party,
             handler_cache=use_handler_cache)
+        # Graceful degradation: a faulting hook is quarantined and the
+        # engine over-taints instead of unwinding the whole analysis.
+        self.degraded_events = 0
+        self.quarantined_hooks: Set[str] = set()
+        self.instruction_tracer.fault_handler = self._on_tracer_fault
         self.dvm_hooks = DvmHookEngine(platform, self.taint_engine,
-                                       self.multilevel)
-        self.syslib_hooks = SysLibHookEngine(platform, self.taint_engine)
+                                       self.multilevel,
+                                       guard=self.guard_hook)
+        self.syslib_hooks = SysLibHookEngine(platform, self.taint_engine,
+                                             guard=self.guard_hook)
 
     # -- attachment ------------------------------------------------------------
 
@@ -80,6 +89,73 @@ class NDroid:
         platform.event_log.emit("ndroid", "attach",
                                 "NDroid instrumentation enabled")
         return system
+
+    # -- graceful degradation ------------------------------------------------------
+
+    def guard_hook(self, name: str,
+                   hook: Callable,
+                   fallback: Optional[Callable] = None) -> Callable:
+        """Wrap an analysis hook so a fault degrades instead of unwinding.
+
+        A hook that raises any :class:`ReproError` (other than
+        :class:`DalvikThrow`, which is simulated Java control flow) is
+        **quarantined**: the fault is counted, the taint engine enters
+        conservative mode with every label the failed hook could have
+        been carrying, and the run continues.  If a ``fallback`` is
+        given it runs in place of the quarantined hook on every later
+        invocation — sink hooks use this to keep reporting
+        conservatively, so degradation never *misses* a leak.  The
+        fallback may return an extra :class:`TaintLabel` to join into
+        the degradation label.
+        """
+        def guarded(emu) -> None:
+            if name in self.quarantined_hooks:
+                if fallback is not None:
+                    self._run_fallback(name, fallback, emu)
+                return
+            try:
+                injector = getattr(emu, "fault_injector", None)
+                on_hook = getattr(injector, "on_hook", None)
+                if on_hook is not None:
+                    on_hook(name, emu.instruction_count)
+                hook(emu)
+            except DalvikThrow:
+                raise
+            except ReproError as error:
+                self._degrade_hook(name, error, emu, fallback)
+
+        return guarded
+
+    def _run_fallback(self, name: str, fallback: Callable,
+                      emu) -> TaintLabel:
+        """Run a quarantined hook's conservative stand-in, crash-proof."""
+        try:
+            label = fallback(emu)
+        except ReproError:
+            return TAINT_CLEAR
+        return label if label is not None else TAINT_CLEAR
+
+    def _degrade_hook(self, name: str, error: ReproError, emu,
+                      fallback: Optional[Callable]) -> None:
+        self.degraded_events += 1
+        self.quarantined_hooks.add(name)
+        label = self.taint_engine.live_label()
+        if fallback is not None:
+            label |= self._run_fallback(name, fallback, emu)
+        self.taint_engine.degrade(label)
+        self.platform.event_log.emit(
+            "ndroid", "hook.degraded",
+            f"hook {name} quarantined after {type(error).__name__}: {error} "
+            f"(conservative label {describe_taint(label)})")
+
+    def _on_tracer_fault(self, error: ReproError, ir, emu) -> None:
+        """A per-instruction taint handler faulted: over-taint, keep going."""
+        self.degraded_events += 1
+        self.taint_engine.degrade(self.taint_engine.live_label())
+        self.platform.event_log.emit(
+            "ndroid", "tracer.degraded",
+            f"taint handler for {type(ir).__name__} faulted at "
+            f"pc=0x{emu.cpu.pc:08x}: {type(error).__name__}: {error}")
 
     # -- view plumbing ------------------------------------------------------------
 
@@ -125,4 +201,6 @@ class NDroid:
             "multilevel_fires": self.multilevel.fires,
             "view_reconstructions":
                 self.view_reconstructor.reconstructions,
+            "degraded_events": self.degraded_events,
+            "quarantined_hooks": len(self.quarantined_hooks),
         }

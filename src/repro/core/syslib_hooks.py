@@ -31,13 +31,18 @@ SINK_FUNCTIONS = ("write", "send", "sendto", "fwrite", "fputs", "fputc",
 class SysLibHookEngine:
     """Trust-call taint models + sink checks over the modelled libc/libm."""
 
-    def __init__(self, platform, taint_engine: TaintEngine) -> None:
+    def __init__(self, platform, taint_engine: TaintEngine,
+                 guard: Optional[Callable] = None) -> None:
         self.platform = platform
         self.emu = platform.emu
         self.libc = platform.libc
         self.libm = platform.libm
         self.kernel = platform.kernel
         self.taint = taint_engine
+        # Graceful-degradation wrapper (NDroid.guard_hook); identity when
+        # the engine is used standalone in tests.
+        self._guard = guard if guard is not None else \
+            (lambda name, hook, fallback=None: hook)
         self.modelled_calls = 0
         self.sink_checks = 0
         self._pending_exits: List[Dict] = []
@@ -82,29 +87,47 @@ class SysLibHookEngine:
 
         # libm: results derive from the float/double argument registers.
         for name in self.platform.libm.symbols:
-            self.emu.add_entry_hook(self.platform.libm.symbols[name],
-                                    self._capture_args)
-            self.emu.add_exit_hook(self.platform.libm.symbols[name],
-                                   self._exit_libm)
+            self.emu.add_entry_hook(
+                self.platform.libm.symbols[name],
+                self._guard(f"libm.{name}.entry", self._capture_args))
+            self.emu.add_exit_hook(
+                self.platform.libm.symbols[name],
+                self._guard(f"libm.{name}.exit", self._exit_libm))
 
-        # Sinks.
+        # Sinks.  Each sink hook carries a conservative fallback: if the
+        # precise check ever faults and is quarantined, every later call
+        # still reports with the engine-wide live label, so degradation
+        # over-reports rather than missing a leak.
         self._hook_entry("write", self._sink_buffer("write", fd_arg=0,
-                                                    buf_arg=1, len_arg=2))
+                                                    buf_arg=1, len_arg=2),
+                         fallback=self._sink_fallback("write"))
         self._hook_entry("send", self._sink_buffer("send", fd_arg=0,
-                                                   buf_arg=1, len_arg=2))
+                                                   buf_arg=1, len_arg=2),
+                         fallback=self._sink_fallback("send"))
         self._hook_entry("sendto", self._sink_buffer("sendto", fd_arg=0,
-                                                     buf_arg=1, len_arg=2))
-        self._hook_entry("fwrite", self._sink_fwrite)
-        self._hook_entry("fputs", self._sink_fputs)
-        self._hook_entry("fputc", self._sink_fputc)
-        self._hook_entry("fprintf", self._sink_fprintf)
-        self._hook_entry("vfprintf", self._sink_vfprintf)
+                                                     buf_arg=1, len_arg=2),
+                         fallback=self._sink_fallback("sendto"))
+        self._hook_entry("fwrite", self._sink_fwrite,
+                         fallback=self._sink_fallback("fwrite"))
+        self._hook_entry("fputs", self._sink_fputs,
+                         fallback=self._sink_fallback("fputs"))
+        self._hook_entry("fputc", self._sink_fputc,
+                         fallback=self._sink_fallback("fputc"))
+        self._hook_entry("fprintf", self._sink_fprintf,
+                         fallback=self._sink_fallback("fprintf"))
+        self._hook_entry("vfprintf", self._sink_vfprintf,
+                         fallback=self._sink_fallback("vfprintf"))
 
-    def _hook_entry(self, name: str, handler: Callable) -> None:
-        self.emu.add_entry_hook(self.libc.symbols[name], handler)
+    def _hook_entry(self, name: str, handler: Callable,
+                    fallback: Optional[Callable] = None) -> None:
+        self.emu.add_entry_hook(
+            self.libc.symbols[name],
+            self._guard(f"libc.{name}.entry", handler, fallback))
 
     def _hook_exit(self, name: str, handler: Callable) -> None:
-        self.emu.add_exit_hook(self.libc.symbols[name], handler)
+        self.emu.add_exit_hook(
+            self.libc.symbols[name],
+            self._guard(f"libc.{name}.exit", handler))
 
     # -- argument capture for exit-time models --------------------------------------
 
@@ -265,6 +288,15 @@ class SysLibHookEngine:
             f"taint={describe_taint(label)}",
             sink=sink, taint=label, destination=destination,
             payload=payload[:64])
+
+    def _sink_fallback(self, sink: str):
+        """Conservative sink stand-in used once the precise hook is
+        quarantined: report the engine-wide live label (over-taint) so a
+        degraded run can only over-report leaks, never miss one."""
+        def fallback(emu) -> TaintLabel:
+            self._report(sink, self.taint.live_label(), "(quarantined)", b"")
+            return TAINT_CLEAR
+        return fallback
 
     def _sink_buffer(self, sink: str, fd_arg: int, buf_arg: int,
                      len_arg: int):

@@ -35,11 +35,43 @@ class TaintEngine(NativeTaintInterface):
         self._memory_taints: Dict[int, TaintLabel] = {}
         self._iref_taints: Dict[int, TaintLabel] = {}
         self.propagation_count = 0
+        # Graceful degradation (resilience): when an analysis hook faults
+        # and is quarantined, the taints it would have propagated become
+        # unknowable.  The conservative label is OR-ed into every query so
+        # the engine over-taints (stays sound, loses precision) instead of
+        # silently dropping flows.
+        self.conservative_label: TaintLabel = TAINT_CLEAR
+
+    # -- graceful degradation -------------------------------------------------
+
+    def degrade(self, label: TaintLabel) -> None:
+        """Enter (or widen) conservative mode: ``label`` joins every query."""
+        if label == TAINT_CLEAR:
+            return
+        self.conservative_label |= label
+        self.log("degrade",
+                 f"conservative label now 0x{self.conservative_label:x}",
+                 taint=self.conservative_label)
+
+    def live_label(self) -> TaintLabel:
+        """Union of every label currently held anywhere in the engine.
+
+        The widest honest answer to "what taint could a failed hook have
+        been carrying?" — used to choose the degradation label.
+        """
+        label = self.conservative_label
+        for register_label in self.shadow_registers:
+            label |= register_label
+        for memory_label in self._memory_taints.values():
+            label |= memory_label
+        for iref_label in self._iref_taints.values():
+            label |= iref_label
+        return label
 
     # -- shadow registers -----------------------------------------------------
 
     def get_register(self, index: int) -> TaintLabel:
-        return self.shadow_registers[index]
+        return self.shadow_registers[index] | self.conservative_label
 
     def set_register(self, index: int, label: TaintLabel) -> None:
         self.shadow_registers[index] = label
@@ -59,7 +91,7 @@ class TaintEngine(NativeTaintInterface):
 
     def get_memory(self, address: int, length: int = 1) -> TaintLabel:
         """Union of labels over ``[address, address+length)``."""
-        label = TAINT_CLEAR
+        label = self.conservative_label
         for offset in range(length):
             label |= self._memory_taints.get((address + offset) & 0xFFFFFFFF,
                                              TAINT_CLEAR)
@@ -99,8 +131,9 @@ class TaintEngine(NativeTaintInterface):
                 self._memory_taints.pop(key, None)
 
     def memory_bytes(self, address: int, length: int) -> List[TaintLabel]:
-        return [self._memory_taints.get((address + offset) & 0xFFFFFFFF,
-                                        TAINT_CLEAR)
+        base = self.conservative_label
+        return [base | self._memory_taints.get((address + offset) & 0xFFFFFFFF,
+                                               TAINT_CLEAR)
                 for offset in range(length)]
 
     def copy_memory(self, dest: int, src: int, length: int) -> None:
@@ -118,7 +151,8 @@ class TaintEngine(NativeTaintInterface):
     # -- iref shadow store ----------------------------------------------------------
 
     def get_iref(self, iref: int) -> TaintLabel:
-        return self._iref_taints.get(iref, TAINT_CLEAR)
+        return self._iref_taints.get(iref, TAINT_CLEAR) | \
+            self.conservative_label
 
     def set_iref(self, iref: int, label: TaintLabel) -> None:
         if iref:
@@ -137,7 +171,7 @@ class TaintEngine(NativeTaintInterface):
         return self.memory_bytes(address, length)
 
     def register_taint(self, index: int) -> TaintLabel:
-        return self.shadow_registers[index]
+        return self.shadow_registers[index] | self.conservative_label
 
     def write_memory_taints(self, address: int,
                             labels: List[TaintLabel]) -> None:

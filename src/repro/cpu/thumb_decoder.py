@@ -45,7 +45,23 @@ _ALU_OPS = [
 
 def decode_thumb(halfword: int,
                  next_halfword: Optional[int] = None) -> Instruction:
-    """Decode one Thumb instruction (fusing BL pairs) into the shared IR."""
+    """Decode one Thumb instruction (fusing BL pairs) into the shared IR.
+
+    Failures raise :class:`DecodeError` annotated with the mode and the
+    raw halfword, so crash reports can show what was fetched.
+    """
+    try:
+        return _decode_thumb(halfword, next_halfword)
+    except DecodeError as error:
+        if error.mode is None:
+            error.mode = "thumb"
+        if error.word is None:
+            error.word = halfword & 0xFFFF
+        raise
+
+
+def _decode_thumb(halfword: int,
+                  next_halfword: Optional[int] = None) -> Instruction:
     top5 = bits(halfword, 15, 11)
 
     # Format 1: shift by immediate (and MOV reg as LSL #0).

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import EmulationError
+from repro.common.errors import DecodeError, EmulationError
 from repro.common.events import EventLog
 from repro.cpu.arm_decoder import decode_arm
 from repro.cpu.executor import Executor
@@ -23,6 +23,11 @@ BranchListener = Callable[[int, int, "Emulator"], None]
 Tracer = Callable[[Instruction, "Emulator"], None]
 Hook = Callable[["Emulator"], None]
 SyscallHandler = Callable[[int, "Emulator"], None]
+# A fault injector observes named fault points ("step", "decode", "host",
+# "hook") and may raise to simulate a failure there.  The resilience
+# subsystem's FaultPlan implements this surface; ``None`` costs one branch
+# per point.
+FaultInjector = Callable[..., None]
 
 
 class HostContext:
@@ -84,6 +89,9 @@ class Emulator:
         self._branch_listeners: List[BranchListener] = []
         self._tracers: List[Tracer] = []
         self.syscall_handler: Optional[SyscallHandler] = None
+        # Pluggable fault injection (resilience/faults.py); stays None in
+        # production runs.
+        self.fault_injector: Optional[FaultInjector] = None
 
         self.instruction_count = 0
         self.host_call_count = 0
@@ -193,6 +201,18 @@ class Emulator:
             raise EmulationError(f"SVC #{imm} but no syscall handler installed")
         self.syscall_handler(imm, self)
 
+    # -- fault points -------------------------------------------------------------
+
+    def fire_fault_point(self, point: str, **context: Any) -> None:
+        """Give the installed fault injector a chance to fail ``point``.
+
+        The named points sit at the emulator's existing raise sites: a
+        fault plan raising here is indistinguishable from the organic
+        failure (undecodable word, wild pointer, broken hook).
+        """
+        if self.fault_injector is not None:
+            self.fault_injector(point, self, **context)
+
     # -- execution ---------------------------------------------------------------
 
     def _decode(self, address: int, thumb: bool) -> Instruction:
@@ -201,18 +221,26 @@ class Emulator:
         if cached is not None:
             return cached
         self.decode_count += 1
-        if thumb:
-            halfword = self.memory.read_u16(address)
-            next_halfword = self.memory.read_u16(address + 2)
-            ir = decode_thumb(halfword, next_halfword)
-        else:
-            ir = decode_arm(self.memory.read_u32(address))
+        self.fire_fault_point("decode", address=address, thumb=thumb)
+        try:
+            if thumb:
+                halfword = self.memory.read_u16(address)
+                next_halfword = self.memory.read_u16(address + 2)
+                ir = decode_thumb(halfword, next_halfword)
+            else:
+                ir = decode_arm(self.memory.read_u32(address))
+        except DecodeError as error:
+            if error.pc is None:
+                error.pc = address
+            raise
         self._decode_cache[key] = ir
         return ir
 
     def step(self) -> None:
         """Execute a single instruction (or host function) at PC."""
         pc = self.cpu.pc
+        self.fire_fault_point("step", pc=pc,
+                              instruction_count=self.instruction_count)
         if self.is_host_address(pc):
             self._dispatch_host(pc & ~1, simulate_return=True)
             return
@@ -235,8 +263,10 @@ class Emulator:
                        return_address: Optional[int] = None) -> None:
         registered = self._host_functions.get(address)
         if registered is None:
-            raise EmulationError(f"no host function @ 0x{address:08x}")
+            raise EmulationError(f"no host function @ 0x{address:08x}",
+                                 pc=address)
         self.host_call_count += 1
+        self.fire_fault_point("host", address=address, name=registered.name)
         # Capture the return address NOW: the host body may run nested
         # emulation (e.g. the JNI bridge calling into native code), which
         # clobbers LR exactly as a real call would.
@@ -297,8 +327,9 @@ class Emulator:
             if self._stop_requested:
                 break
             if steps >= max_steps:
-                raise EmulationError(
-                    f"exceeded {max_steps} steps @ pc=0x{self.cpu.pc:08x}")
+                raise EmulationError(f"exceeded {max_steps} steps",
+                                     pc=self.cpu.pc,
+                                     mode="thumb" if self.cpu.thumb else "arm")
             self.step()
             steps += 1
         return steps

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import KernelError
+from repro.common.errors import KernelError, TransientSyscallFault
 from repro.common.events import EventLog
 from repro.common.taint import TAINT_CLEAR, TaintLabel
 from repro.kernel.filesystem import FileSystem
@@ -30,7 +30,7 @@ from repro.kernel.process import (
     FileDescriptor,
     Process,
 )
-from repro.kernel.syscalls import NR
+from repro.kernel.syscalls import NR, Errno
 from repro.memory.allocator import BumpAllocator
 from repro.memory.memory import Memory
 
@@ -43,6 +43,12 @@ O_TRUNC = 0o1000
 O_APPEND = 0o2000
 
 TaintProvider = Callable[[int, int], List[TaintLabel]]
+
+# A syscall fault hook inspects ``(syscall_name, requested_bytes)`` and
+# returns ``None`` (no fault), ``("errno", Errno.EINTR)`` (fail the call
+# with a transient error) or ``("partial", n)`` (emit only ``n`` bytes).
+# The resilience fault plan installs one; production runs leave it None.
+SyscallFaultHook = Callable[[str, int], Optional[Tuple[str, int]]]
 
 
 class Kernel:
@@ -61,6 +67,9 @@ class Kernel:
                                                KERNEL_DATA_SIZE)
         # NDroid's taint engine installs this so raw SVC writes see taints.
         self.taint_provider: Optional[TaintProvider] = None
+        # The resilience fault plan installs this to inject EINTR/EAGAIN
+        # and short counts on write-like syscalls.
+        self.syscall_fault_hook: Optional[SyscallFaultHook] = None
         self.syscall_count = 0
 
     # -- process management ----------------------------------------------------
@@ -126,11 +135,44 @@ class Kernel:
         self.event_log.emit("kernel", "close", f"fd {fd}", fd=fd)
         return 0
 
+    def _apply_write_faults(
+            self, name: str, payload: bytes,
+            taints: Optional[List[TaintLabel]],
+    ) -> Tuple[bytes, Optional[List[TaintLabel]]]:
+        """Short-count/transient semantics for write-like syscalls.
+
+        A ``("partial", n)`` decision truncates the payload *and* its
+        taints together, so a short count taints only the bytes actually
+        emitted at the sink; ``("errno", e)`` raises a transient fault the
+        supervisor retries.
+        """
+        if self.syscall_fault_hook is None:
+            return payload, taints
+        decision = self.syscall_fault_hook(name, len(payload))
+        if decision is None:
+            return payload, taints
+        kind, value = decision
+        if kind == "errno":
+            self.event_log.emit("kernel", "syscall.fault",
+                                f"{name} -> {Errno(value).name}",
+                                syscall=name, errno=int(value))
+            raise TransientSyscallFault(name, int(value))
+        if kind == "partial":
+            count = max(0, min(int(value), len(payload)))
+            self.event_log.emit(
+                "kernel", "syscall.partial",
+                f"{name} short count {count}/{len(payload)}",
+                syscall=name, requested=len(payload), written=count)
+            return payload[:count], (taints[:count] if taints is not None
+                                     else None)
+        raise KernelError(f"unknown syscall fault decision {kind!r}")
+
     def sys_write(self, fd: int, payload: bytes,
                   taints: Optional[List[TaintLabel]] = None) -> int:
         descriptor = self._descriptor(fd)
         if taints is not None and len(taints) != len(payload):
             raise KernelError("taint list length mismatch")
+        payload, taints = self._apply_write_faults("write", payload, taints)
         if descriptor.kind == "socket":
             return self.network.send(fd, payload, taints)
         if not descriptor.writable:
@@ -201,11 +243,13 @@ class Kernel:
     def sys_send(self, fd: int, payload: bytes,
                  taints: Optional[List[TaintLabel]] = None) -> int:
         self._descriptor(fd)
+        payload, taints = self._apply_write_faults("send", payload, taints)
         return self.network.send(fd, payload, taints)
 
     def sys_sendto(self, fd: int, payload: bytes, destination: str,
                    taints: Optional[List[TaintLabel]] = None) -> int:
         self._descriptor(fd)
+        payload, taints = self._apply_write_faults("sendto", payload, taints)
         return self.network.send(fd, payload, taints,
                                  destination=destination)
 

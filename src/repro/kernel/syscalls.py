@@ -45,3 +45,25 @@ class NR(enum.IntEnum):
     @classmethod
     def has(cls, value: int) -> bool:
         return value in cls._value2member_map_
+
+
+class Errno(enum.IntEnum):
+    """The errno values the simulated kernel can return.
+
+    Transient errors (``EINTR``/``EAGAIN``) are the ones the resilience
+    fault plan injects on write-like syscalls; a caller that retries the
+    call must eventually succeed.
+    """
+
+    EINTR = 4
+    EAGAIN = 11
+
+    @classmethod
+    def transient(cls, value: int) -> bool:
+        return value in (cls.EINTR, cls.EAGAIN)
+
+
+# Syscalls with partial-write/short-count semantics: the kernel may emit
+# fewer bytes than requested, and only the bytes actually emitted reach
+# the sink (with only their taints).
+SHORT_WRITE_SYSCALLS = ("write", "send", "sendto")

@@ -1,0 +1,49 @@
+"""Resilience: fault injection, supervised runs, crash reports.
+
+The analysis pipeline's whole value depends on surviving arbitrary
+hostile native code (paper Section V/VI).  This package provides the two
+halves of that property:
+
+* :mod:`repro.resilience.faults` — a deterministic, seedable adversary
+  that injects decode/memory/hook/syscall failures into a run;
+* :mod:`repro.resilience.supervisor` — the runtime that contains those
+  failures per analysis: watchdog budget, retry-with-backoff for
+  transient faults, outcome classification, and structured
+  :mod:`crash reports <repro.resilience.report>`.
+"""
+
+from repro.resilience.faults import (
+    ActiveFaultPlan,
+    FaultPlan,
+    FaultSpec,
+    InjectedHookFault,
+    parse_fault_spec,
+)
+from repro.resilience.report import CrashReport
+from repro.resilience.supervisor import (
+    OUTCOME_CRASHED,
+    OUTCOME_DEGRADED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    AnalysisTimeout,
+    RunContext,
+    SupervisedResult,
+    Supervisor,
+)
+
+__all__ = [
+    "ActiveFaultPlan",
+    "AnalysisTimeout",
+    "CrashReport",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedHookFault",
+    "OUTCOME_CRASHED",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "RunContext",
+    "SupervisedResult",
+    "Supervisor",
+    "parse_fault_spec",
+]

