@@ -12,12 +12,22 @@ slowdown ratios against the vanilla platform.
 """
 
 from repro.bench.cfbench import CFBench, WORKLOADS, WorkloadResult
+from repro.bench.emulator_bench import (
+    EmulatorBench,
+    compare_to_baseline,
+    load_results,
+    write_results,
+)
 from repro.bench.harness import OverheadHarness, OverheadTable
 
 __all__ = [
     "CFBench",
     "WORKLOADS",
     "WorkloadResult",
+    "EmulatorBench",
+    "compare_to_baseline",
+    "load_results",
+    "write_results",
     "OverheadHarness",
     "OverheadTable",
 ]

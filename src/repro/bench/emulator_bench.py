@@ -1,0 +1,285 @@
+"""Emulator throughput harness: records the perf trajectory of the engine.
+
+Measures instructions/second on the three benchmark workloads the PR
+acceptance criteria name (the uninstrumented CFBench native loop, the JNI
+crossing loop, and the Table-V tracer loop), each under both execution
+engines — the translation-block engine and the pre-TB single-step
+interpreter — and verifies *taint parity*: every Table-1/Fig-6–9 scenario
+must produce a byte-identical leak report under both engines.
+
+Results are serialised to ``BENCH_emulator.json``.  Regression gating
+compares **speedup ratios** (TB vs single-step on the same machine, same
+run) rather than absolute instructions/second, so the committed baseline
+is meaningful across machines of different speeds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps import ALL_SCENARIOS
+from repro.apps.base import run_scenario
+from repro.bench.harness import make_platform
+from repro.core.instruction_tracer import InstructionTracer
+from repro.core.taint_engine import TaintEngine
+from repro.cpu.assembler import assemble
+from repro.dalvik import ClassDef, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.dalvik.instructions import Op
+from repro.emulator import Emulator
+from repro.framework import Apk
+
+SCHEMA = "bench_emulator/v1"
+
+# The scenarios whose taint verdicts must be engine-independent
+# (Table I cases plus the Fig. 6-9 app reconstructions).
+PARITY_SCENARIOS = (
+    "case1", "case1_prime", "case2", "case3", "case4", "case2_thumb",
+    "qqphonebook", "ephone", "poc_case2", "poc_case3", "benign",
+)
+
+# Speedup may drift this much below the committed baseline before the
+# regression gate fails (the CI smoke job's threshold).
+DEFAULT_TOLERANCE = 0.30
+
+CROSSING_CLASS = "Lcom/bench/Crossing;"
+
+# The Table V tracer loop (same shape as benchmarks/bench_table5_tracer.py:
+# data processing, scaled-register loads/stores, push/pop).
+TRACER_LOOP = """
+main:
+    push {r4, r5, lr}
+    mov r0, #0
+    mov r1, #0
+    ldr r4, =buffer
+loop:
+    cmp r1, #400
+    bge done
+    add r0, r0, r1
+    eor r0, r0, r1, lsl #2
+    and r2, r1, #15
+    str r0, [r4, r2, lsl #2]
+    ldr r3, [r4, r2, lsl #2]
+    add r0, r0, r3
+    add r1, r1, #1
+    b loop
+done:
+    pop {r4, r5, pc}
+buffer:
+    .space 64
+"""
+
+TRACER_CODE_BASE = 0x6000_0000
+
+
+def _build_crossing_apk() -> Apk:
+    """The bench_jni_crossing app: a Java loop over a trivial native call."""
+    cls = ClassDef(CROSSING_CLASS)
+    cls.add_method(MethodBuilder(CROSSING_CLASS, "nop", "II", static=True,
+                                 native=True).build())
+    loop = MethodBuilder(CROSSING_CLASS, "cross", "II", static=True,
+                         registers=6)
+    loop.const(0, 0).const(1, 0)
+    loop.label("loop")
+    loop.if_cmp(Op.IF_GE, 1, 5, "done")
+    loop.invoke_static(f"{CROSSING_CLASS}->nop", 1)
+    loop.move_result(2)
+    loop.binop(Op.ADD_INT, 0, 0, 2)
+    loop.add_lit(1, 1, 1)
+    loop.goto("loop")
+    loop.label("done")
+    loop.ret(0)
+    cls.add_method(loop.build())
+    main = MethodBuilder(CROSSING_CLASS, "main", "V", static=True,
+                         registers=1)
+    main.const_string(0, "libcross.so")
+    main.invoke_static("Ljava/lang/System;->loadLibrary", 0)
+    main.ret_void()
+    cls.add_method(main.build())
+    native = """
+    Java_com_bench_Crossing_nop:
+        add r0, r2, #1
+        bx lr
+    """
+    return Apk(package="com.bench.crossing", classes=[cls],
+               native_libraries={"libcross.so": native},
+               load_library_calls=["libcross.so"])
+
+
+def _measure(setup: Callable[[bool], Tuple[Emulator, Callable[[], None]]],
+             use_tb: bool, repeats: int) -> Tuple[int, float]:
+    """Best-of-``repeats`` timing; returns (instructions, seconds)."""
+    best: Optional[Tuple[int, float]] = None
+    for _ in range(repeats):
+        emu, run = setup(use_tb)
+        before = emu.instruction_count
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        instructions = emu.instruction_count - before
+        if best is None or elapsed < best[1]:
+            best = (instructions, elapsed)
+    assert best is not None
+    return best
+
+
+class EmulatorBench:
+    """Instr/sec on the acceptance workloads, both engines + taint parity."""
+
+    def __init__(self, cfbench_iterations: int = 20_000,
+                 jni_crossings: int = 300,
+                 tracer_calls: int = 10,
+                 repeats: int = 3) -> None:
+        self.cfbench_iterations = cfbench_iterations
+        self.jni_crossings = jni_crossings
+        self.tracer_calls = tracer_calls
+        self.repeats = repeats
+
+    # -- workloads ----------------------------------------------------------
+
+    def _cfbench_setup(self, use_tb: bool):
+        from repro.bench.cfbench import CFBench
+        platform = make_platform("vanilla", use_tb=use_tb)
+        bench = CFBench(platform)
+        iterations = self.cfbench_iterations
+
+        def run() -> None:
+            bench.run_workload("native_mips", iterations=iterations)
+        return platform.emu, run
+
+    def _jni_crossing_setup(self, use_tb: bool):
+        platform = make_platform("vanilla", use_tb=use_tb)
+        apk = _build_crossing_apk()
+        platform.install(apk)
+        platform.run_app(apk)
+        crossings = self.jni_crossings
+
+        def run() -> None:
+            result = platform.vm.call_main(f"{CROSSING_CLASS}->cross",
+                                           [Slot(crossings)])
+            assert result.value == crossings * (crossings + 1) // 2
+        return platform.emu, run
+
+    def _tracer_setup(self, use_tb: bool):
+        emu = Emulator(use_tb=use_tb)
+        program = assemble(TRACER_LOOP, base=TRACER_CODE_BASE)
+        emu.load(TRACER_CODE_BASE, program.code)
+        emu.memory_map.map(TRACER_CODE_BASE, 0x1000, "libapp.so",
+                           third_party=True)
+        emu.cpu.sp = 0x0800_0000
+        engine = TaintEngine()
+        tracer = InstructionTracer(
+            engine, is_third_party=emu.memory_map.is_third_party)
+        emu.add_tracer(tracer)
+        entry = program.entry("main")
+        calls = self.tracer_calls
+
+        def run() -> None:
+            for _ in range(calls):
+                emu.call(entry)
+        return emu, run
+
+    def measure_workload(self, name: str) -> Dict[str, float]:
+        setup = {
+            "cfbench_native_loop": self._cfbench_setup,
+            "jni_crossing": self._jni_crossing_setup,
+            "table5_tracer": self._tracer_setup,
+        }[name]
+        step_instr, step_time = _measure(setup, False, self.repeats)
+        tb_instr, tb_time = _measure(setup, True, self.repeats)
+        assert step_instr == tb_instr, \
+            f"{name}: engines disagree on instruction count " \
+            f"({step_instr} vs {tb_instr})"
+        step_ips = step_instr / step_time if step_time > 0 else float("inf")
+        tb_ips = tb_instr / tb_time if tb_time > 0 else float("inf")
+        return {
+            "instructions": step_instr,
+            "single_step_instr_per_sec": round(step_ips, 1),
+            "tb_instr_per_sec": round(tb_ips, 1),
+            "speedup": round(tb_ips / step_ips, 3) if step_ips else 0.0,
+        }
+
+    # -- taint parity -------------------------------------------------------
+
+    @staticmethod
+    def _leak_report(name: str, use_tb: bool) -> List[Dict]:
+        scenario = ALL_SCENARIOS[name]()
+        platform = make_platform("ndroid", use_tb=use_tb)
+        run_scenario(scenario, platform)
+        report = [
+            {
+                "detector": record.detector,
+                "sink": record.sink,
+                "taint": record.taint,
+                "destination": record.destination,
+                "payload": record.payload.hex(),
+                "context": record.context,
+            }
+            for record in platform.leaks.records
+        ]
+        report.sort(key=lambda entry: repr(sorted(entry.items())))
+        return report
+
+    def taint_parity(self) -> Dict:
+        mismatches = []
+        for name in PARITY_SCENARIOS:
+            if self._leak_report(name, True) != self._leak_report(name, False):
+                mismatches.append(name)
+        return {
+            "scenarios": list(PARITY_SCENARIOS),
+            "mismatches": mismatches,
+            "identical": not mismatches,
+        }
+
+    # -- entry point --------------------------------------------------------
+
+    def run(self) -> Dict:
+        workloads = {
+            name: self.measure_workload(name)
+            for name in ("cfbench_native_loop", "jni_crossing",
+                         "table5_tracer")
+        }
+        return {
+            "schema": SCHEMA,
+            "workloads": workloads,
+            "taint_parity": self.taint_parity(),
+        }
+
+
+def write_results(results: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(current: Dict, baseline: Dict,
+                        tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Regression check; returns human-readable failures (empty = pass).
+
+    Gates on the TB-vs-single-step *speedup ratio* per workload, which is
+    stable across machines, unlike raw instructions/second.
+    """
+    failures = []
+    baseline_workloads = baseline.get("workloads", {})
+    for name, row in current.get("workloads", {}).items():
+        reference = baseline_workloads.get(name)
+        if reference is None:
+            continue
+        floor = reference["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {row['speedup']:.2f}x regressed below "
+                f"{floor:.2f}x (baseline {reference['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)")
+    parity = current.get("taint_parity", {})
+    if not parity.get("identical", False):
+        failures.append(
+            f"taint parity broken: {parity.get('mismatches')}")
+    return failures

@@ -26,9 +26,13 @@ from repro.taintdroid import TaintDroid
 CONFIGS = ("vanilla", "taintdroid", "ndroid", "droidscope")
 
 
-def make_platform(config: str) -> AndroidPlatform:
-    """Build a platform with the named analysis configuration attached."""
-    platform = AndroidPlatform()
+def make_platform(config: str, use_tb: bool = True) -> AndroidPlatform:
+    """Build a platform with the named analysis configuration attached.
+
+    ``use_tb=False`` pins the emulator to the single-step engine (the
+    pre-translation baseline the emulator benchmark compares against).
+    """
+    platform = AndroidPlatform(use_tb=use_tb)
     if config == "taintdroid":
         TaintDroid.attach(platform)
     elif config == "ndroid":

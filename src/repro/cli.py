@@ -53,6 +53,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                        "comparison")
     bench.add_argument("--iterations", type=int, default=200)
     bench.add_argument("--repeats", type=int, default=2)
+    bench.add_argument("--emulator", action="store_true",
+                       help="run the emulator engine benchmark "
+                            "(TB vs single-step + taint parity) instead")
+    bench.add_argument("--json", metavar="PATH", default=None,
+                       help="write emulator benchmark results to PATH")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="fail if speedups regress >tolerance vs this "
+                            "baseline JSON")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed speedup regression vs baseline "
+                            "(default 0.30)")
 
     supervise = subparsers.add_parser(
         "supervise",
@@ -155,6 +166,32 @@ def _command_bench(iterations: int, repeats: int) -> int:
     return 0
 
 
+def _command_bench_emulator(json_path, baseline_path, tolerance) -> int:
+    from repro.bench.emulator_bench import (
+        EmulatorBench, compare_to_baseline, load_results, write_results)
+    results = EmulatorBench().run()
+    for name, row in results["workloads"].items():
+        print(f"{name:<22} {row['single_step_instr_per_sec']:>12,.0f} -> "
+              f"{row['tb_instr_per_sec']:>12,.0f} instr/s "
+              f"({row['speedup']:.2f}x)")
+    parity = results["taint_parity"]
+    print(f"taint parity: {'identical' if parity['identical'] else 'BROKEN'} "
+          f"over {len(parity['scenarios'])} scenarios")
+    if json_path:
+        write_results(results, json_path)
+        print(f"wrote {json_path}")
+    if baseline_path:
+        failures = compare_to_baseline(results, load_results(baseline_path),
+                                       tolerance=tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {baseline_path} "
+              f"(tolerance {tolerance:.0%})")
+    return 0 if parity["identical"] else 1
+
+
 def _command_supervise(args) -> int:
     from repro.apps.market import run_supervised_market_study
     from repro.resilience import FaultPlan, Supervisor
@@ -220,6 +257,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "corpus":
         return _command_corpus(args.scale, args.seed)
     if args.command == "bench":
+        if args.emulator:
+            return _command_bench_emulator(args.json, args.baseline,
+                                           args.tolerance)
         return _command_bench(args.iterations, args.repeats)
     if args.command == "supervise":
         return _command_supervise(args)

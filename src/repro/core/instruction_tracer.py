@@ -107,6 +107,11 @@ class InstructionTracer:
                 self.cache_hits += 1
         else:
             handler = self._select_handler(ir)
+        if not self.taint.maybe_tainted:
+            # No label anywhere in the engine yet: every Table-V rule
+            # degenerates to clear := clear, so skip the handler (the
+            # resolution/cache accounting above still reflects coverage).
+            return
         if self.fault_handler is None:
             handler(ir, emu)
             return

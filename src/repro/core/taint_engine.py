@@ -41,6 +41,12 @@ class TaintEngine(NativeTaintInterface):
         # the engine over-taints (stays sound, loses precision) instead of
         # silently dropping flows.
         self.conservative_label: TaintLabel = TAINT_CLEAR
+        # Sticky: flips True the first time any non-clear label enters the
+        # engine and never flips back.  While False, every query is
+        # trivially clear (taint only derives from existing taint), so the
+        # instruction tracer skips per-instruction propagation entirely —
+        # the dominant cost in runs that never touch a taint source.
+        self.maybe_tainted = False
 
     # -- graceful degradation -------------------------------------------------
 
@@ -49,6 +55,7 @@ class TaintEngine(NativeTaintInterface):
         if label == TAINT_CLEAR:
             return
         self.conservative_label |= label
+        self.maybe_tainted = True
         self.log("degrade",
                  f"conservative label now 0x{self.conservative_label:x}",
                  taint=self.conservative_label)
@@ -76,10 +83,14 @@ class TaintEngine(NativeTaintInterface):
     def set_register(self, index: int, label: TaintLabel) -> None:
         self.shadow_registers[index] = label
         self.propagation_count += 1
+        if label:
+            self.maybe_tainted = True
 
     def add_register(self, index: int, label: TaintLabel) -> None:
         self.shadow_registers[index] |= label
         self.propagation_count += 1
+        if label:
+            self.maybe_tainted = True
 
     def clear_register(self, index: int) -> None:
         self.shadow_registers[index] = TAINT_CLEAR
@@ -91,6 +102,8 @@ class TaintEngine(NativeTaintInterface):
 
     def get_memory(self, address: int, length: int = 1) -> TaintLabel:
         """Union of labels over ``[address, address+length)``."""
+        if not self._memory_taints:
+            return self.conservative_label
         label = self.conservative_label
         for offset in range(length):
             label |= self._memory_taints.get((address + offset) & 0xFFFFFFFF,
@@ -101,6 +114,8 @@ class TaintEngine(NativeTaintInterface):
                    label: TaintLabel) -> None:
         """Overwrite labels over a range (``t(M) := label``)."""
         self.propagation_count += 1
+        if label:
+            self.maybe_tainted = True
         for offset in range(length):
             key = (address + offset) & 0xFFFFFFFF
             if label:
@@ -114,6 +129,7 @@ class TaintEngine(NativeTaintInterface):
         if not label:
             return
         self.propagation_count += 1
+        self.maybe_tainted = True
         for offset in range(length):
             key = (address + offset) & 0xFFFFFFFF
             self._memory_taints[key] = self._memory_taints.get(
@@ -123,6 +139,8 @@ class TaintEngine(NativeTaintInterface):
                          labels: List[TaintLabel]) -> None:
         """Per-byte assignment (used by modelled copies like memcpy)."""
         self.propagation_count += 1
+        if any(labels):
+            self.maybe_tainted = True
         for offset, label in enumerate(labels):
             key = (address + offset) & 0xFFFFFFFF
             if label:
@@ -132,6 +150,8 @@ class TaintEngine(NativeTaintInterface):
 
     def memory_bytes(self, address: int, length: int) -> List[TaintLabel]:
         base = self.conservative_label
+        if not self._memory_taints:
+            return [base] * length
         return [base | self._memory_taints.get((address + offset) & 0xFFFFFFFF,
                                                TAINT_CLEAR)
                 for offset in range(length)]
@@ -158,12 +178,15 @@ class TaintEngine(NativeTaintInterface):
         if iref:
             self._iref_taints[iref] = label
             self.propagation_count += 1
+            if label:
+                self.maybe_tainted = True
 
     def add_iref(self, iref: int, label: TaintLabel) -> None:
         if iref and label:
             self._iref_taints[iref] = self._iref_taints.get(
                 iref, TAINT_CLEAR) | label
             self.propagation_count += 1
+            self.maybe_tainted = True
 
     # -- NativeTaintInterface (libc/kernel view) --------------------------------------
 

@@ -17,5 +17,7 @@ instrumentation surfaces NDroid plugs into:
 """
 
 from repro.emulator.emulator import EXIT_ADDRESS, Emulator, HostContext
+from repro.emulator.tb import TranslationBlock, TranslationCache
 
-__all__ = ["Emulator", "HostContext", "EXIT_ADDRESS"]
+__all__ = ["Emulator", "HostContext", "EXIT_ADDRESS",
+           "TranslationBlock", "TranslationCache"]

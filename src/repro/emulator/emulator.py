@@ -1,8 +1,25 @@
-"""Core fetch/decode/execute loop with instrumentation surfaces."""
+"""Core execution engine: translation blocks with instrumentation gating.
+
+Mirroring NDroid's QEMU substrate, the emulator executes *translation
+blocks* — straight-line runs decoded once, cached by ``(pc, thumb)`` and
+chained to their static successors — rather than fetch/decode/execute per
+instruction.  Instrumentation is decided at translation boundaries: while
+no per-instruction instrumentation is attached (no tracers, no fault
+injector), blocks run through a tight micro-op loop with **zero**
+per-instruction checks; attaching any reverts execution to the
+single-step interpreter whose semantics the blocks replicate.
+
+Invalidation is page-granular and shared between the decode cache and
+the block cache: a write into a page holding translated code (observed
+through the memory write-watch), a host-function registration, or a new
+entry/exit hook on that page drops the page's blocks and severs chain
+links, so self-modifying code is re-translated at the next block
+boundary.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import DecodeError, EmulationError
 from repro.common.events import EventLog
@@ -11,6 +28,12 @@ from repro.cpu.executor import Executor
 from repro.cpu.isa import Instruction
 from repro.cpu.state import LR, PC, SP, CpuState
 from repro.cpu.thumb_decoder import decode_thumb
+from repro.emulator.tb import TranslationBlock, TranslationCache
+from repro.emulator.translator import (
+    build_micro_op,
+    ends_block,
+    static_branch_target,
+)
 from repro.memory.memory import Memory
 from repro.memory.regions import MemoryMap
 
@@ -19,14 +42,18 @@ from repro.memory.regions import MemoryMap
 # the JNI trampoline).
 EXIT_ADDRESS = 0xFFFF_0000
 
+# Translation stops after this many body micro-ops even without a branch
+# (bounds translation latency and keeps invalidation granular).
+MAX_BLOCK_OPS = 64
+
 BranchListener = Callable[[int, int, "Emulator"], None]
 Tracer = Callable[[Instruction, "Emulator"], None]
 Hook = Callable[["Emulator"], None]
 SyscallHandler = Callable[[int, "Emulator"], None]
 # A fault injector observes named fault points ("step", "decode", "host",
 # "hook") and may raise to simulate a failure there.  The resilience
-# subsystem's FaultPlan implements this surface; ``None`` costs one branch
-# per point.
+# subsystem's FaultPlan implements this surface; installing one switches
+# execution to the per-instruction engine so every fault point fires.
 FaultInjector = Callable[..., None]
 
 
@@ -70,18 +97,34 @@ class _RegisteredHost:
 
 
 class Emulator:
-    """An emulated ARM machine with analysis instrumentation."""
+    """An emulated ARM machine with analysis instrumentation.
+
+    ``use_tb=False`` forces the pre-translation single-step engine (used
+    by the benchmark harness to measure the translation engine's gain).
+    """
 
     def __init__(self, memory: Optional[Memory] = None,
-                 event_log: Optional[EventLog] = None) -> None:
+                 event_log: Optional[EventLog] = None,
+                 use_tb: bool = True) -> None:
         self.memory = memory if memory is not None else Memory()
         self.cpu = CpuState()
         self.memory_map = MemoryMap()
         self.event_log = event_log if event_log is not None else EventLog()
         self.executor = Executor(self.cpu, self.memory,
                                  svc_handler=self._handle_svc)
+        self.use_tb = use_tb
 
         self._decode_cache: Dict[Tuple[int, bool], Instruction] = {}
+        # Page-granular reverse index over the decode cache, shared with
+        # the translation-block cache's invalidation path.
+        self._decode_pages: Dict[int, Set[Tuple[int, bool]]] = {}
+        # Per-page [lo, hi) span of addresses actually decoded as code.
+        # Writes to a watched page outside this span (literal pools, data
+        # buffers sharing a code page) don't invalidate anything.
+        self._code_extents: Dict[int, List[int]] = {}
+        self._tb_cache = TranslationCache()
+        self.memory.set_write_watcher(self._on_code_page_write)
+
         self._host_functions: Dict[int, _RegisteredHost] = {}
         self._entry_hooks: Dict[int, List[Hook]] = {}
         self._exit_hooks: Dict[int, List[Hook]] = {}
@@ -90,8 +133,10 @@ class Emulator:
         self._tracers: List[Tracer] = []
         self.syscall_handler: Optional[SyscallHandler] = None
         # Pluggable fault injection (resilience/faults.py); stays None in
-        # production runs.
-        self.fault_injector: Optional[FaultInjector] = None
+        # production runs.  Installing one forces per-instruction mode.
+        self._fault_injector: Optional[FaultInjector] = None
+        # True while any per-instruction instrumentation is attached.
+        self._per_step_instrumentation = False
 
         self.instruction_count = 0
         self.host_call_count = 0
@@ -110,7 +155,52 @@ class Emulator:
         self.invalidate_cache()
 
     def invalidate_cache(self) -> None:
+        """Drop every translated block and decoded instruction."""
+        for page in list(self._decode_pages):
+            self.memory.unwatch_page(page)
+        for page in self._tb_cache.pages():
+            self.memory.unwatch_page(page)
         self._decode_cache.clear()
+        self._decode_pages.clear()
+        self._code_extents.clear()
+        self._tb_cache.flush()
+
+    def invalidate_page(self, page: int) -> None:
+        """Page-granular invalidation (self-modifying code, new hooks)."""
+        keys = self._decode_pages.pop(page, None)
+        if keys:
+            for key in keys:
+                self._decode_cache.pop(key, None)
+        self._code_extents.pop(page, None)
+        self._tb_cache.invalidate_page(page)
+        if page not in self._decode_pages and page not in self._tb_cache.pages():
+            self.memory.unwatch_page(page)
+
+    def _on_code_page_write(self, page: int, start: int, end: int) -> None:
+        extent = self._code_extents.get(page)
+        if extent is None:
+            return
+        # Only writes overlapping bytes that were actually decoded as
+        # code invalidate; data sharing the page (literal pools, .space
+        # buffers) is written freely.
+        base = page << 12
+        if base + start < extent[1] and base + end > extent[0]:
+            self.invalidate_page(page)
+
+    # -- instrumentation bookkeeping ------------------------------------------
+
+    def _refresh_instrumentation(self) -> None:
+        self._per_step_instrumentation = bool(self._tracers) or \
+            self._fault_injector is not None
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        self._fault_injector = injector
+        self._refresh_instrumentation()
 
     # -- host functions -------------------------------------------------------
 
@@ -121,6 +211,9 @@ class Emulator:
             raise EmulationError(
                 f"host function already registered @ 0x{address:08x}")
         self._host_functions[address] = _RegisteredHost(name, function)
+        # Blocks translated before this registration assumed the address
+        # held (or preceded) translatable code.
+        self.invalidate_page((address & ~1) >> 12)
         return address
 
     def host_function_at(self, address: int) -> Optional[str]:
@@ -149,18 +242,22 @@ class Emulator:
 
     def add_entry_hook(self, address: int, hook: Hook) -> None:
         self._entry_hooks.setdefault(address & ~1, []).append(hook)
+        self.invalidate_page((address & ~1) >> 12)
 
     def add_exit_hook(self, address: int, hook: Hook) -> None:
         self._exit_hooks.setdefault(address & ~1, []).append(hook)
+        self.invalidate_page((address & ~1) >> 12)
 
     def add_branch_listener(self, listener: BranchListener) -> None:
         self._branch_listeners.append(listener)
 
     def add_tracer(self, tracer: Tracer) -> None:
         self._tracers.append(tracer)
+        self._refresh_instrumentation()
 
     def remove_tracer(self, tracer: Tracer) -> None:
         self._tracers.remove(tracer)
+        self._refresh_instrumentation()
 
     def _notify_branch(self, i_from: int, i_to: int) -> None:
         for listener in self._branch_listeners:
@@ -210,10 +307,10 @@ class Emulator:
         fault plan raising here is indistinguishable from the organic
         failure (undecodable word, wild pointer, broken hook).
         """
-        if self.fault_injector is not None:
-            self.fault_injector(point, self, **context)
+        if self._fault_injector is not None:
+            self._fault_injector(point, self, **context)
 
-    # -- execution ---------------------------------------------------------------
+    # -- decode -----------------------------------------------------------------
 
     def _decode(self, address: int, thumb: bool) -> Instruction:
         key = (address, thumb)
@@ -234,7 +331,23 @@ class Emulator:
                 error.pc = address
             raise
         self._decode_cache[key] = ir
+        # Track (and watch) the pages this decode read, so a write to
+        # them invalidates the cached instruction.
+        end = address + ir.width
+        for page in range(address >> 12, (end - 1 >> 12) + 1):
+            self._decode_pages.setdefault(page, set()).add(key)
+            extent = self._code_extents.get(page)
+            if extent is None:
+                self._code_extents[page] = [address, end]
+            else:
+                if address < extent[0]:
+                    extent[0] = address
+                if end > extent[1]:
+                    extent[1] = end
+            self.memory.watch_page(page)
         return ir
+
+    # -- single-step engine (instrumented mode) ----------------------------------
 
     def step(self) -> None:
         """Execute a single instruction (or host function) at PC."""
@@ -258,6 +371,178 @@ class Emulator:
                 self._fire_entry_hooks(target)
         else:
             self.cpu.pc = pc + ir.width
+
+    # -- translation ----------------------------------------------------------------
+
+    def _translate(self, pc: int, thumb: bool) -> TranslationBlock:
+        """Decode a straight-line run starting at ``pc`` into a block."""
+        ops = []
+        specialised = 0
+        term_ir: Optional[Instruction] = None
+        term_pc = pc
+        current = pc
+        hosts = self._host_functions
+        while True:
+            if current in hosts or (current | 1) in hosts:
+                break  # host boundary: fall through into host dispatch
+            ir = self._decode(current, thumb)
+            if ends_block(ir):
+                term_ir = ir
+                term_pc = current
+                current += ir.width
+                break
+            op, is_specialised = build_micro_op(
+                ir, current, thumb, self.cpu, self.memory, self.executor)
+            ops.append(op)
+            if is_specialised:
+                specialised += 1
+            current += ir.width
+            if len(ops) >= MAX_BLOCK_OPS:
+                break
+        fall_pc = current & 0xFFFF_FFFF
+        taken_pc = (static_branch_target(term_ir, term_pc, thumb)
+                    if term_ir is not None else None)
+        pages = tuple(range(pc >> 12, ((current + 3) >> 12) + 1))
+        tb = TranslationBlock(
+            pc=pc, thumb=thumb, ops=tuple(ops), term_ir=term_ir,
+            term_pc=term_pc, fall_pc=fall_pc, taken_pc=taken_pc,
+            length=len(ops) + (1 if term_ir is not None else 0),
+            pages=pages, specialised=specialised)
+        self._tb_cache.put(tb)
+        for page in pages:
+            self.memory.watch_page(page)
+        return tb
+
+    def translation_stats(self) -> Dict[str, int]:
+        return {
+            "blocks": len(self._tb_cache),
+            "translations": self._tb_cache.translations,
+            "invalidations": self._tb_cache.invalidations,
+        }
+
+    # -- block dispatch (uninstrumented fast path) ---------------------------------
+
+    def _run_translated(self, stop_at: int, budget: int) -> int:
+        """Run translated blocks until a boundary condition; returns steps.
+
+        Exits when ``stop_at`` is reached, ``stop()`` was requested,
+        per-instruction instrumentation appeared (a hook attached a
+        tracer), or the step budget is exhausted (the caller re-checks
+        and raises).  The inner loop performs no per-instruction checks:
+        boundary work (branch listeners, entry/exit hooks, host
+        dispatch, stop/budget checks) happens between blocks only.
+        """
+        cpu = self.cpu
+        regs = cpu.regs
+        cache = self._tb_cache
+        hosts = self._host_functions
+        executor_execute = self.executor.execute
+        executed = 0
+        tb: Optional[TranslationBlock] = None
+        # Pending chain link: (predecessor, True for taken-edge).
+        link: Optional[Tuple[TranslationBlock, bool]] = None
+        while executed < budget:
+            pc = regs[PC]
+            if pc == stop_at or self._stop_requested or \
+                    self._per_step_instrumentation:
+                break
+            if tb is None or not tb.valid:
+                if (pc & ~1) in hosts:
+                    self._dispatch_host(pc & ~1, simulate_return=True)
+                    executed += 1
+                    tb = None
+                    link = None
+                    continue
+                tb = cache.get((pc, cpu.thumb))
+                if tb is None:
+                    tb = self._translate(pc, cpu.thumb)
+                if link is not None:
+                    predecessor, taken_edge = link
+                    if predecessor.valid:
+                        if taken_edge:
+                            predecessor.succ_taken = tb
+                        else:
+                            predecessor.succ_fall = tb
+                    link = None
+
+            # ---- the tight loop: zero per-instruction checks ----
+            for op in tb.ops:
+                op()
+
+            executed += tb.length
+            term_ir = tb.term_ir
+            if term_ir is None:
+                # Block was cut short (length cap / host code ahead).
+                self.instruction_count += tb.length
+                regs[PC] = tb.fall_pc
+                successor = tb.succ_fall
+                if successor is None:
+                    link = (tb, False)
+                tb = successor
+                continue
+
+            regs[PC] = tb.term_pc
+            wrote_pc = executor_execute(term_ir)
+            self.instruction_count += tb.length
+            if not wrote_pc:
+                regs[PC] = tb.fall_pc
+                successor = tb.succ_fall
+                if successor is None:
+                    link = (tb, False)
+                tb = successor
+                continue
+
+            target = regs[PC]
+            # Block-boundary instrumentation (cheap presence checks; the
+            # paper's per-crossing hooks live here, not per instruction).
+            if self._branch_listeners:
+                self._notify_branch(tb.term_pc, target)
+            if self._pending_exits:
+                self._fire_exit_hooks(target)
+            if (self._entry_hooks or self._exit_hooks) and \
+                    (target & ~1) not in hosts:
+                self._fire_entry_hooks(target)
+            if target == tb.taken_pc:
+                successor = tb.succ_taken
+                if successor is None:
+                    link = (tb, True)
+                tb = successor
+            else:
+                tb = None  # dynamic target (BX, LDR pc, ...): re-resolve
+        return executed
+
+    # -- run loop ---------------------------------------------------------------------
+
+    def run(self, max_steps: int = 5_000_000,
+            stop_at: int = EXIT_ADDRESS) -> int:
+        """Run until control returns to ``stop_at``.
+
+        Returns the number of steps executed.  Raises on runaway loops so
+        a broken scenario fails fast instead of hanging the test suite
+        (translated blocks execute whole, so up to one block length may
+        run beyond ``max_steps`` before the overrun is detected).
+        """
+        self._stop_requested = False
+        steps = 0
+        cpu = self.cpu
+        while cpu.regs[PC] != stop_at:
+            if self._stop_requested:
+                break
+            if steps >= max_steps:
+                raise EmulationError(f"exceeded {max_steps} steps",
+                                     pc=cpu.pc,
+                                     mode="thumb" if cpu.thumb else "arm")
+            if self._per_step_instrumentation or not self.use_tb:
+                self.step()
+                steps += 1
+            else:
+                steps += self._run_translated(stop_at, max_steps - steps)
+        return steps
+
+    def stop(self) -> None:
+        self._stop_requested = True
+
+    # -- host dispatch -----------------------------------------------------------------
 
     def _dispatch_host(self, address: int, simulate_return: bool,
                        return_address: Optional[int] = None) -> None:
@@ -313,26 +598,3 @@ class Emulator:
             self._call_depth -= 1
         self.cpu.sp = saved_sp
         return self.cpu.regs[0]
-
-    def run(self, max_steps: int = 5_000_000,
-            stop_at: int = EXIT_ADDRESS) -> int:
-        """Run until control returns to ``stop_at``.
-
-        Returns the number of steps executed.  Raises on runaway loops so a
-        broken scenario fails fast instead of hanging the test suite.
-        """
-        self._stop_requested = False
-        steps = 0
-        while self.cpu.pc != stop_at:
-            if self._stop_requested:
-                break
-            if steps >= max_steps:
-                raise EmulationError(f"exceeded {max_steps} steps",
-                                     pc=self.cpu.pc,
-                                     mode="thumb" if self.cpu.thumb else "arm")
-            self.step()
-            steps += 1
-        return steps
-
-    def stop(self) -> None:
-        self._stop_requested = True

@@ -1,0 +1,122 @@
+"""Translation blocks: cached straight-line runs of translated code.
+
+NDroid inherits QEMU's translation-block architecture: guest code is
+decoded once into blocks that end at control transfers, instrumentation
+is decided when the block is *translated* rather than re-checked on
+every executed instruction, and blocks chain directly to their static
+successors so a hot loop dispatches without touching the block cache.
+
+Blocks are keyed by ``(pc, thumb)`` and indexed by the 4 KiB pages their
+bytes occupy.  Invalidation is page-granular: a write into a page
+holding translated code (self-modifying code), or a hook registration
+covering it, drops every block on that page and severs all chain links
+into the dropped blocks (chains are severed globally — registration and
+self-modification are rare, dispatch is not).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+PAGE_SHIFT = 12
+
+
+class TranslationBlock:
+    """One translated straight-line run starting at ``(pc, thumb)``.
+
+    ``ops`` are the body micro-ops (never write PC).  ``term_ir`` is the
+    decoded terminator executed through the interpretive executor, or
+    None when the block was cut short (max length / host-code boundary),
+    in which case control falls through to ``fall_pc``.
+    """
+
+    __slots__ = ("pc", "thumb", "ops", "term_ir", "term_pc", "fall_pc",
+                 "taken_pc", "length", "pages", "valid", "specialised",
+                 "succ_taken", "succ_fall")
+
+    def __init__(self, pc: int, thumb: bool, ops: Tuple, term_ir,
+                 term_pc: int, fall_pc: int, taken_pc: Optional[int],
+                 length: int, pages: Tuple[int, ...],
+                 specialised: int) -> None:
+        self.pc = pc
+        self.thumb = thumb
+        self.ops = ops
+        self.term_ir = term_ir
+        self.term_pc = term_pc
+        self.fall_pc = fall_pc
+        # Static taken-target of a PC-relative terminator (chainable);
+        # None for dynamic targets (BX, LDR pc, ...).
+        self.taken_pc = taken_pc
+        self.length = length
+        self.pages = pages
+        self.valid = True
+        self.specialised = specialised
+        # Direct chaining: resolved successor blocks (same thumb mode,
+        # set lazily by the dispatch loop, severed on invalidation).
+        self.succ_taken: Optional["TranslationBlock"] = None
+        self.succ_fall: Optional["TranslationBlock"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "thumb" if self.thumb else "arm"
+        return (f"<TB {mode}@{self.pc:08x} len={self.length} "
+                f"spec={self.specialised} valid={self.valid}>")
+
+
+class TranslationCache:
+    """The ``(pc, thumb)`` → block map with a per-page reverse index."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[Tuple[int, bool], TranslationBlock] = {}
+        self._by_page: Dict[int, List[TranslationBlock]] = {}
+        self.translations = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, key: Tuple[int, bool]) -> Optional[TranslationBlock]:
+        return self._blocks.get(key)
+
+    def put(self, tb: TranslationBlock) -> None:
+        self._blocks[(tb.pc, tb.thumb)] = tb
+        for page in tb.pages:
+            self._by_page.setdefault(page, []).append(tb)
+        self.translations += 1
+
+    def pages(self) -> Set[int]:
+        """Every page currently holding translated code."""
+        return set(self._by_page)
+
+    def _sever_chains(self) -> None:
+        for tb in self._blocks.values():
+            tb.succ_taken = None
+            tb.succ_fall = None
+
+    def invalidate_page(self, page: int) -> int:
+        """Drop every block overlapping ``page``; returns the count."""
+        victims = self._by_page.pop(page, None)
+        if not victims:
+            return 0
+        dropped = 0
+        for tb in victims:
+            if not tb.valid:
+                continue
+            tb.valid = False
+            self._blocks.pop((tb.pc, tb.thumb), None)
+            dropped += 1
+            for other_page in tb.pages:
+                if other_page != page:
+                    siblings = self._by_page.get(other_page)
+                    if siblings is not None:
+                        siblings[:] = [b for b in siblings if b is not tb]
+        # Any block anywhere may chain into a dropped block.
+        self._sever_chains()
+        self.invalidations += dropped
+        return dropped
+
+    def flush(self) -> None:
+        for tb in self._blocks.values():
+            tb.valid = False
+        self.invalidations += len(self._blocks)
+        self._blocks.clear()
+        self._by_page.clear()

@@ -44,10 +44,12 @@ APP_LIBRARY_STRIDE = 0x0010_0000
 class AndroidPlatform:
     """A complete simulated Android device."""
 
-    def __init__(self, device: Optional[DeviceProfile] = None) -> None:
+    def __init__(self, device: Optional[DeviceProfile] = None,
+                 use_tb: bool = True) -> None:
         self.event_log = EventLog()
         self.memory = Memory()
-        self.emu = Emulator(memory=self.memory, event_log=self.event_log)
+        self.emu = Emulator(memory=self.memory, event_log=self.event_log,
+                            use_tb=use_tb)
         self.kernel = Kernel(self.memory, event_log=self.event_log)
         self.kernel.spawn_process("system_server")
         self.app_process = self.kernel.spawn_process("app_process")

@@ -3,11 +3,23 @@
 The store is page-based (4 KiB pages in a dict) so a 4 GiB address space
 costs nothing until touched.  All multi-byte accessors are little-endian,
 matching ARM's default data endianness on Android.
+
+Accessors that stay within one page operate directly on the page's
+``bytearray`` slice (``int.from_bytes`` / slice assignment) instead of
+looping byte-at-a-time; only accesses that straddle a page boundary fall
+back to the split path.  This is the data side of the translation-block
+engine's fast path: LDM/STM, ``memcpy``-style bulk moves and C-string
+scans all collapse to a handful of slice operations.
+
+Code pages can be *watched* (:meth:`watch_page`): a write that touches a
+watched page invokes the registered callback with the page index, which
+is how the emulator invalidates translated code when a self-modifying
+write lands on it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.errors import MemoryError_
 
@@ -15,6 +27,8 @@ PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 ADDRESS_MASK = 0xFFFF_FFFF
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
 
 
 class Memory:
@@ -28,6 +42,9 @@ class Memory:
     def __init__(self, strict: bool = False) -> None:
         self._pages: Dict[int, bytearray] = {}
         self.strict = strict
+        # Write-watch surface for translated code (see module docstring).
+        self._watched_pages: Set[int] = set()
+        self._write_watcher: Optional[Callable[[int], None]] = None
 
     # -- page plumbing ----------------------------------------------------
 
@@ -49,32 +66,112 @@ class Memory:
         """Number of pages ever written (used by memory-pressure tests)."""
         return len(self._pages)
 
+    # -- code-page write watching -------------------------------------------
+
+    def set_write_watcher(
+            self,
+            watcher: Optional[Callable[[int, int, int], None]]) -> None:
+        """Install the single write-watch callback.
+
+        The watcher receives ``(page_index, start_offset, end_offset)``
+        for every write chunk landing on a watched page, so the consumer
+        can ignore writes to data that merely shares a page with code
+        (literal pools, ``.space`` buffers).
+        """
+        self._write_watcher = watcher
+        if watcher is None:
+            self._watched_pages.clear()
+
+    def watch_page(self, index: int) -> None:
+        self._watched_pages.add(index)
+
+    def unwatch_page(self, index: int) -> None:
+        self._watched_pages.discard(index)
+
+    def _notify_write(self, index: int, start: int, end: int) -> None:
+        if self._write_watcher is not None:
+            self._write_watcher(index, start, end)
+
     # -- byte access ------------------------------------------------------
 
     def read_u8(self, address: int) -> int:
         address &= ADDRESS_MASK
-        page = self._page_for_read(address)
+        page = self._pages.get(address >> PAGE_SHIFT)
         if page is None:
+            if self.strict:
+                raise MemoryError_(address, "read of unmapped page")
             return 0
         return page[address & PAGE_MASK]
 
     def write_u8(self, address: int, value: int) -> None:
         address &= ADDRESS_MASK
-        self._page_for_write(address)[address & PAGE_MASK] = value & 0xFF
+        index = address >> PAGE_SHIFT
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[index] = page
+        offset = address & PAGE_MASK
+        page[offset] = value & 0xFF
+        if index in self._watched_pages:
+            self._notify_write(index, offset, offset + 1)
 
     # -- halfword/word access (little-endian) ------------------------------
 
     def read_u16(self, address: int) -> int:
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 2:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                if self.strict:
+                    raise MemoryError_(address, "read of unmapped page")
+                return 0
+            return page[offset] | (page[offset + 1] << 8)
         return self.read_u8(address) | (self.read_u8(address + 1) << 8)
 
     def write_u16(self, address: int, value: int) -> None:
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 2:
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset] = value & 0xFF
+            page[offset + 1] = (value >> 8) & 0xFF
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + 2)
+            return
         self.write_u8(address, value)
         self.write_u8(address + 1, value >> 8)
 
     def read_u32(self, address: int) -> int:
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                if self.strict:
+                    raise MemoryError_(address, "read of unmapped page")
+                return 0
+            return int.from_bytes(page[offset:offset + 4], "little")
         return self.read_u16(address) | (self.read_u16(address + 2) << 16)
 
     def write_u32(self, address: int, value: int) -> None:
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset:offset + 4] = (value & 0xFFFF_FFFF).to_bytes(
+                4, "little")
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + 4)
+            return
         self.write_u16(address, value)
         self.write_u16(address + 2, value >> 16)
 
@@ -95,20 +192,72 @@ class Memory:
     # -- bulk access -------------------------------------------------------
 
     def read_bytes(self, address: int, length: int) -> bytes:
-        return bytes(self.read_u8(address + i) for i in range(length))
+        address &= ADDRESS_MASK
+        if length <= 0:
+            return b""
+        chunks: List[bytes] = []
+        remaining = length
+        while remaining > 0:
+            offset = address & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                if self.strict:
+                    raise MemoryError_(address, "read of unmapped page")
+                chunks.append(_ZERO_PAGE[:chunk])
+            else:
+                chunks.append(bytes(page[offset:offset + chunk]))
+            address = (address + chunk) & ADDRESS_MASK
+            remaining -= chunk
+        return b"".join(chunks)
 
     def write_bytes(self, address: int, data: Iterable[int]) -> None:
-        for offset, byte in enumerate(bytes(data)):
-            self.write_u8(address + offset, byte)
+        address &= ADDRESS_MASK
+        blob = bytes(data)
+        position = 0
+        remaining = len(blob)
+        while remaining > 0:
+            offset = address & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset:offset + chunk] = blob[position:position + chunk]
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + chunk)
+            address = (address + chunk) & ADDRESS_MASK
+            position += chunk
+            remaining -= chunk
 
     def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
-        """Read a NUL-terminated C string (without the terminator)."""
+        """Read a NUL-terminated C string (without the terminator).
+
+        Scans whole page slices with ``bytearray.index(0)`` rather than
+        issuing one ``read_u8`` per byte — this path is hot in the libc
+        string hooks (``strcpy``/``strlen``/format strings).
+        """
+        address &= ADDRESS_MASK
         out = bytearray()
-        for offset in range(limit):
-            byte = self.read_u8(address + offset)
-            if byte == 0:
-                return bytes(out)
-            out.append(byte)
+        remaining = limit
+        while remaining > 0:
+            offset = address & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                if self.strict:
+                    raise MemoryError_(address, "read of unmapped page")
+                return bytes(out)  # zero-fill page: immediate terminator
+            try:
+                nul = page.index(0, offset, offset + chunk)
+            except ValueError:
+                out += page[offset:offset + chunk]
+                address = (address + chunk) & ADDRESS_MASK
+                remaining -= chunk
+                continue
+            out += page[offset:nul]
+            return bytes(out)
         raise MemoryError_(address, f"unterminated C string (>{limit} bytes)")
 
     def write_cstring(self, address: int, text: str) -> int:
@@ -118,8 +267,22 @@ class Memory:
         return len(data)
 
     def fill(self, address: int, length: int, value: int = 0) -> None:
-        for offset in range(length):
-            self.write_u8(address + offset, value)
+        address &= ADDRESS_MASK
+        remaining = length
+        byte = value & 0xFF
+        while remaining > 0:
+            offset = address & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset:offset + chunk] = bytes([byte]) * chunk
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + chunk)
+            address = (address + chunk) & ADDRESS_MASK
+            remaining -= chunk
 
     def copy(self, dest: int, src: int, length: int) -> None:
         """memmove semantics: correct even for overlapping ranges."""
@@ -129,11 +292,37 @@ class Memory:
     # -- word lists (for LDM/STM and stack dumps) ---------------------------
 
     def read_words(self, address: int, count: int) -> List[int]:
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if count > 0 and offset <= PAGE_SIZE - 4 * count:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                if self.strict:
+                    raise MemoryError_(address, "read of unmapped page")
+                return [0] * count
+            raw = page[offset:offset + 4 * count]
+            return [int.from_bytes(raw[i:i + 4], "little")
+                    for i in range(0, 4 * count, 4)]
         return [self.read_u32(address + 4 * i) for i in range(count)]
 
     def write_words(self, address: int, words: Iterable[int]) -> None:
-        for index, word in enumerate(words):
-            self.write_u32(address + 4 * index, word)
+        values = list(words)
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if values and offset <= PAGE_SIZE - 4 * len(values):
+            blob = b"".join((v & 0xFFFF_FFFF).to_bytes(4, "little")
+                            for v in values)
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset:offset + len(blob)] = blob
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + len(blob))
+            return
+        for i, word in enumerate(values):
+            self.write_u32(address + 4 * i, word)
 
     def snapshot_range(self, address: int, length: int) -> Tuple[int, bytes]:
         """Capture (address, bytes) for later comparison in tests."""

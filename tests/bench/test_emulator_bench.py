@@ -1,0 +1,73 @@
+"""The emulator throughput harness and its regression gate."""
+
+import json
+
+from repro.bench.emulator_bench import (
+    DEFAULT_TOLERANCE,
+    EmulatorBench,
+    compare_to_baseline,
+    load_results,
+    write_results,
+)
+
+
+def small_bench():
+    return EmulatorBench(cfbench_iterations=300, jni_crossings=20,
+                         tracer_calls=1, repeats=1)
+
+
+def test_workload_measures_both_engines_with_equal_instruction_counts():
+    row = small_bench().measure_workload("cfbench_native_loop")
+    assert row["instructions"] > 0
+    assert row["single_step_instr_per_sec"] > 0
+    assert row["tb_instr_per_sec"] > 0
+    assert row["speedup"] > 0
+
+
+def test_taint_parity_holds_on_a_scenario_subset():
+    bench = small_bench()
+    for name in ("case2", "benign"):
+        assert bench._leak_report(name, True) == bench._leak_report(name, False)
+
+
+def test_results_roundtrip_through_json(tmp_path):
+    results = {"schema": "bench_emulator/v1",
+               "workloads": {"x": {"speedup": 3.0}},
+               "taint_parity": {"identical": True}}
+    path = tmp_path / "bench.json"
+    write_results(results, str(path))
+    assert load_results(str(path)) == results
+    # Stable formatting: trailing newline, sorted keys.
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == results
+
+
+def test_compare_to_baseline_passes_within_tolerance():
+    baseline = {"workloads": {"w": {"speedup": 4.0}}}
+    current = {"workloads": {"w": {"speedup": 4.0 * (1 - DEFAULT_TOLERANCE)
+                                   + 0.01}},
+               "taint_parity": {"identical": True}}
+    assert compare_to_baseline(current, baseline) == []
+
+
+def test_compare_to_baseline_flags_speedup_regression():
+    baseline = {"workloads": {"w": {"speedup": 4.0}}}
+    current = {"workloads": {"w": {"speedup": 2.0}},
+               "taint_parity": {"identical": True}}
+    failures = compare_to_baseline(current, baseline)
+    assert len(failures) == 1 and "w" in failures[0]
+
+
+def test_compare_to_baseline_flags_parity_break():
+    current = {"workloads": {},
+               "taint_parity": {"identical": False, "mismatches": ["case2"]}}
+    failures = compare_to_baseline(current, {"workloads": {}})
+    assert any("parity" in f for f in failures)
+
+
+def test_unknown_baseline_workloads_are_ignored():
+    baseline = {"workloads": {"gone": {"speedup": 10.0}}}
+    current = {"workloads": {"new": {"speedup": 1.0}},
+               "taint_parity": {"identical": True}}
+    assert compare_to_baseline(current, baseline) == []

@@ -224,3 +224,40 @@ class TestScopingAndCache:
         tracer.invalidate_region_cache()
         emu.call(program.entry("main"))
         assert len(calls) == 2
+
+
+class TestCleanFastPath:
+    """Handlers are skipped while no label exists anywhere in the engine."""
+
+    def test_clean_run_skips_propagation_but_keeps_accounting(self):
+        engine, tracer, emu = run_traced("""
+    mov r1, #4
+    add r2, r1, #1
+    add r2, r2, r1
+        """)
+        assert tracer.traced_instructions > 0
+        assert engine.propagation_count == 0  # no handler ever ran
+
+    def test_seeded_taint_disables_the_skip(self):
+        engine, tracer, emu = run_traced("""
+    mov r2, #0
+    add r2, r2, r1
+        """, seed=lambda emu, eng: eng.set_register(1, TAINT_IMEI))
+        assert engine.get_register(2) == TAINT_IMEI
+        assert engine.propagation_count > 0
+
+    def test_handler_cache_still_counts_hits_when_clean(self):
+        engine, tracer, emu = run_traced("""
+    mov r0, #0
+    mov r1, #0
+loop:
+    cmp r1, #30
+    bge out
+    add r0, r0, r1
+    add r1, r1, #1
+    b loop
+out:
+    mov r2, r0
+        """)
+        assert engine.propagation_count == 0
+        assert tracer.cache_hits > tracer.traced_instructions * 0.5

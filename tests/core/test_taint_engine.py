@@ -3,7 +3,8 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.common.taint import (TAINT_CLEAR, TAINT_CONTACTS, TAINT_IMEI,
+                                TAINT_SMS)
 from repro.core.taint_engine import TaintEngine
 
 
@@ -107,3 +108,42 @@ def test_copy_preserves_byte_pattern(labels):
     engine.set_memory_bytes(0x1000, labels)
     engine.copy_memory(0x2000, 0x1000, len(labels))
     assert engine.memory_bytes(0x2000, len(labels)) == labels
+
+
+# -- empty-set fast path -----------------------------------------------------
+
+def test_maybe_tainted_starts_false_and_sticks():
+    engine = TaintEngine()
+    assert not engine.maybe_tainted
+    engine.set_register(0, TAINT_CLEAR)
+    engine.set_memory(0x1000, 4, TAINT_CLEAR)
+    assert not engine.maybe_tainted  # clear labels don't flip it
+    engine.set_register(1, TAINT_IMEI)
+    assert engine.maybe_tainted
+    engine.clear_all_registers()
+    assert engine.maybe_tainted  # sticky: never flips back
+
+
+def test_maybe_tainted_flips_on_every_label_entry_point():
+    for setter in (
+        lambda e: e.set_register(2, TAINT_IMEI),
+        lambda e: e.add_register(2, TAINT_IMEI),
+        lambda e: e.set_memory(0x10, 2, TAINT_IMEI),
+        lambda e: e.add_memory(0x10, 2, TAINT_IMEI),
+        lambda e: e.set_memory_bytes(0x10, [TAINT_IMEI]),
+        lambda e: e.set_iref(7, TAINT_IMEI),
+        lambda e: e.add_iref(7, TAINT_IMEI),
+        lambda e: e.degrade(TAINT_IMEI),
+    ):
+        engine = TaintEngine()
+        setter(engine)
+        assert engine.maybe_tainted
+
+
+def test_empty_map_queries_short_circuit_to_conservative_label():
+    engine = TaintEngine()
+    assert engine.get_memory(0x4000, 64) == TAINT_CLEAR
+    assert engine.memory_bytes(0x4000, 8) == [TAINT_CLEAR] * 8
+    engine.degrade(TAINT_IMEI)
+    assert engine.get_memory(0x4000, 64) == TAINT_IMEI
+    assert engine.memory_bytes(0x4000, 2) == [TAINT_IMEI] * 2

@@ -107,3 +107,65 @@ def test_bytes_roundtrip_property(data, addr):
     mem = Memory()
     mem.write_bytes(addr, data)
     assert mem.read_bytes(addr, len(data)) == data
+
+
+# -- page-boundary fast paths ------------------------------------------------
+
+def test_bulk_ops_straddle_page_boundary():
+    mem = Memory()
+    boundary = 0x3000 - 2  # last two bytes of one page + next page
+    mem.write_u32(boundary, 0xA1B2C3D4)
+    assert mem.read_u32(boundary) == 0xA1B2C3D4
+    data = bytes(range(1, 201))
+    mem.write_bytes(0x3F80, data)  # crosses 0x4000
+    assert mem.read_bytes(0x3F80, len(data)) == data
+    mem.fill(0x4FF0, 0x20, 0xEE)  # crosses 0x5000
+    assert mem.read_bytes(0x4FF0, 0x20) == b"\xEE" * 0x20
+
+
+def test_words_straddle_page_boundary():
+    mem = Memory()
+    words = [0x11111111, 0x22222222, 0x33333333, 0x44444444]
+    mem.write_words(0x1FFC - 4, words)  # last words of the page + beyond
+    assert mem.read_words(0x1FFC - 4, 4) == words
+
+
+def test_cstring_across_page_boundary():
+    mem = Memory()
+    text = "x" * 100
+    mem.write_cstring(0x1000 - 50, text)  # NUL lands on the second page
+    assert mem.read_cstring(0x1000 - 50) == text.encode()
+
+
+def test_cstring_stops_at_unmapped_page():
+    mem = Memory()
+    # 20 non-NUL bytes ending exactly at a page boundary; the next page
+    # was never written, so it reads as zero fill -> terminator.
+    mem.write_bytes(0x2000 - 20, b"y" * 20)
+    assert mem.read_cstring(0x2000 - 20) == b"y" * 20
+
+
+# -- write watching ----------------------------------------------------------
+
+def test_write_watcher_reports_page_and_range():
+    mem = Memory()
+    events = []
+    mem.set_write_watcher(lambda page, lo, hi: events.append((page, lo, hi)))
+    mem.watch_page(2)
+    mem.write_u8(0x2010, 0xFF)          # watched
+    mem.write_u32(0x5000, 1)            # not watched
+    mem.write_bytes(0x2FF0, b"z" * 32)  # straddles watched page 2 + page 3
+    assert (2, 0x10, 0x11) in events
+    assert (2, 0xFF0, 0x1000) in events
+    assert all(page == 2 for page, _, _ in events)
+
+
+def test_unwatch_page_silences_watcher():
+    mem = Memory()
+    events = []
+    mem.set_write_watcher(lambda page, lo, hi: events.append(page))
+    mem.watch_page(1)
+    mem.write_u8(0x1000, 1)
+    mem.unwatch_page(1)
+    mem.write_u8(0x1000, 2)
+    assert events == [1]
