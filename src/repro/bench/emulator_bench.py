@@ -30,6 +30,7 @@ from repro.dalvik.heap import Slot
 from repro.dalvik.instructions import Op
 from repro.emulator import Emulator
 from repro.framework import Apk
+from repro.observability.metrics import MetricsRegistry
 
 SCHEMA = "bench_emulator/v1"
 
@@ -43,6 +44,10 @@ PARITY_SCENARIOS = (
 # Speedup may drift this much below the committed baseline before the
 # regression gate fails (the CI smoke job's threshold).
 DEFAULT_TOLERANCE = 0.30
+
+# Ceiling on the slowdown a *disabled* observability layer may add to the
+# uninstrumented CFBench loop (the zero-cost-when-off acceptance gate).
+OBS_DISABLED_OVERHEAD_LIMIT = 0.03
 
 CROSSING_CLASS = "Lcom/bench/Crossing;"
 
@@ -201,6 +206,45 @@ class EmulatorBench:
             "speedup": round(tb_ips / step_ips, 3) if step_ips else 0.0,
         }
 
+    # -- observability zero-cost gate ---------------------------------------
+
+    def measure_observability_overhead(self) -> Dict[str, float]:
+        """CFBench loop with observability constructed-but-disabled vs
+        absent.  Both runs use the TB engine; best-of-``repeats`` each.
+        The ratio must stay under :data:`OBS_DISABLED_OVERHEAD_LIMIT`.
+        """
+        from repro.bench.cfbench import CFBench
+        # Longer runs than the throughput workloads: a percent-level gate
+        # needs the signal well above timer/scheduler noise.
+        iterations = self.cfbench_iterations * 2
+
+        def timed(observe: bool) -> float:
+            platform = make_platform("vanilla", observe=observe)
+            bench = CFBench(platform)
+            start = time.perf_counter()
+            bench.run_workload("native_mips", iterations=iterations)
+            return time.perf_counter() - start
+
+        # Interleave the two configurations so machine-state drift hits
+        # both equally, then gate on the *median* per-pair ratio — one
+        # slow outlier run must not fail CI.
+        pairs = []
+        for _ in range(max(self.repeats, 5)):
+            sample_without = timed(False)
+            sample_with = timed(True)
+            pairs.append((sample_without, sample_with))
+        ratios = sorted(w / base for base, w in pairs)
+        median = ratios[len(ratios) // 2]
+        without = min(base for base, __ in pairs)
+        with_disabled = min(w for __, w in pairs)
+        overhead = median - 1.0
+        return {
+            "cfbench_disabled_overhead": round(max(overhead, 0.0), 4),
+            "seconds_without": round(without, 6),
+            "seconds_with_disabled": round(with_disabled, 6),
+            "limit": OBS_DISABLED_OVERHEAD_LIMIT,
+        }
+
     # -- taint parity -------------------------------------------------------
 
     @staticmethod
@@ -236,14 +280,27 @@ class EmulatorBench:
     # -- entry point --------------------------------------------------------
 
     def run(self) -> Dict:
+        # Workload rows are routed through a metrics registry and read
+        # back from its snapshot, so ``BENCH_emulator.json`` and
+        # ``repro report`` can never disagree on instruction counts.
+        registry = MetricsRegistry()
+        names = ("cfbench_native_loop", "jni_crossing", "table5_tracer")
+        keys = ("instructions", "single_step_instr_per_sec",
+                "tb_instr_per_sec", "speedup")
+        for name in names:
+            row = self.measure_workload(name)
+            for key in keys:
+                registry.gauge(f"bench.{name}.{key}").set(row[key])
+        snapshot = registry.snapshot()
         workloads = {
-            name: self.measure_workload(name)
-            for name in ("cfbench_native_loop", "jni_crossing",
-                         "table5_tracer")
+            name: {key: snapshot[f"bench.{name}.{key}"] for key in keys}
+            for name in names
         }
         return {
             "schema": SCHEMA,
             "workloads": workloads,
+            "metrics": snapshot,
+            "observability": self.measure_observability_overhead(),
             "taint_parity": self.taint_parity(),
         }
 
@@ -282,4 +339,12 @@ def compare_to_baseline(current: Dict, baseline: Dict,
     if not parity.get("identical", False):
         failures.append(
             f"taint parity broken: {parity.get('mismatches')}")
+    observability = current.get("observability")
+    if observability is not None:
+        overhead = observability.get("cfbench_disabled_overhead", 0.0)
+        limit = observability.get("limit", OBS_DISABLED_OVERHEAD_LIMIT)
+        if overhead > limit:
+            failures.append(
+                f"disabled observability costs {overhead:.1%} on the "
+                f"CFBench loop (limit {limit:.0%})")
     return failures

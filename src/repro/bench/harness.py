@@ -26,13 +26,21 @@ from repro.taintdroid import TaintDroid
 CONFIGS = ("vanilla", "taintdroid", "ndroid", "droidscope")
 
 
-def make_platform(config: str, use_tb: bool = True) -> AndroidPlatform:
+def make_platform(config: str, use_tb: bool = True, trace: bool = False,
+                  observe: bool = True) -> AndroidPlatform:
     """Build a platform with the named analysis configuration attached.
 
     ``use_tb=False`` pins the emulator to the single-step engine (the
     pre-translation baseline the emulator benchmark compares against).
+    ``observe=False`` skips the observability facade entirely;
+    ``trace=True`` additionally enables the provenance ledger and the
+    sampling profiler before the analysis attaches.
     """
-    platform = AndroidPlatform(use_tb=use_tb)
+    platform = AndroidPlatform(use_tb=use_tb, observe=observe)
+    if trace:
+        if platform.observability is None:
+            raise ValueError("trace=True requires observe=True")
+        platform.observability.enable_tracing()
     if config == "taintdroid":
         TaintDroid.attach(platform)
     elif config == "ndroid":

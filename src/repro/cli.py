@@ -10,7 +10,12 @@ Commands:
 * ``corpus`` — run the Section III study;
 * ``bench`` — run the Fig. 10 CF-Bench overhead comparison;
 * ``supervise`` — run the Section VI market study under the resilience
-  supervisor, optionally with injected faults (``--faults``).
+  supervisor, optionally with injected faults (``--faults``);
+* ``run`` — execute one scenario, writing an artifact directory
+  (metrics, leaks, and — with ``--trace`` — the provenance ledger, a
+  Graphviz flow graph and a folded profile);
+* ``report`` — render a ``run`` artifact directory into the paper's
+  overhead/provenance tables.
 """
 
 from __future__ import annotations
@@ -88,6 +93,31 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "watchdog fires (default 2,000,000)")
     supervise.add_argument("--report", action="store_true",
                            help="print full crash reports for failed apps")
+
+    run = subparsers.add_parser(
+        "run", help="run one scenario and write an artifact directory")
+    run.add_argument("target",
+                     help="scenario name or path whose basename is one "
+                          "(e.g. examples/ephone)")
+    run.add_argument("--config", default="ndroid",
+                     choices=["taintdroid", "ndroid", "droidscope"],
+                     help="analysis configuration (default: ndroid)")
+    run.add_argument("--trace", action="store_true",
+                     help="enable the provenance ledger and the sampling "
+                          "profiler")
+    run.add_argument("--out", default="repro-trace", metavar="DIR",
+                     help="artifact directory (default: repro-trace)")
+    run.add_argument("--faults", default=None,
+                     help="inject a fault plan into the instrumented run "
+                          "(same atoms as `repro supervise --faults`)")
+    run.add_argument("--profile-interval", type=int, default=16,
+                     help="profiler sampling interval in instructions "
+                          "(default 16; the in-process default is 128)")
+
+    report = subparsers.add_parser(
+        "report", help="render a run artifact directory")
+    report.add_argument("--dir", default="repro-trace", metavar="DIR",
+                        help="artifact directory (default: repro-trace)")
     return parser
 
 
@@ -245,6 +275,114 @@ def _command_supervise(args) -> int:
     return 0
 
 
+def _command_run(args) -> int:
+    import json
+    import os
+    from repro.apps import ALL_SCENARIOS
+    from repro.apps.base import run_scenario
+    from repro.bench.harness import make_platform
+    from repro.observability.profiler import SymbolResolver
+    from repro.resilience import FaultPlan
+
+    name = os.path.basename(os.path.normpath(args.target))
+    if name not in ALL_SCENARIOS:
+        print(f"unknown scenario {name!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except (ValueError, KeyError) as error:
+            print(f"bad --faults spec: {error}", file=sys.stderr)
+            return 2
+    os.makedirs(args.out, exist_ok=True)
+
+    def execute(config: str, trace: bool, faulted: bool):
+        scenario = ALL_SCENARIOS[name]()
+        platform = make_platform(config, trace=trace)
+        if trace:
+            platform.observability.profiler.set_interval(
+                args.profile_interval)
+        if faulted and plan is not None:
+            active = plan.activate()
+            platform.emu.fault_injector = active
+            platform.kernel.syscall_fault_hook = active.syscall_fault
+        run_scenario(scenario, platform)
+        return platform, scenario
+
+    def artifact(filename: str) -> str:
+        return os.path.join(args.out, filename)
+
+    # The vanilla baseline of the same scenario (Table IV denominator).
+    baseline_platform, __ = execute("vanilla", False, False)
+    baseline_platform.observability.metrics.write_json(
+        artifact("metrics_baseline.json"))
+
+    platform, scenario = execute(args.config, args.trace, True)
+    platform.observability.metrics.write_json(artifact("metrics.json"))
+    leaks = [
+        {
+            "detector": record.detector,
+            "sink": record.sink,
+            "taint": record.taint,
+            "destination": record.destination,
+            "payload": record.payload.hex(),
+            "context": record.context,
+        }
+        for record in platform.leaks.records
+    ]
+    with open(artifact("leaks.json"), "w") as handle:
+        json.dump(leaks, handle, indent=2)
+        handle.write("\n")
+    with open(artifact("meta.json"), "w") as handle:
+        json.dump({
+            "scenario": scenario.name,
+            "case": scenario.case,
+            "config": args.config,
+            "trace": args.trace,
+            "faults": args.faults,
+        }, handle, indent=2)
+        handle.write("\n")
+    written = ["metrics_baseline.json", "metrics.json", "leaks.json",
+               "meta.json"]
+
+    if args.trace:
+        observability = platform.observability
+        edges = observability.ledger.to_jsonl(artifact("trace.jsonl"))
+        paths = []
+        for leak in leaks:
+            path = observability.ledger.reconstruct(
+                taint=leak["taint"], destination=leak["destination"])
+            if path:
+                paths.append(path)
+        with open(artifact("flow.dot"), "w") as handle:
+            handle.write(observability.ledger.to_dot(paths or None))
+        observability.profiler.write_folded(
+            artifact("profile.folded"),
+            SymbolResolver.from_platform(platform))
+        written += ["trace.jsonl", "flow.dot", "profile.folded"]
+        print(f"traced {edges} provenance edges "
+              f"({observability.ledger.dropped} dropped)")
+    print(f"{scenario.name}: {len(leaks)} leak(s) reported")
+    print(f"wrote {args.out}/{{{', '.join(written)}}}")
+    return 0
+
+
+def _command_report(directory: str) -> int:
+    from repro.observability.report import RunArtifacts, render_report
+    import os
+    if not os.path.isdir(directory):
+        print(f"no artifact directory {directory!r}; "
+              f"run `repro run <scenario> --out {directory}` first",
+              file=sys.stderr)
+        return 2
+    artifacts = RunArtifacts(directory)
+    text, ok = render_report(artifacts)
+    print(text, end="")
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Parse arguments and dispatch to a command; returns the exit code."""
     args = _build_parser().parse_args(argv)
@@ -263,6 +401,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_bench(args.iterations, args.repeats)
     if args.command == "supervise":
         return _command_supervise(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "report":
+        return _command_report(args.dir)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

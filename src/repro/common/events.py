@@ -10,6 +10,7 @@ pretty-print them, which regenerates the paper's log figures.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -40,15 +41,24 @@ class Event:
 
 
 class EventLog:
-    """Append-only event stream with simple query helpers."""
+    """Append-only event stream with simple query helpers.
 
-    def __init__(self) -> None:
-        self._events: List[Event] = []
+    ``maxlen`` turns the log into a ring: long traced runs keep the most
+    recent events and count the drops instead of growing without bound.
+    Sequence numbers stay monotonic either way.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self._events = (deque(maxlen=maxlen) if maxlen is not None
+                        else [])
+        self.maxlen = maxlen
+        self._seq = 0
         self._subscribers: List[Callable[[Event], None]] = []
 
     def emit(self, source: str, kind: str, detail: str = "", **data: Any) -> Event:
         event = Event(source=source, kind=kind, detail=detail, data=data,
-                      seq=len(self._events))
+                      seq=self._seq)
+        self._seq += 1
         self._events.append(event)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -58,6 +68,18 @@ class EventLog:
         """Invoke ``callback`` for every subsequently emitted event."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        """Detach a previously subscribed callback (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound (0 when unbounded)."""
+        return self._seq - len(self._events)
+
     def __len__(self) -> int:
         return len(self._events)
 
@@ -65,10 +87,13 @@ class EventLog:
         return iter(self._events)
 
     def __getitem__(self, index: int) -> Event:
+        if isinstance(self._events, deque):
+            return list(self._events)[index]
         return self._events[index]
 
     def clear(self) -> None:
         self._events.clear()
+        self._seq = 0
 
     def find(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[Event]:
         """Return events matching the given kind and/or source."""

@@ -31,6 +31,7 @@ from repro.core.multilevel import MultilevelHookManager
 from repro.core.source_policy import SourcePolicy, SourcePolicyMap
 from repro.core.taint_engine import TaintEngine
 from repro.cpu.state import CpuState
+from repro.observability.ledger import Loc
 from repro.dalvik.stack import DvmStack
 from repro.jni.layer import JniLayer
 from repro.jni.slots import JNI_SLOTS
@@ -61,12 +62,16 @@ class DvmHookEngine:
         self._guard = guard if guard is not None else \
             (lambda name, hook, fallback=None: hook)
         self.source_policies = SourcePolicyMap()
+        # Provenance ledger (observability); None when not tracing.
+        self.ledger = None
 
         # Per-call state stacks (JNI calls nest).
         self._jni_entry_stack: List[Dict] = []
         self._java_call_taints: List[List[TaintLabel]] = []
         self._pending_creation_taint: Optional[TaintLabel] = None
         self._pending_creation_address: Optional[int] = None
+        # (Loc, mechanism) of the native bytes a New* call was built from.
+        self._pending_creation_origin = None
         self._pending_string_chars: List[Dict] = []
         self._pending_field_get: List[Dict] = []
         self._pending_throw_taint: Optional[TaintLabel] = None
@@ -78,6 +83,11 @@ class DvmHookEngine:
         # "delivered sensitive data to native code" observation of the
         # paper's Section VI app study.
         self.tainted_deliveries: List[Dict] = []
+
+    def _trace(self, tag: TaintLabel, mechanism: str, src: Loc, dst: Loc,
+               location: str = "") -> None:
+        if self.ledger is not None:
+            self.ledger.record(tag, mechanism, src, dst, location)
 
     # -- wiring ------------------------------------------------------------------
 
@@ -211,6 +221,7 @@ class DvmHookEngine:
             stack_args_num=len(stack_taints),
             stack_args_taints=stack_taints,
             method_shorty=method.shorty,
+            method_name=method.full_name,
             access_flag=method.access_flags,
             handler=self._source_policy_handler)
         self.source_policies.put(policy)
@@ -271,10 +282,19 @@ class DvmHookEngine:
         """Initialise registers and memories with proper taint values."""
         for index, label in enumerate(policy.register_taints()):
             self.taint.set_register(index, label)
+            if label:
+                # The JNI crossing itself: a tainted Java parameter landed
+                # in a native register (Fig. 6's dvmCallJNIMethod step).
+                self._trace(label, "jni:dvmCallJNIMethod",
+                            Loc.java(label), Loc.reg(index),
+                            location=policy.method_name)
         for index, label in enumerate(policy.stack_args_taints):
             if label:
                 self.taint.set_memory(cpu.sp + 4 * index, 4, label)
                 self.taint.log_memory_taint(cpu.sp + 4 * index, label)
+                self._trace(label, "jni:dvmCallJNIMethod",
+                            Loc.java(label), Loc.mem(cpu.sp + 4 * index, 4),
+                            location=policy.method_name)
         # Key object parameters' shadow taints by indirect reference.
         call = self.jni.current_native_call
         if call is not None:
@@ -283,6 +303,9 @@ class DvmHookEngine:
             for value, label in zip(jni_args, labels):
                 if label and self.jni.vm.irt.is_indirect(value):
                     self.taint.add_iref(value, label)
+                    self._trace(label, "jni:dvmCallJNIMethod",
+                                Loc.java(label), Loc.iref(value),
+                                location=policy.method_name)
         if policy.has_taint():
             self.platform.event_log.emit(
                 "ndroid.hook", "SourcePolicy.apply",
@@ -300,6 +323,11 @@ class DvmHookEngine:
         return_value = emu.cpu.regs[0]
         if method.return_type == "L":
             label |= self.taint.get_iref(return_value)
+        if label:
+            source = (Loc.iref(return_value) if method.return_type == "L"
+                      and self.taint.get_iref(return_value) else Loc.reg(0))
+            self._trace(label, "jni:dvmCallJNIMethod.return", source,
+                        Loc.java(label), location=method.full_name)
         slot_address = DvmStack.native_return_taint_address(
             entry["args_ptr"], entry["count"])
         emu.memory.write_u32(slot_address, label)
@@ -324,13 +352,27 @@ class DvmHookEngine:
             param_types = method.shorty[1:]
             labels: List[TaintLabel] = []
             if not method.is_static:
-                labels.append(self.taint.get_iref(this_iref))
+                this_label = self.taint.get_iref(this_iref)
+                labels.append(this_label)
+                if this_label:
+                    self._trace(this_label, f"jni:{name}",
+                                Loc.iref(this_iref), Loc.java(this_label),
+                                location=method.full_name)
             for index, type_char in enumerate(param_types):
                 word_address = block_ptr + 4 * index
                 label = self.taint.get_memory(word_address, 4)
+                source: Loc = Loc.mem(word_address, 4)
                 if type_char == "L":
                     word = emu.memory.read_u32(word_address)
-                    label |= self.taint.get_iref(word)
+                    iref_label = self.taint.get_iref(word)
+                    if iref_label:
+                        source = Loc.iref(word)
+                    label |= iref_label
+                if label:
+                    # The reverse crossing: a tainted native value enters
+                    # the Java context as a Call*Method* argument.
+                    self._trace(label, f"jni:{name}", source,
+                                Loc.java(label), location=method.full_name)
                 labels.append(label)
             self._java_call_taints.append(labels)
             self.platform.event_log.emit(
@@ -391,6 +433,8 @@ class DvmHookEngine:
         label |= self.taint.get_register(1)
         self._pending_creation_taint = label
         self._pending_creation_address = None
+        self._pending_creation_origin = (Loc.mem(cstr_ptr, len(data) + 1),
+                                         "jni:NewStringUTF")
         self.platform.event_log.emit(
             "ndroid.hook", "NewStringUTF.begin",
             f"source=0x{cstr_ptr:08x} taint=0x{label:x}",
@@ -402,6 +446,8 @@ class DvmHookEngine:
         label |= self.taint.get_register(1)
         self._pending_creation_taint = label
         self._pending_creation_address = None
+        self._pending_creation_origin = (Loc.mem(pointer, 2 * length),
+                                         "jni:NewString")
 
     def _on_create_string_exit(self, emu) -> None:
         if self._pending_creation_taint is None and \
@@ -425,8 +471,10 @@ class DvmHookEngine:
     def _on_new_string_exit(self, emu) -> None:
         label = self._pending_creation_taint
         address = self._pending_creation_address
+        origin = self._pending_creation_origin
         self._pending_creation_taint = None
         self._pending_creation_address = None
+        self._pending_creation_origin = None
         if not label or address is None:
             return
         self.stats["creations"] += 1
@@ -437,6 +485,9 @@ class DvmHookEngine:
             self.taint.add_memory(record.address, record.byte_size(), label)
         self.taint.add_iref(iref, label)
         self.taint.set_register(0, label)
+        if origin is not None:
+            source, mechanism = origin
+            self._trace(label, mechanism, source, Loc.iref(iref))
         self.platform.event_log.emit(
             "ndroid.hook", "NewStringUTF.taint",
             f"add taint {label} to new string object@0x{address:08x}; "
@@ -554,6 +605,8 @@ class DvmHookEngine:
         self.taint.set_memory(buffer, length, label)
         self.taint.set_register(0, label)
         self.taint.log_memory_taint(buffer, label)
+        self._trace(label, "jni:GetStringUTFChars",
+                    Loc.iref(pending["iref"]), Loc.mem(buffer, length))
 
     def _make_get_array_region(self, element_size: int):
         def hook(emu) -> None:

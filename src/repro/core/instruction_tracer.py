@@ -29,6 +29,7 @@ from repro.cpu.executor import multiple_addresses, transfer_address
 from repro.cpu.state import LR, PC
 from repro.emulator.emulator import Emulator
 from repro.core.taint_engine import TaintEngine
+from repro.observability.ledger import Loc
 
 Handler = Callable[[isa.Instruction, Emulator], None]
 # Installed by NDroid for graceful degradation: called with the handler's
@@ -84,6 +85,19 @@ class InstructionTracer:
         # NDroid installs this so a faulting propagation handler degrades
         # the run (conservative over-taint) instead of killing it.
         self.fault_handler: Optional[TracerFaultHandler] = None
+        # Provenance ledger (observability); None when not tracing.  The
+        # handlers consult it only after they already found taint to move.
+        self.ledger = None
+
+    def _record(self, emu: Emulator, mnemonic: str, sources, dst) -> None:
+        """Append one native-propagation edge per tainted source."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        location = f"0x{emu.cpu.pc:08x}"
+        for src, tag in sources:
+            if tag:
+                ledger.record(tag, f"native:{mnemonic}", src, dst, location)
 
     # -- the emulator tracer callback -----------------------------------------
 
@@ -167,12 +181,32 @@ class InstructionTracer:
             if ir.op not in isa.UNARY_OPS:
                 label |= taint.get_register(ir.rn)
         if ir.rd != PC:
+            if label and self.ledger is not None:
+                sources = []
+                if not operand2.is_immediate:
+                    sources.append((Loc.reg(operand2.rm),
+                                    taint.get_register(operand2.rm)))
+                    if operand2.shift_reg is not None:
+                        sources.append(
+                            (Loc.reg(operand2.shift_reg),
+                             taint.get_register(operand2.shift_reg)))
+                if ir.op not in isa.UNARY_OPS:
+                    sources.append((Loc.reg(ir.rn),
+                                    taint.get_register(ir.rn)))
+                self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd))
             taint.set_register(ir.rd, label)
 
     def _handle_multiply(self, ir: isa.Multiply, emu: Emulator) -> None:
         label = self.taint.get_register(ir.rm) | self.taint.get_register(ir.rs)
         if ir.accumulate:
             label |= self.taint.get_register(ir.rn)
+        if label and self.ledger is not None:
+            sources = [(Loc.reg(ir.rm), self.taint.get_register(ir.rm)),
+                       (Loc.reg(ir.rs), self.taint.get_register(ir.rs))]
+            if ir.accumulate:
+                sources.append((Loc.reg(ir.rn),
+                                self.taint.get_register(ir.rn)))
+            self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd))
         self.taint.set_register(ir.rd, label)
 
     def _handle_multiply_long(self, ir: isa.MultiplyLong,
@@ -181,6 +215,11 @@ class InstructionTracer:
         if ir.accumulate:
             label |= self.taint.get_register(ir.rd_lo) | \
                 self.taint.get_register(ir.rd_hi)
+        if label and self.ledger is not None:
+            sources = [(Loc.reg(ir.rm), self.taint.get_register(ir.rm)),
+                       (Loc.reg(ir.rs), self.taint.get_register(ir.rs))]
+            self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd_lo))
+            self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd_hi))
         self.taint.set_register(ir.rd_lo, label)
         self.taint.set_register(ir.rd_hi, label)
 
@@ -190,7 +229,11 @@ class InstructionTracer:
         self.taint.set_register(ir.rd, TAINT_CLEAR)
 
     def _handle_clz(self, ir: isa.CountLeadingZeros, emu: Emulator) -> None:
-        self.taint.set_register(ir.rd, self.taint.get_register(ir.rm))
+        label = self.taint.get_register(ir.rm)
+        if label and self.ledger is not None:
+            self._record(emu, ir.mnemonic, [(Loc.reg(ir.rm), label)],
+                         Loc.reg(ir.rd))
+        self.taint.set_register(ir.rd, label)
 
     def _handle_load_store(self, ir: isa.LoadStore, emu: Emulator) -> None:
         taint = self.taint
@@ -205,9 +248,23 @@ class InstructionTracer:
                 label |= taint.get_register(ir.rn)
             if ir.offset_rm is not None:
                 label |= taint.get_register(ir.offset_rm)
+            if label and self.ledger is not None:
+                sources = [(Loc.mem(address, ir.size),
+                            taint.get_memory(address, ir.size))]
+                if ir.rn != PC:
+                    sources.append((Loc.reg(ir.rn),
+                                    taint.get_register(ir.rn)))
+                if ir.offset_rm is not None:
+                    sources.append((Loc.reg(ir.offset_rm),
+                                    taint.get_register(ir.offset_rm)))
+                self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd))
             taint.set_register(ir.rd, label)
         else:
-            taint.set_memory(address, ir.size, taint.get_register(ir.rd))
+            label = taint.get_register(ir.rd)
+            if label and self.ledger is not None:
+                self._record(emu, ir.mnemonic, [(Loc.reg(ir.rd), label)],
+                             Loc.mem(address, ir.size))
+            taint.set_memory(address, ir.size, label)
 
     def _handle_load_store_multiple(self, ir: isa.LoadStoreMultiple,
                                     emu: Emulator) -> None:
@@ -218,11 +275,23 @@ class InstructionTracer:
             for register, address in zip(ir.reglist, addresses):
                 if register == PC:
                     continue
-                taint.set_register(register,
-                                   taint.get_memory(address, 4) | base_label)
+                label = taint.get_memory(address, 4) | base_label
+                if label and self.ledger is not None:
+                    self._record(
+                        emu, ir.mnemonic,
+                        [(Loc.mem(address, 4),
+                          taint.get_memory(address, 4)),
+                         (Loc.reg(ir.rn), base_label)],
+                        Loc.reg(register))
+                taint.set_register(register, label)
         else:
             for register, address in zip(ir.reglist, addresses):
-                taint.set_memory(address, 4, taint.get_register(register))
+                label = taint.get_register(register)
+                if label and self.ledger is not None:
+                    self._record(emu, ir.mnemonic,
+                                 [(Loc.reg(register), label)],
+                                 Loc.mem(address, 4))
+                taint.set_memory(address, 4, label)
 
     def _handle_branch(self, ir: isa.Instruction, emu: Emulator) -> None:
         link = getattr(ir, "link", False)

@@ -15,6 +15,7 @@ Attachment order mirrors the architecture diagram:
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Callable, Dict, Optional, Set
 
 from repro.common.errors import DalvikThrow, ReproError
@@ -47,6 +48,8 @@ class NDroid:
         # engine over-taints instead of unwinding the whole analysis.
         self.degraded_events = 0
         self.quarantined_hooks: Set[str] = set()
+        # Per-hook invocation counts, surfaced as core.hook.<name> metrics.
+        self.hook_invocations: Dict[str, int] = defaultdict(int)
         self.instruction_tracer.fault_handler = self._on_tracer_fault
         self.dvm_hooks = DvmHookEngine(platform, self.taint_engine,
                                        self.multilevel,
@@ -86,9 +89,21 @@ class NDroid:
                 system.refresh_view()
 
         platform.event_log.subscribe(on_event)
+        system._on_event = on_event
+
+        observability = getattr(platform, "observability", None)
+        if observability is not None:
+            observability.wire_ndroid(system)
+
         platform.event_log.emit("ndroid", "attach",
                                 "NDroid instrumentation enabled")
         return system
+
+    def detach(self) -> None:
+        """Unsubscribe from the platform's event log (test teardown)."""
+        if getattr(self, "_on_event", None) is not None:
+            self.platform.event_log.unsubscribe(self._on_event)
+            self._on_event = None
 
     # -- graceful degradation ------------------------------------------------------
 
@@ -109,6 +124,7 @@ class NDroid:
         the degradation label.
         """
         def guarded(emu) -> None:
+            self.hook_invocations[name] += 1
             if name in self.quarantined_hooks:
                 if fallback is not None:
                     self._run_fallback(name, fallback, emu)
@@ -146,7 +162,8 @@ class NDroid:
         self.platform.event_log.emit(
             "ndroid", "hook.degraded",
             f"hook {name} quarantined after {type(error).__name__}: {error} "
-            f"(conservative label {describe_taint(label)})")
+            f"(conservative label {describe_taint(label)})",
+            hook=name, error=type(error).__name__, label=label)
 
     def _on_tracer_fault(self, error: ReproError, ir, emu) -> None:
         """A per-instruction taint handler faulted: over-taint, keep going."""
@@ -155,7 +172,8 @@ class NDroid:
         self.platform.event_log.emit(
             "ndroid", "tracer.degraded",
             f"taint handler for {type(ir).__name__} faulted at "
-            f"pc=0x{emu.cpu.pc:08x}: {type(error).__name__}: {error}")
+            f"pc=0x{emu.cpu.pc:08x}: {type(error).__name__}: {error}",
+            pc=emu.cpu.pc, error=type(error).__name__)
 
     # -- view plumbing ------------------------------------------------------------
 

@@ -30,6 +30,7 @@ class SourcePolicy:
     stack_args_num: int = 0
     stack_args_taints: List[TaintLabel] = field(default_factory=list)
     method_shorty: str = ""
+    method_name: str = ""
     access_flag: int = 0
     handler: Optional[Callable[["SourcePolicy", CpuState], None]] = None
 

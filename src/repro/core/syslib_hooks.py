@@ -22,10 +22,18 @@ from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
 from repro.core.taint_engine import TaintEngine
 from repro.framework.leaks import LeakRecord
 from repro.libc.stdio_format import FormatError, format_with_taints
+from repro.observability.ledger import Loc
 
 # Table VII's starred sinks (plus fprintf, the Fig. 8 sink).
 SINK_FUNCTIONS = ("write", "send", "sendto", "fwrite", "fputs", "fputc",
                   "fprintf", "vfprintf")
+
+# The syscall each modelled sink bottoms out in — the provenance ledger
+# labels sink edges ``syscall:<name>`` so a reconstructed path always
+# names the kernel exit point, stdio or not.
+SINK_SYSCALLS = {"write": "write", "send": "send", "sendto": "sendto",
+                 "fwrite": "write", "fputs": "write", "fputc": "write",
+                 "fprintf": "write", "vfprintf": "write"}
 
 
 class SysLibHookEngine:
@@ -46,6 +54,18 @@ class SysLibHookEngine:
         self.modelled_calls = 0
         self.sink_checks = 0
         self._pending_exits: List[Dict] = []
+        # Provenance ledger (observability); None when not tracing.
+        self.ledger = None
+
+    def _trace_copy(self, name: str, dest: int, src: int,
+                    length: int) -> None:
+        """One libc-transfer edge, recorded only for tainted source bytes."""
+        if self.ledger is None or length <= 0:
+            return
+        label = self.taint.get_memory(src, length)
+        if label:
+            self.ledger.record(label, f"libc:{name}", Loc.mem(src, length),
+                               Loc.mem(dest, length))
 
     # -- wiring ----------------------------------------------------------------
 
@@ -147,6 +167,7 @@ class SysLibHookEngine:
         """The paper's Listing 3: per-byte copy of the source's taints."""
         dest, src, length = emu.cpu.regs[0], emu.cpu.regs[1], emu.cpu.regs[2]
         self.modelled_calls += 1
+        self._trace_copy("memcpy", dest, src, length)
         self.taint.copy_memory(dest, src, length)
 
     def _model_memset(self, emu) -> None:
@@ -159,12 +180,14 @@ class SysLibHookEngine:
         dest, src = emu.cpu.regs[0], emu.cpu.regs[1]
         length = len(emu.memory.read_cstring(src)) + 1
         self.modelled_calls += 1
+        self._trace_copy("strcpy", dest, src, length)
         self.taint.copy_memory(dest, src, length)
 
     def _model_strncpy(self, emu) -> None:
         dest, src, limit = emu.cpu.regs[0], emu.cpu.regs[1], emu.cpu.regs[2]
         length = min(len(emu.memory.read_cstring(src)) + 1, limit)
         self.modelled_calls += 1
+        self._trace_copy("strncpy", dest, src, length)
         self.taint.copy_memory(dest, src, length)
         if length < limit:
             self.taint.clear_memory(dest + length, limit - length)
@@ -174,6 +197,7 @@ class SysLibHookEngine:
         dest_length = len(emu.memory.read_cstring(dest))
         src_length = len(emu.memory.read_cstring(src)) + 1
         self.modelled_calls += 1
+        self._trace_copy("strcat", dest + dest_length, src, src_length)
         self.taint.copy_memory(dest + dest_length, src, src_length)
 
     def _model_free(self, emu) -> None:
@@ -237,6 +261,7 @@ class SysLibHookEngine:
         source = pending["args"][0]
         new_pointer = emu.cpu.regs[0]
         length = len(emu.memory.read_cstring(source)) + 1
+        self._trace_copy("strdup", new_pointer, source, length)
         self.taint.copy_memory(new_pointer, source, length)
         self.taint.set_register(0, pending["taints"][0])
 
@@ -275,7 +300,8 @@ class SysLibHookEngine:
         return descriptor.path or f"fd:{fd}"
 
     def _report(self, sink: str, label: TaintLabel, destination: str,
-                payload: bytes) -> None:
+                payload: bytes,
+                src_locs: Optional[List[Loc]] = None) -> None:
         self.sink_checks += 1
         if label == TAINT_CLEAR:
             return
@@ -288,6 +314,18 @@ class SysLibHookEngine:
             f"taint={describe_taint(label)}",
             sink=sink, taint=label, destination=destination,
             payload=payload[:64])
+        if self.ledger is not None:
+            syscall = SINK_SYSCALLS.get(sink, sink)
+            for src in (src_locs or [Loc.java(label)]):
+                tag = label
+                if src.kind == "mem":
+                    # The precise label actually on those bytes, so the
+                    # edge chains back through the native segment.
+                    tag = self.taint.get_memory(src.base, src.length) \
+                        or label
+                self.ledger.record(tag, f"sink:{sink}", src,
+                                   Loc.sink(destination),
+                                   location=f"syscall:{syscall}")
 
     def _sink_fallback(self, sink: str):
         """Conservative sink stand-in used once the precise hook is
@@ -312,7 +350,8 @@ class SysLibHookEngine:
                     destination = emu.memory.read_cstring(dest_ptr).decode(
                         "utf-8", errors="replace")
             self._report(sink, label, destination,
-                         emu.memory.read_bytes(buffer, min(length, 256)))
+                         emu.memory.read_bytes(buffer, min(length, 256)),
+                         src_locs=[Loc.mem(buffer, length)])
         return handler
 
     def _sink_fwrite(self, emu) -> None:
@@ -321,20 +360,23 @@ class SysLibHookEngine:
         fd = self._file_fd(emu.cpu.regs[3])
         label = self.taint.get_memory(buffer, length)
         self._report("fwrite", label, self._destination_of_fd(fd),
-                     emu.memory.read_bytes(buffer, min(length, 256)))
+                     emu.memory.read_bytes(buffer, min(length, 256)),
+                     src_locs=[Loc.mem(buffer, length)])
 
     def _sink_fputs(self, emu) -> None:
         buffer = emu.cpu.regs[0]
         data = emu.memory.read_cstring(buffer)
         fd = self._file_fd(emu.cpu.regs[1])
         label = self.taint.get_memory(buffer, len(data))
-        self._report("fputs", label, self._destination_of_fd(fd), data)
+        self._report("fputs", label, self._destination_of_fd(fd), data,
+                     src_locs=[Loc.mem(buffer, max(len(data), 1))])
 
     def _sink_fputc(self, emu) -> None:
         label = self.taint.get_register(0)
         fd = self._file_fd(emu.cpu.regs[1])
         self._report("fputc", label, self._destination_of_fd(fd),
-                     bytes([emu.cpu.regs[0] & 0xFF]))
+                     bytes([emu.cpu.regs[0] & 0xFF]),
+                     src_locs=[Loc.reg(0)])
 
     def _file_fd(self, file_pointer: int) -> int:
         return self.libc._file_objects.get(file_pointer, -1)
@@ -343,26 +385,43 @@ class SysLibHookEngine:
         """Format the arguments exactly as the callee will, for taints."""
         fd = self._file_fd(emu.cpu.regs[0])
         fmt_ptr = emu.cpu.regs[1]
-        payload, label = self._format_taint(emu, fmt_ptr, fixed=2)
-        self._report("fprintf", label, self._destination_of_fd(fd), payload)
+        payload, label, sources = self._format_taint(emu, fmt_ptr, fixed=2)
+        self._report("fprintf", label, self._destination_of_fd(fd), payload,
+                     src_locs=sources or None)
 
     def _sink_vfprintf(self, emu) -> None:
         fd = self._file_fd(emu.cpu.regs[0])
         fmt_ptr, va_list = emu.cpu.regs[1], emu.cpu.regs[2]
         memory = emu.memory
+        string_taints, sources = self._capture_string_sources()
         try:
             data, taints = format_with_taints(
                 memory, memory.read_cstring(fmt_ptr),
                 read_vararg=lambda i: memory.read_u32(va_list + 4 * i),
                 vararg_taint=lambda i: self.taint.get_memory(va_list + 4 * i,
                                                              4),
-                string_taints=self.taint.memory_bytes)
+                string_taints=string_taints)
         except FormatError:
             return
         label = TAINT_CLEAR
         for taint in taints:
             label |= taint
-        self._report("vfprintf", label, self._destination_of_fd(fd), data)
+        self._report("vfprintf", label, self._destination_of_fd(fd), data,
+                     src_locs=sources or None)
+
+    def _capture_string_sources(self):
+        """Wrap the %s taint callback to note each tainted source range,
+        so format-sink edges chain to the buffers the string came from."""
+        sources: List[Loc] = []
+        base = self.taint.memory_bytes
+
+        def string_taints(address: int, length: int):
+            taints = base(address, length)
+            if any(taints):
+                sources.append(Loc.mem(address, max(length, 1)))
+            return taints
+
+        return string_taints, sources
 
     def _format_taint(self, emu, fmt_ptr: int, fixed: int):
         memory = emu.memory
@@ -380,14 +439,15 @@ class SysLibHookEngine:
                 return self.taint.get_register(arg_index)
             return self.taint.get_memory(sp + 4 * (arg_index - 4), 4)
 
+        string_taints, sources = self._capture_string_sources()
         try:
             data, taints = format_with_taints(
                 memory, memory.read_cstring(fmt_ptr),
                 read_vararg=read_vararg, vararg_taint=vararg_taint,
-                string_taints=self.taint.memory_bytes)
+                string_taints=string_taints)
         except FormatError:
-            return b"", TAINT_CLEAR
+            return b"", TAINT_CLEAR, []
         label = TAINT_CLEAR
         for taint in taints:
             label |= taint
-        return data, label
+        return data, label, sources

@@ -28,6 +28,7 @@ from repro.dalvik.instructions import (
     REF_DEST_OPS,
 )
 from repro.dalvik.stack import Frame
+from repro.observability.ledger import Loc
 
 
 class PendingException(Exception):
@@ -133,6 +134,11 @@ class Interpreter:
         # -- moves ----------------------------------------------------------
         if op in (Op.MOVE, Op.MOVE_OBJECT):
             taint = frame.get_taint(ins.b) if taint_on else TAINT_CLEAR
+            ledger = getattr(vm, "ledger", None)
+            if taint and ledger is not None:
+                ledger.record(taint, "dalvik:move",
+                              Loc.dvreg(frame.slot_address(ins.b)),
+                              Loc.dvreg(frame.slot_address(ins.a)))
             frame.set(ins.a, frame.get(ins.b), taint,
                       is_ref=(op == Op.MOVE_OBJECT))
             frame.pc += 1
@@ -140,6 +146,11 @@ class Interpreter:
         if op in (Op.MOVE_RESULT, Op.MOVE_RESULT_OBJECT):
             result = vm.interp_save_state
             taint = result.taint if taint_on else TAINT_CLEAR
+            ledger = getattr(vm, "ledger", None)
+            if taint and ledger is not None:
+                ledger.record(taint, "dalvik:move-result",
+                              Loc.java(taint),
+                              Loc.dvreg(frame.slot_address(ins.a)))
             frame.set(ins.a, result.value, taint,
                       is_ref=(op == Op.MOVE_RESULT_OBJECT))
             frame.pc += 1

@@ -47,6 +47,8 @@ class DalvikVM:
         self.caught_exception: Optional[PendingException] = None
         self.taint_tracking = True
         self.call_bridge: Optional[CallBridge] = None
+        # Provenance ledger (observability); None when not tracing.
+        self.ledger = None
 
         self.heap.set_root_scanner(self._scan_roots)
         self.heap.add_move_listener(self.irt.on_object_moved)

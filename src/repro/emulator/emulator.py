@@ -135,6 +135,10 @@ class Emulator:
         # Pluggable fault injection (resilience/faults.py); stays None in
         # production runs.  Installing one forces per-instruction mode.
         self._fault_injector: Optional[FaultInjector] = None
+        # Optional TB-boundary sampling profiler (observability).  Unlike
+        # tracers, attaching one does NOT force the single-step engine:
+        # sampling is a block-boundary presence check, never per-step.
+        self._profiler = None
         # True while any per-instruction instrumentation is attached.
         self._per_step_instrumentation = False
 
@@ -201,6 +205,16 @@ class Emulator:
     def fault_injector(self, injector: Optional[FaultInjector]) -> None:
         self._fault_injector = injector
         self._refresh_instrumentation()
+
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler) -> None:
+        # Deliberately no _refresh_instrumentation(): the profiler samples
+        # at block boundaries and must not demote the TB fast path.
+        self._profiler = profiler
 
     # -- host functions -------------------------------------------------------
 
@@ -352,6 +366,10 @@ class Emulator:
     def step(self) -> None:
         """Execute a single instruction (or host function) at PC."""
         pc = self.cpu.pc
+        profiler = self._profiler
+        if profiler is not None and \
+                self.instruction_count >= profiler.next_sample:
+            profiler.take_sample(pc, self.instruction_count)
         self.fire_fault_point("step", pc=pc,
                               instruction_count=self.instruction_count)
         if self.is_host_address(pc):
@@ -437,6 +455,9 @@ class Emulator:
         cache = self._tb_cache
         hosts = self._host_functions
         executor_execute = self.executor.execute
+        # Hoisted like the other per-block state: one `is not None` check
+        # per block when attached, nothing extra on the code path when not.
+        profiler = self._profiler
         executed = 0
         tb: Optional[TranslationBlock] = None
         # Pending chain link: (predecessor, True for taken-edge).
@@ -446,6 +467,9 @@ class Emulator:
             if pc == stop_at or self._stop_requested or \
                     self._per_step_instrumentation:
                 break
+            if profiler is not None and \
+                    self.instruction_count >= profiler.next_sample:
+                profiler.take_sample(pc, self.instruction_count)
             if tb is None or not tb.valid:
                 if (pc & ~1) in hosts:
                     self._dispatch_host(pc & ~1, simulate_return=True)

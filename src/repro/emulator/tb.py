@@ -70,12 +70,22 @@ class TranslationCache:
         self._by_page: Dict[int, List[TranslationBlock]] = {}
         self.translations = 0
         self.invalidations = 0
+        # Lookup counters: the dispatch loop only consults the cache after
+        # a chain miss, so these tally un-chained dispatches, not every
+        # block executed.
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
 
     def get(self, key: Tuple[int, bool]) -> Optional[TranslationBlock]:
-        return self._blocks.get(key)
+        tb = self._blocks.get(key)
+        if tb is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return tb
 
     def put(self, tb: TranslationBlock) -> None:
         self._blocks[(tb.pc, tb.thumb)] = tb

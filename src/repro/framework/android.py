@@ -34,6 +34,7 @@ from repro.kernel.kernel import Kernel
 from repro.libc.libc import CLibrary
 from repro.libc.libm import MathLibrary
 from repro.memory.memory import Memory
+from repro.observability import Observability
 
 NATIVE_STACK_TOP = 0x0800_0000
 NATIVE_STACK_SIZE = 0x0010_0000
@@ -45,7 +46,7 @@ class AndroidPlatform:
     """A complete simulated Android device."""
 
     def __init__(self, device: Optional[DeviceProfile] = None,
-                 use_tb: bool = True) -> None:
+                 use_tb: bool = True, observe: bool = True) -> None:
         self.event_log = EventLog()
         self.memory = Memory()
         self.emu = Emulator(memory=self.memory, event_log=self.event_log,
@@ -83,6 +84,12 @@ class AndroidPlatform:
         self.emu.memory_map.map(DVM_STACK_BASE - DVM_STACK_SIZE,
                                 DVM_STACK_SIZE, "[dalvik stack]", perms="rw-")
         self.kernel.sync_tasks_to_guest()
+
+        # Observability facade (metrics sources are pull-only; the
+        # ledger/profiler stay off until enable_tracing()).
+        self.observability = Observability() if observe else None
+        if self.observability is not None:
+            self.observability.wire(self)
 
         self._installed: Dict[str, Apk] = {}
         self._loaded_libraries: Dict[str, Program] = {}

@@ -33,6 +33,7 @@ from repro.common.taint import (
 )
 from repro.dalvik.heap import Slot
 from repro.framework.leaks import LeakRecord
+from repro.observability.ledger import Loc
 
 
 class FrameworkApi:
@@ -76,8 +77,8 @@ class FrameworkApi:
                 (lambda d: "https://bank.example.com/login", TAINT_HISTORY),
         }
         for symbol, (getter, taint) in sources.items():
-            vm.register_intrinsic(symbol, self._make_string_source(getter,
-                                                                   taint))
+            vm.register_intrinsic(
+                symbol, self._make_string_source(getter, taint, symbol))
 
         # Contact-by-id sources (the case-2 PoC reads id/name/email).
         for field_name, accessor in (
@@ -118,11 +119,19 @@ class FrameworkApi:
         """Sources taint only when TaintDroid instruments the framework."""
         return taint if self.platform.taintdroid is not None else TAINT_CLEAR
 
-    def _make_string_source(self, getter, taint: TaintLabel):
+    def _trace_source(self, symbol: str, label: TaintLabel) -> None:
+        ledger = getattr(self.platform.vm, "ledger", None)
+        if label and ledger is not None:
+            ledger.record(label, "source:framework", Loc.api(symbol),
+                          Loc.java(label), location=symbol)
+
+    def _make_string_source(self, getter, taint: TaintLabel,
+                            symbol: str = ""):
         def intrinsic(vm, args: List[Slot]) -> Slot:
             label = self._source_taint(taint)
             text = getter(self.platform.device)
             record = vm.heap.alloc_string(text, label)
+            self._trace_source(symbol, label)
             self.platform.event_log.emit(
                 "framework", "source", f"{text!r} taint=0x{label:x}",
                 text=text, taint=label)
@@ -136,6 +145,8 @@ class FrameworkApi:
             contact = contacts[index % len(contacts)]
             label = self._source_taint(TAINT_CONTACTS)
             record = vm.heap.alloc_string(accessor(contact), label)
+            self._trace_source(
+                "Landroid/provider/ContactsContract;->getContact", label)
             return Slot(record.address, label, True)
         return intrinsic
 

@@ -33,6 +33,7 @@ from repro.kernel.process import (
 from repro.kernel.syscalls import NR, Errno
 from repro.memory.allocator import BumpAllocator
 from repro.memory.memory import Memory
+from repro.observability.ledger import Loc
 
 # open(2) flag bits (bionic values).
 O_RDONLY = 0o0
@@ -71,6 +72,36 @@ class Kernel:
         # and short counts on write-like syscalls.
         self.syscall_fault_hook: Optional[SyscallFaultHook] = None
         self.syscall_count = 0
+        # Per-name tally, exported as the kernel.syscall.<name> metrics.
+        self.syscalls_by_name: Dict[str, int] = {}
+        # Provenance ledger for the final taint hop into a sink; installed
+        # by the observability layer when tracing is enabled, else None.
+        self.ledger = None
+
+    def _count(self, name: str) -> None:
+        self.syscalls_by_name[name] = self.syscalls_by_name.get(name, 0) + 1
+
+    def _record_sink(self, name: str, taints: Optional[List[TaintLabel]],
+                     destination: str, src_loc: Optional[Loc]) -> None:
+        """The ledger's terminal edge: tainted bytes left the device.
+
+        The SVC trap path passes the guest buffer as ``src_loc`` so the
+        edge chains into the native segment; Python-API callers (the
+        framework sinks) default to the coarse Java-context node for the
+        union of labels, which chains into the Java-side flow instead.
+        """
+        if self.ledger is None or not taints:
+            return
+        tag = TAINT_CLEAR
+        for taint in taints:
+            tag |= taint
+        if not tag:
+            return
+        if src_loc is None:
+            src_loc = Loc.java(tag)
+        self.ledger.record(tag, f"sink:{name}", src_loc,
+                           Loc.sink(destination),
+                           location=f"syscall:{name}")
 
     # -- process management ----------------------------------------------------
 
@@ -115,6 +146,7 @@ class Kernel:
 
     def sys_open(self, path: str, flags: int = O_RDONLY) -> int:
         process = self._require_current()
+        self._count("open")
         file = self.filesystem.open_or_create(
             path, create=bool(flags & O_CREAT), truncate=bool(flags & O_TRUNC))
         fd = process.allocate_fd()
@@ -128,6 +160,7 @@ class Kernel:
 
     def sys_close(self, fd: int) -> int:
         process = self._require_current()
+        self._count("close")
         descriptor = self._descriptor(fd)
         if descriptor.kind == "socket":
             self.network.close(fd)
@@ -168,15 +201,23 @@ class Kernel:
         raise KernelError(f"unknown syscall fault decision {kind!r}")
 
     def sys_write(self, fd: int, payload: bytes,
-                  taints: Optional[List[TaintLabel]] = None) -> int:
+                  taints: Optional[List[TaintLabel]] = None, *,
+                  src_loc: Optional[Loc] = None) -> int:
         descriptor = self._descriptor(fd)
+        self._count("write")
         if taints is not None and len(taints) != len(payload):
             raise KernelError("taint list length mismatch")
         payload, taints = self._apply_write_faults("write", payload, taints)
         if descriptor.kind == "socket":
+            socket = descriptor.socket
+            target = (socket.connected_to if socket is not None else None)
+            self._record_sink("write", taints, target or f"socket:{fd}",
+                              src_loc)
             return self.network.send(fd, payload, taints)
         if not descriptor.writable:
             raise KernelError(f"fd {fd} not writable")
+        self._record_sink("write", taints, descriptor.path or f"fd:{fd}",
+                          src_loc)
         written = descriptor.file.write_at(descriptor.offset, payload, taints)
         descriptor.offset += written
         self.event_log.emit("kernel", "write",
@@ -187,6 +228,7 @@ class Kernel:
     def sys_read(self, fd: int,
                  length: int) -> Tuple[bytes, List[TaintLabel]]:
         descriptor = self._descriptor(fd)
+        self._count("read")
         if descriptor.kind == "socket":
             chunk = self.network.recv(fd, length)
             return chunk, [TAINT_CLEAR] * len(chunk)
@@ -195,20 +237,24 @@ class Kernel:
         return chunk, taints
 
     def sys_stat(self, path: str) -> Dict[str, int]:
+        self._count("stat")
         if self.filesystem.is_dir(path):
             return {"size": 0, "is_dir": 1}
         file = self.filesystem.lookup(path)
         return {"size": file.size, "is_dir": 0}
 
     def sys_mkdir(self, path: str) -> int:
+        self._count("mkdir")
         self.filesystem.mkdir(path)
         return 0
 
     def sys_unlink(self, path: str) -> int:
+        self._count("unlink")
         self.filesystem.remove(path)
         return 0
 
     def sys_rename(self, old: str, new: str) -> int:
+        self._count("rename")
         self.filesystem.rename(old, new)
         return 0
 
@@ -217,6 +263,7 @@ class Kernel:
     def sys_socket(self, domain: int = AF_INET,
                    type_: int = SOCK_STREAM) -> int:
         process = self._require_current()
+        self._count("socket")
         fd = process.allocate_fd()
         socket = self.network.create_socket(fd, domain, type_)
         process.fds[fd] = FileDescriptor(fd=fd, kind="socket", socket=socket)
@@ -225,6 +272,7 @@ class Kernel:
 
     def sys_connect(self, fd: int, destination: str) -> int:
         self._descriptor(fd)
+        self._count("connect")
         self.network.connect(fd, destination)
         self.event_log.emit("kernel", "connect", f"fd {fd} -> {destination}",
                             fd=fd, destination=destination)
@@ -232,29 +280,44 @@ class Kernel:
 
     def sys_bind(self, fd: int, address: str) -> int:
         self._descriptor(fd)
+        self._count("bind")
         self.network.bind(fd, address)
         return 0
 
     def sys_listen(self, fd: int) -> int:
         self._descriptor(fd)
+        self._count("listen")
         self.network.listen(fd)
         return 0
 
     def sys_send(self, fd: int, payload: bytes,
-                 taints: Optional[List[TaintLabel]] = None) -> int:
-        self._descriptor(fd)
+                 taints: Optional[List[TaintLabel]] = None, *,
+                 src_loc: Optional[Loc] = None) -> int:
+        descriptor = self._descriptor(fd)
+        self._count("send")
         payload, taints = self._apply_write_faults("send", payload, taints)
+        socket = descriptor.socket
+        target = socket.connected_to if socket is not None else None
+        self._record_sink("send", taints, target or f"socket:{fd}", src_loc)
         return self.network.send(fd, payload, taints)
 
     def sys_sendto(self, fd: int, payload: bytes, destination: str,
-                   taints: Optional[List[TaintLabel]] = None) -> int:
-        self._descriptor(fd)
+                   taints: Optional[List[TaintLabel]] = None, *,
+                   src_loc: Optional[Loc] = None) -> int:
+        descriptor = self._descriptor(fd)
+        self._count("sendto")
         payload, taints = self._apply_write_faults("sendto", payload, taints)
+        socket = descriptor.socket
+        target = destination or (socket.connected_to
+                                 if socket is not None else None)
+        self._record_sink("sendto", taints, target or f"socket:{fd}",
+                          src_loc)
         return self.network.send(fd, payload, taints,
                                  destination=destination)
 
     def sys_recv(self, fd: int, length: int) -> bytes:
         self._descriptor(fd)
+        self._count("recv")
         return self.network.recv(fd, length)
 
     # -- the SVC trap path ---------------------------------------------------------
@@ -275,7 +338,9 @@ class Kernel:
             payload = memory.read_bytes(address, length)
             taints = (self.taint_provider(address, length)
                       if self.taint_provider else None)
-            cpu.write_reg(0, self.sys_write(args[0], payload, taints))
+            cpu.write_reg(0, self.sys_write(args[0], payload, taints,
+                                            src_loc=Loc.mem(address,
+                                                            length)))
         elif nr == NR.SENDTO:
             address, length = args[1], args[2]
             payload = memory.read_bytes(address, length)
@@ -284,7 +349,9 @@ class Kernel:
             taints = (self.taint_provider(address, length)
                       if self.taint_provider else None)
             cpu.write_reg(0, self.sys_sendto(args[0], payload, destination,
-                                             taints))
+                                             taints,
+                                             src_loc=Loc.mem(address,
+                                                             length)))
         elif nr == NR.READ or nr == NR.RECV:
             chunk, __ = self.sys_read(args[0], args[2])
             memory.write_bytes(args[1], chunk)
@@ -303,11 +370,14 @@ class Kernel:
             path = memory.read_cstring(args[0]).decode("utf-8")
             cpu.write_reg(0, self.sys_mkdir(path))
         elif nr == NR.GETPID:
+            self._count("getpid")
             cpu.write_reg(0, self._require_current().pid)
         elif nr == NR.EXIT:
+            self._count("exit")
             emu.stop()
         else:
             # Recognised but unmodelled syscalls return success; they are
             # hooked for observation (Table VII), not for behaviour.
+            self._count(nr.name.lower())
             self.event_log.emit("kernel", "syscall.stub", nr.name, nr=number)
             cpu.write_reg(0, 0)

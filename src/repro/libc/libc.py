@@ -24,6 +24,7 @@ from repro.common.errors import KernelError
 from repro.common.taint import TAINT_CLEAR, TaintLabel
 from repro.emulator.emulator import Emulator, HostContext
 from repro.kernel.kernel import Kernel, O_APPEND, O_CREAT, O_RDONLY, O_TRUNC
+from repro.observability.ledger import Loc
 from repro.libc.stdio_format import format_with_taints, sscanf_parse
 from repro.libc.taint_interface import NativeTaintInterface, NullTaintInterface
 from repro.memory.allocator import FreeListAllocator
@@ -50,6 +51,8 @@ class CLibrary:
         self.symbols: Dict[str, int] = {}
         self.heap = FreeListAllocator(LIBC_HEAP_BASE, LIBC_HEAP_SIZE)
         self.taint_interface: NativeTaintInterface = NullTaintInterface()
+        # Provenance ledger (observability); None when not tracing.
+        self.ledger = None
         # FILE* -> fd mapping; the FILE struct itself lives in guest memory
         # so the paper's "Return FILE@0x4006fd44" style logs are real
         # addresses.
@@ -119,14 +122,29 @@ class CLibrary:
             return self.taint_interface.memory_taint_union(slot, 4)
         return taint_of
 
+    def _capture_string_sources(self):
+        """Wrap the %s taint callback to note tainted source ranges, so
+        the sprintf-family ledger edges name the buffers they read."""
+        sources: List[Loc] = []
+
+        def string_taints(address: int, length: int) -> List[TaintLabel]:
+            taints = self._taints_of(address, length)
+            if any(taints):
+                sources.append(Loc.mem(address, max(length, 1)))
+            return taints
+
+        return string_taints, sources
+
     def _format(self, ctx: HostContext, fmt_address: int, fixed: int):
         memory = self._memory()
         fmt = memory.read_cstring(fmt_address)
-        return format_with_taints(
+        string_taints, sources = self._capture_string_sources()
+        data, taints = format_with_taints(
             memory, fmt,
             read_vararg=self._vararg_reader(ctx, fixed),
             vararg_taint=self._vararg_taint(ctx, fixed),
-            string_taints=self._taints_of)
+            string_taints=string_taints)
+        return data, taints, sources
 
     def _fd_for_file(self, file_pointer: int) -> int:
         fd = self._file_objects.get(file_pointer)
@@ -272,48 +290,51 @@ class CLibrary:
 
     def _impl_sprintf(self, ctx: HostContext) -> int:
         dest = ctx.arg(0)
-        data, taints = self._format(ctx, ctx.arg(1), fixed=2)
+        data, taints, sources = self._format(ctx, ctx.arg(1), fixed=2)
         self._memory().write_bytes(dest, data + b"\x00")
-        self._record_formatted(dest, taints)
+        self._record_formatted(dest, taints, sources)
         return len(data)
 
     def _impl_snprintf(self, ctx: HostContext) -> int:
         dest, limit = ctx.arg(0), ctx.arg(1)
-        data, taints = self._format(ctx, ctx.arg(2), fixed=3)
+        data, taints, sources = self._format(ctx, ctx.arg(2), fixed=3)
         clipped = data[:max(limit - 1, 0)]
         if limit:
             self._memory().write_bytes(dest, clipped + b"\x00")
-        self._record_formatted(dest, taints[:len(clipped)])
+        self._record_formatted(dest, taints[:len(clipped)], sources)
         return len(data)
 
     def _impl_vsprintf(self, ctx: HostContext) -> int:
         # va_list is a pointer to the packed argument words.
         dest, fmt_address, va_list = ctx.arg(0), ctx.arg(1), ctx.arg(2)
-        data, taints = self._format_va(fmt_address, va_list)
+        data, taints, sources = self._format_va(fmt_address, va_list)
         self._memory().write_bytes(dest, data + b"\x00")
-        self._record_formatted(dest, taints)
+        self._record_formatted(dest, taints, sources)
         return len(data)
 
     def _impl_vsnprintf(self, ctx: HostContext) -> int:
         dest, limit, fmt_address, va_list = (ctx.arg(i) for i in range(4))
-        data, taints = self._format_va(fmt_address, va_list)
+        data, taints, sources = self._format_va(fmt_address, va_list)
         clipped = data[:max(limit - 1, 0)]
         if limit:
             self._memory().write_bytes(dest, clipped + b"\x00")
-        self._record_formatted(dest, taints[:len(clipped)])
+        self._record_formatted(dest, taints[:len(clipped)], sources)
         return len(data)
 
     def _format_va(self, fmt_address: int, va_list: int):
         memory = self._memory()
         fmt = memory.read_cstring(fmt_address)
-        return format_with_taints(
+        string_taints, sources = self._capture_string_sources()
+        data, taints = format_with_taints(
             memory, fmt,
             read_vararg=lambda index: memory.read_u32(va_list + 4 * index),
             vararg_taint=lambda index: self.taint_interface.memory_taint_union(
                 va_list + 4 * index, 4),
-            string_taints=self._taints_of)
+            string_taints=string_taints)
+        return data, taints, sources
 
-    def _record_formatted(self, dest: int, taints: List[TaintLabel]) -> None:
+    def _record_formatted(self, dest: int, taints: List[TaintLabel],
+                          sources: Optional[List[Loc]] = None) -> None:
         """Land formatted-output taints in the native taint map."""
         self.taint_interface.write_memory_taints(dest, taints)
         if any(taints):
@@ -321,6 +342,15 @@ class CLibrary:
                 "libc", "format.tainted",
                 f"formatted output @0x{dest:08x} carries taint",
                 dest=dest, taints=taints)
+            if self.ledger is not None and sources:
+                union = TAINT_CLEAR
+                for taint in taints:
+                    union |= taint
+                dst = Loc.mem(dest, max(len(taints), 1))
+                for src in sources:
+                    tag = self.taint_interface.memory_taint_union(
+                        src.base, src.length) or union
+                    self.ledger.record(tag, "libc:sprintf", src, dst)
 
     def _impl_sscanf(self, ctx: HostContext) -> int:
         memory = self._memory()
@@ -362,7 +392,8 @@ class CLibrary:
         length = size * count
         payload = self._memory().read_bytes(address, length)
         fd = self._fd_for_file(file_pointer)
-        self.kernel.sys_write(fd, payload, self._taints_of(address, length))
+        self.kernel.sys_write(fd, payload, self._taints_of(address, length),
+                              src_loc=Loc.mem(address, max(length, 1)))
         return count
 
     def _impl_fread(self, ctx: HostContext) -> int:
@@ -374,14 +405,16 @@ class CLibrary:
 
     def _impl_fprintf(self, ctx: HostContext) -> int:
         fd = self._fd_for_file(ctx.arg(0))
-        data, taints = self._format(ctx, ctx.arg(1), fixed=2)
-        self.kernel.sys_write(fd, data, taints)
+        data, taints, sources = self._format(ctx, ctx.arg(1), fixed=2)
+        self.kernel.sys_write(fd, data, taints,
+                              src_loc=sources[0] if sources else None)
         return len(data)
 
     def _impl_vfprintf(self, ctx: HostContext) -> int:
         fd = self._fd_for_file(ctx.arg(0))
-        data, taints = self._format_va(ctx.arg(1), ctx.arg(2))
-        self.kernel.sys_write(fd, data, taints)
+        data, taints, sources = self._format_va(ctx.arg(1), ctx.arg(2))
+        self.kernel.sys_write(fd, data, taints,
+                              src_loc=sources[0] if sources else None)
         return len(data)
 
     def _impl_fgets(self, ctx: HostContext) -> int:
@@ -411,7 +444,8 @@ class CLibrary:
         address, file_pointer = ctx.arg(0), ctx.arg(1)
         data = self._cstr(address)
         fd = self._fd_for_file(file_pointer)
-        self.kernel.sys_write(fd, data, self._taints_of(address, len(data)))
+        self.kernel.sys_write(fd, data, self._taints_of(address, len(data)),
+                              src_loc=Loc.mem(address, max(len(data), 1)))
         return len(data)
 
     def _impl_getc(self, ctx: HostContext) -> int:
@@ -440,7 +474,9 @@ class CLibrary:
         address, length = ctx.arg(1), ctx.arg(2)
         payload = self._memory().read_bytes(address, length)
         return self.kernel.sys_write(ctx.arg(0), payload,
-                                     self._taints_of(address, length))
+                                     self._taints_of(address, length),
+                                     src_loc=Loc.mem(address,
+                                                     max(length, 1)))
 
     def _impl_stat(self, ctx: HostContext) -> int:
         try:
@@ -562,7 +598,9 @@ class CLibrary:
         address, length = ctx.arg(1), ctx.arg(2)
         payload = self._memory().read_bytes(address, length)
         return self.kernel.sys_send(ctx.arg(0), payload,
-                                    self._taints_of(address, length))
+                                    self._taints_of(address, length),
+                                    src_loc=Loc.mem(address,
+                                                    max(length, 1)))
 
     def _impl_sendto(self, ctx: HostContext) -> int:
         address, length = ctx.arg(1), ctx.arg(2)
@@ -572,7 +610,9 @@ class CLibrary:
                                                         errors="replace")
         payload = self._memory().read_bytes(address, length)
         return self.kernel.sys_sendto(ctx.arg(0), payload, destination,
-                                      self._taints_of(address, length))
+                                      self._taints_of(address, length),
+                                      src_loc=Loc.mem(address,
+                                                      max(length, 1)))
 
     def _impl_recv(self, ctx: HostContext) -> int:
         chunk = self.kernel.sys_recv(ctx.arg(0), ctx.arg(2))

@@ -1,0 +1,172 @@
+"""The metrics registry: counters/gauges/histograms + pull sources.
+
+Two registration styles, chosen for cost:
+
+* **pull sources** — a module registers a closure returning a dict of
+  name→value; the closure runs only at ``snapshot()`` time, so modules
+  that already keep counters (the emulator's ``instruction_count``, the
+  kernel's syscall tally, NDroid's ``statistics()``) are observable at
+  literally zero runtime cost;
+* **push instruments** — :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` for event-driven values with no existing home
+  (supervisor retries, watchdog firings, bench results).
+
+``snapshot()`` flattens everything into ``prefix.name -> number``, the
+form the ``repro report`` overhead tables consume; ``diff_snapshots``
+produces the Table IV/V-style two-run comparison rows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, IO, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+Source = Callable[[], Dict[str, Number]]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics over recorded observations."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.minimum: Optional[Number] = None
+        self.maximum: Optional[Number] = None
+
+    def record(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, Number]:
+        return {"count": self.count, "sum": self.total,
+                "min": self.minimum or 0, "max": self.maximum or 0,
+                "mean": round(self.mean, 6)}
+
+
+class MetricsRegistry:
+    """Named instruments plus pull sources, flattened by ``snapshot()``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: List[Tuple[str, Source]] = []
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- pull sources ------------------------------------------------------
+
+    def register_source(self, prefix: str, source: Source) -> None:
+        """Attach a snapshot-time closure; its keys land under ``prefix.``."""
+        self._sources.append((prefix, source))
+
+    def unregister_source(self, prefix: str) -> None:
+        self._sources = [(p, s) for p, s in self._sources if p != prefix]
+
+    # -- flattening --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Every metric as a flat ``name -> number`` dict."""
+        data: Dict[str, Number] = {}
+        for prefix, source in self._sources:
+            for key, value in source().items():
+                data[f"{prefix}.{key}"] = value
+        for name, counter in self._counters.items():
+            data[name] = counter.value
+        for name, gauge in self._gauges.items():
+            data[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for stat, value in histogram.summary().items():
+                data[f"{name}.{stat}"] = value
+        return data
+
+    def write_json(self, target: Union[str, IO[str]]) -> Dict[str, Number]:
+        snapshot = self.snapshot()
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        else:
+            json.dump(snapshot, target, indent=2, sort_keys=True)
+        return snapshot
+
+
+def load_snapshot(path: str) -> Dict[str, Number]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def diff_snapshots(current: Dict[str, Number],
+                   baseline: Dict[str, Number]
+                   ) -> List[Tuple[str, Optional[Number],
+                                   Optional[Number], Optional[float]]]:
+    """Rows of ``(name, baseline, current, ratio)`` over both snapshots.
+
+    ``ratio`` is ``current / baseline`` when both sides are non-zero
+    numbers, else ``None`` (rendered ``-`` by the report).
+    """
+    rows = []
+    for name in sorted(set(current) | set(baseline)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        ratio = None
+        if base and cur is not None:
+            ratio = cur / base
+        rows.append((name, base, cur, ratio))
+    return rows

@@ -1,0 +1,133 @@
+"""The sampling profiler: TB-boundary PC samples → folded stacks.
+
+QEMU-style instrumentation discipline (PR 2): sampling happens at
+*translation-block boundaries*, where the dispatch loop already does
+boundary work, never per instruction — one ``is not None`` check per
+block when a profiler is attached, zero code on the path when not.  In
+instrumented runs (tracers attached force the single-step engine) the
+same check runs per step, so sampling keeps working at full
+instrumentation.
+
+Sampling rule: a sample is taken at the first boundary where the
+retired-instruction count reaches ``next_sample``; the threshold then
+advances by ``interval``.  Samples attribute to guest functions through
+a :class:`SymbolResolver` built from the loaded modules' symbol tables
+and the ViewReconstructor-visible module map, and export as
+flamegraph-ready folded lines (``module;symbol count``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, IO, List, Optional, Tuple, Union
+
+# A symbol more than this far behind the sampled PC is not credited;
+# the sample falls back to its module (or an unknown bucket).
+MAX_SYMBOL_DISTANCE = 0x10000
+
+
+class SymbolResolver:
+    """pc → ``module;symbol`` via sorted symbol tables + module map."""
+
+    def __init__(self) -> None:
+        self._symbols: List[Tuple[int, str, str]] = []
+        self._sorted = False
+        self._modules: List[Tuple[int, int, str]] = []
+
+    def add_symbol(self, address: int, module: str, name: str) -> None:
+        self._symbols.append((address & ~1, module, name))
+        self._sorted = False
+
+    def add_module(self, start: int, end: int, name: str) -> None:
+        self._modules.append((start, end, name))
+
+    def add_symbols(self, module: str, symbols: Dict[str, int]) -> None:
+        for name, address in symbols.items():
+            self.add_symbol(address, module, name)
+
+    def _module_of(self, pc: int) -> Optional[str]:
+        for start, end, name in self._modules:
+            if start <= pc < end:
+                return name
+        return None
+
+    def resolve(self, pc: int) -> str:
+        if not self._sorted:
+            self._symbols.sort(key=lambda entry: entry[0])
+            self._sorted = True
+        addresses = [entry[0] for entry in self._symbols]
+        index = bisect_right(addresses, pc) - 1
+        module = self._module_of(pc)
+        if index >= 0:
+            address, sym_module, name = self._symbols[index]
+            if pc - address <= MAX_SYMBOL_DISTANCE and \
+                    (module is None or module == sym_module):
+                return f"{sym_module};{name}"
+        if module is not None:
+            return f"{module};0x{pc:08x}"
+        return f"unknown;0x{pc:08x}"
+
+    @classmethod
+    def from_platform(cls, platform) -> "SymbolResolver":
+        """Build from everything an :class:`AndroidPlatform` has mapped."""
+        resolver = cls()
+        for name, program in getattr(platform, "_loaded_libraries",
+                                     {}).items():
+            resolver.add_symbols(name, program.symbols)
+        resolver.add_symbols("libc.so", platform.libc.symbols)
+        resolver.add_symbols("libm.so", platform.libm.symbols)
+        resolver.add_symbols("libdvm.so", platform.jni.symbols)
+        for region in platform.emu.memory_map:
+            resolver.add_module(region.start, region.end, region.name)
+        return resolver
+
+
+class SamplingProfiler:
+    """Boundary-gated PC sampler; see the module docstring for the rule."""
+
+    def __init__(self, interval: int = 128) -> None:
+        self.interval = max(int(interval), 1)
+        self.next_sample = self.interval
+        self.samples: Dict[int, int] = {}
+        self.sample_count = 0
+
+    def take_sample(self, pc: int, instruction_count: int) -> None:
+        """Record one PC hit; the dispatch loop gates the call on
+        ``instruction_count >= next_sample`` so this never runs hot."""
+        self.samples[pc] = self.samples.get(pc, 0) + 1
+        self.sample_count += 1
+        self.next_sample = instruction_count + self.interval
+
+    def set_interval(self, interval: int) -> None:
+        """Change the sampling interval, rearming the next threshold."""
+        self.interval = max(int(interval), 1)
+        self.next_sample = min(self.next_sample, self.interval) \
+            if self.sample_count else self.interval
+
+    def reset(self) -> None:
+        self.samples.clear()
+        self.sample_count = 0
+        self.next_sample = self.interval
+
+    # -- export ------------------------------------------------------------
+
+    def folded(self, resolver: Optional[SymbolResolver] = None
+               ) -> List[str]:
+        """Flamegraph folded lines, heaviest first."""
+        buckets: Dict[str, int] = {}
+        for pc, count in self.samples.items():
+            frame = (resolver.resolve(pc) if resolver is not None
+                     else f"unknown;0x{pc:08x}")
+            buckets[frame] = buckets.get(frame, 0) + count
+        return [f"{frame} {count}" for frame, count in
+                sorted(buckets.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+    def write_folded(self, target: Union[str, IO[str]],
+                     resolver: Optional[SymbolResolver] = None) -> int:
+        lines = self.folded(resolver)
+        if isinstance(target, str):
+            with open(target, "w") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+        else:
+            target.write("\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)

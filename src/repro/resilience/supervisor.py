@@ -129,13 +129,21 @@ class Supervisor:
     def __init__(self, budget: Optional[int] = 5_000_000,
                  max_retries: int = 3, backoff_base: float = 0.01,
                  backoff_factor: float = 2.0, ring_capacity: int = 32,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 metrics=None) -> None:
         self.budget = budget
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
         self.ring_capacity = ring_capacity
         self._sleep = sleep
+        # Optional MetricsRegistry: supervised-run outcomes become
+        # resilience.* counters (observability layer).
+        self.metrics = metrics
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"resilience.{name}").inc(amount)
 
     def run(self, label: str, analysis: Analysis,
             plan: Optional[FaultPlan] = None) -> SupervisedResult:
@@ -150,6 +158,7 @@ class Supervisor:
         active = plan.activate() if plan else None
         delays: List[float] = []
         attempt = 0
+        self._count("runs")
         while True:
             attempt += 1
             ctx = RunContext(self.budget, active, self.ring_capacity)
@@ -160,12 +169,14 @@ class Supervisor:
                     delay = self.backoff_base * (
                         self.backoff_factor ** (attempt - 1))
                     delays.append(delay)
+                    self._count("retries")
                     self._sleep(delay)
                     continue
                 return self._failed(OUTCOME_CRASHED, label, error, ctx,
                                     attempt, delays,
                                     note="transient-retries-exhausted")
             except AnalysisTimeout as error:
+                self._count("watchdog_fired")
                 return self._failed(OUTCOME_TIMEOUT, label, error, ctx,
                                     attempt, delays)
             except ReproError as error:
@@ -189,6 +200,7 @@ class Supervisor:
         quarantined = (sorted(ndroid.quarantined_hooks)
                        if ndroid is not None else [])
         status = OUTCOME_DEGRADED if degraded_events else OUTCOME_OK
+        self._count(f"outcome.{status}")
         return SupervisedResult(
             label=label, status=status, value=value, attempts=attempt,
             backoff_delays=list(delays), degraded_events=degraded_events,
@@ -206,6 +218,7 @@ class Supervisor:
         message = f"{type(error).__name__}: {error}"
         if note:
             message = f"{note}: {message}"
+        self._count(f"outcome.{status}")
         return SupervisedResult(
             label=label, status=status, attempts=attempt,
             backoff_delays=list(delays), crash_report=report,

@@ -71,3 +71,20 @@ def test_unknown_baseline_workloads_are_ignored():
     current = {"workloads": {"new": {"speedup": 1.0}},
                "taint_parity": {"identical": True}}
     assert compare_to_baseline(current, baseline) == []
+
+
+def test_compare_to_baseline_gates_disabled_observability_overhead():
+    current = {"workloads": {},
+               "taint_parity": {"identical": True},
+               "observability": {"cfbench_disabled_overhead": 0.08,
+                                 "limit": 0.03}}
+    failures = compare_to_baseline(current, {"workloads": {}})
+    assert any("observability" in f for f in failures)
+    current["observability"]["cfbench_disabled_overhead"] = 0.01
+    assert compare_to_baseline(current, {"workloads": {}}) == []
+
+
+def test_old_baselines_without_observability_key_still_compare():
+    # Pre-observability results lack the key on both sides: no gate.
+    current = {"workloads": {}, "taint_parity": {"identical": True}}
+    assert compare_to_baseline(current, {"workloads": {}}) == []

@@ -61,3 +61,37 @@ def test_clear():
     log.emit("x", "y")
     log.clear()
     assert len(log) == 0
+
+
+def test_maxlen_ring_buffer_drops_oldest():
+    log = EventLog(maxlen=3)
+    for i in range(5):
+        log.emit("a", "tick", str(i))
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [event.detail for event in log] == ["2", "3", "4"]
+    # Sequence numbers keep counting across drops.
+    assert log[0].seq == 2
+    assert log[-1].seq == 4
+
+
+def test_unsubscribe_stops_delivery():
+    log = EventLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.emit("a", "x")
+    log.unsubscribe(seen.append)
+    log.emit("a", "y")
+    assert [event.kind for event in seen] == ["x"]
+    # Unsubscribing an unknown callback is a no-op.
+    log.unsubscribe(seen.append)
+
+
+def test_clear_resets_sequence_and_drop_count():
+    log = EventLog(maxlen=2)
+    for __ in range(4):
+        log.emit("a", "tick")
+    log.clear()
+    assert len(log) == 0
+    assert log.dropped == 0
+    assert log.emit("a", "tick").seq == 0

@@ -1,0 +1,16 @@
+"""`repro bench --emulator` must route results through the registry."""
+
+from repro.bench.emulator_bench import EmulatorBench
+
+
+def test_bench_results_and_metrics_snapshot_agree():
+    bench = EmulatorBench(cfbench_iterations=300, jni_crossings=20,
+                          tracer_calls=1, repeats=1)
+    results = bench.run()
+    assert results["metrics"], "expected a metrics snapshot in the results"
+    for name, row in results["workloads"].items():
+        for key, value in row.items():
+            assert results["metrics"][f"bench.{name}.{key}"] == value
+    observability = results["observability"]
+    assert "cfbench_disabled_overhead" in observability
+    assert observability["limit"] == 0.03

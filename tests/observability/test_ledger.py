@@ -1,0 +1,88 @@
+"""Unit tests for the provenance ledger."""
+
+import io
+
+from repro.observability.ledger import Loc, ProvenanceLedger
+
+
+def test_loc_overlap_rules():
+    assert Loc.mem(0x100, 8).overlaps(Loc.mem(0x104, 8))
+    assert not Loc.mem(0x100, 4).overlaps(Loc.mem(0x104, 4))
+    assert Loc.reg(3).overlaps(Loc.reg(3))
+    assert not Loc.reg(3).overlaps(Loc.reg(4))
+    assert Loc.java(0x6).overlaps(Loc.java(0x2))
+    assert not Loc.java(0x4).overlaps(Loc.java(0x2))
+    assert not Loc.mem(0x100, 4).overlaps(Loc.reg(3))
+    assert Loc.api("x").overlaps(Loc.api("x"))
+    assert not Loc.api("x").overlaps(Loc.api("y"))
+
+
+def test_record_skips_clear_tags():
+    ledger = ProvenanceLedger()
+    ledger.record(0, "native:mov", Loc.reg(0), Loc.reg(1))
+    assert len(ledger) == 0
+    ledger.record(0x2, "native:mov", Loc.reg(0), Loc.reg(1))
+    assert len(ledger) == 1
+
+
+def test_bounded_ledger_drops_oldest():
+    ledger = ProvenanceLedger(maxlen=4)
+    for i in range(10):
+        ledger.record(0x2, "native:mov", Loc.reg(i), Loc.reg(i + 1))
+    assert len(ledger) == 4
+    assert ledger.dropped == 6
+    assert [edge.seq for edge in ledger] == [6, 7, 8, 9]
+
+
+def test_reconstruct_walks_source_to_sink():
+    ledger = ProvenanceLedger()
+    ledger.record(0x2, "source:framework", Loc.api("getDeviceId"),
+                  Loc.java(0x2))
+    ledger.record(0x2, "jni:dvmCallJNIMethod", Loc.java(0x2), Loc.reg(1))
+    ledger.record(0x2, "native:mov", Loc.reg(1), Loc.reg(0))
+    ledger.record(0x2, "native:str", Loc.reg(0), Loc.mem(0x8000, 4))
+    ledger.record(0x2, "sink:write", Loc.mem(0x8000, 4),
+                  Loc.sink("/sdcard/out"), location="syscall:write")
+    path = ledger.reconstruct(taint=0x2, destination="/sdcard/out")
+    assert [edge.mechanism for edge in path] == [
+        "source:framework", "jni:dvmCallJNIMethod", "native:mov",
+        "native:str", "sink:write"]
+    # The walk is cycle-safe even with repeated register reuse.
+    ledger.record(0x2, "native:mov", Loc.reg(0), Loc.reg(0))
+    assert ledger.reconstruct(taint=0x2, destination="/sdcard/out")
+
+
+def test_reconstruct_prefers_memory_sink_edges():
+    ledger = ProvenanceLedger()
+    ledger.record(0x2, "sink:send", Loc.java(0x2), Loc.sink("host:80"))
+    ledger.record(0x2, "native:str", Loc.reg(0), Loc.mem(0x100, 4))
+    ledger.record(0x2, "sink:send", Loc.mem(0x100, 4), Loc.sink("host:80"))
+    path = ledger.reconstruct(taint=0x2, destination="host:80")
+    assert path[-1].src.kind == "mem"
+
+
+def test_jsonl_round_trip_and_dot():
+    ledger = ProvenanceLedger()
+    ledger.record(0x2, "source:framework", Loc.api("getDeviceId"),
+                  Loc.java(0x2))
+    ledger.record(0x2, "sink:send", Loc.java(0x2), Loc.sink("host:80"),
+                  location="syscall:send")
+    buffer = io.StringIO()
+    assert ledger.to_jsonl(buffer) == 2
+    buffer.seek(0)
+    loaded = ProvenanceLedger.from_jsonl(buffer.read().splitlines())
+    assert len(loaded) == 2
+    assert [e.mechanism for e in loaded] == [e.mechanism for e in ledger]
+    dot = loaded.to_dot()
+    assert dot.startswith("digraph provenance")
+    assert "doubleoctagon" in dot  # the sink node shape
+    assert "host:80" in dot
+
+
+def test_clear_resets_counts():
+    ledger = ProvenanceLedger(maxlen=2)
+    for i in range(5):
+        ledger.record(0x2, "native:mov", Loc.reg(0), Loc.reg(1))
+    ledger.clear()
+    assert len(ledger) == 0
+    assert ledger.dropped == 0

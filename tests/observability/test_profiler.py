@@ -1,0 +1,84 @@
+"""Unit tests for the sampling profiler and its zero-cost contract."""
+
+import time
+
+from repro.cpu.assembler import assemble
+from repro.emulator.emulator import Emulator
+from repro.observability.profiler import SamplingProfiler, SymbolResolver
+
+LOOP = """
+main:
+    mov r0, #0
+    mov r1, #200
+loop:
+    add r0, r0, #1
+    subs r1, r1, #1
+    bne loop
+    bx lr
+"""
+
+BASE = 0x6000_0000
+
+
+def _run_loop(profiler=None) -> Emulator:
+    emu = Emulator()
+    program = assemble(LOOP, base=BASE)
+    emu.load(BASE, program.code)
+    emu.memory_map.map(BASE, 0x1000, "libloop.so")
+    emu.cpu.sp = 0x0800_0000
+    if profiler is not None:
+        emu.profiler = profiler
+    emu.call(program.entry("main"))
+    return emu
+
+
+def test_samples_land_in_the_loop():
+    profiler = SamplingProfiler(interval=32)
+    emu = _run_loop(profiler)
+    assert emu.instruction_count > 500
+    assert profiler.sample_count >= emu.instruction_count // 32 - 2
+    resolver = SymbolResolver()
+    resolver.add_symbol(BASE, "libloop.so", "main")
+    resolver.add_module(BASE, BASE + 0x1000, "libloop.so")
+    folded = profiler.folded(resolver)
+    assert folded, "expected at least one folded frame"
+    frame, count = folded[0].rsplit(" ", 1)
+    assert frame == "libloop.so;main"
+    assert int(count) == profiler.sample_count
+
+
+def test_sampling_rule_advances_by_interval():
+    profiler = SamplingProfiler(interval=100)
+    assert profiler.next_sample == 100
+    profiler.take_sample(0x1000, 105)
+    assert profiler.next_sample == 205
+    profiler.set_interval(10)
+    profiler.take_sample(0x1000, 210)
+    assert profiler.next_sample == 220
+
+
+def test_profiler_attach_does_not_change_execution():
+    plain = _run_loop(None)
+    profiled = _run_loop(SamplingProfiler(interval=64))
+    assert plain.instruction_count == profiled.instruction_count
+    assert plain.cpu.regs[0] == profiled.cpu.regs[0]
+    # Attaching a profiler must not force the single-step engine.
+    assert profiled.translation_stats()["blocks"] > 0
+
+
+def test_resolver_falls_back_to_module_then_unknown():
+    resolver = SymbolResolver()
+    resolver.add_module(0x1000, 0x2000, "libx.so")
+    assert resolver.resolve(0x1800) == "libx.so;0x00001800"
+    assert resolver.resolve(0x9000) == "unknown;0x00009000"
+    resolver.add_symbol(0x1001, "libx.so", "f")  # thumb bit masked
+    assert resolver.resolve(0x1800) == "libx.so;f"
+
+
+def test_write_folded(tmp_path):
+    profiler = SamplingProfiler(interval=1)
+    profiler.take_sample(0x1000, 1)
+    profiler.take_sample(0x1000, 2)
+    target = tmp_path / "profile.folded"
+    assert profiler.write_folded(str(target)) == 1
+    assert target.read_text() == "unknown;0x00001000 2\n"
