@@ -1,0 +1,111 @@
+"""The farm scaling benchmark: serial vs parallel vs resumed.
+
+Runs the built-in corpus three times over the same result store:
+
+1. **serial** — ``workers=1``, cold cache: the baseline wall clock;
+2. **parallel** — ``workers=N``, cold cache (fresh store): the
+   multiprocess wall clock;
+3. **resumed** — ``workers=N`` again over the parallel run's store:
+   every digest hits, measuring the near-free re-run property.
+
+Besides the timings it records the machine's CPU count (a 4-worker farm
+cannot beat serial on a single-core host — the recorded ``cpus`` field
+keeps the numbers honest) and a per-app parity check: the serial and
+parallel runs must report identical per-job leak/sink counts, since the
+merge is pure aggregation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict
+
+from repro.farm.manifest import Manifest
+from repro.farm.merge import merge_results, sink_counts
+from repro.farm.scheduler import FarmScheduler
+from repro.farm.store import ResultStore
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _parity_row(result: Dict) -> Dict:
+    return {"status": result["status"],
+            "leaks": len(result.get("leaks", [])),
+            "sinks": sink_counts(result.get("metrics", {}))}
+
+
+class FarmBench:
+    """Measures farm wall clocks and validates serial/parallel parity."""
+
+    def __init__(self, workers: int = 4, manifest: Manifest = None) -> None:
+        self.workers = max(2, workers)
+        self.manifest = manifest if manifest is not None \
+            else Manifest.builtin()
+
+    def _measure(self, workers: int, store: ResultStore,
+                 resume: bool) -> Dict:
+        scheduler = FarmScheduler(self.manifest, workers=workers,
+                                  store=store, resume=resume)
+        results = scheduler.run()
+        report = merge_results(results, workers=workers,
+                               wall_seconds=scheduler.wall_seconds,
+                               cached_jobs=scheduler.cached_jobs)
+        return {
+            "workers": workers,
+            "wall_seconds": scheduler.wall_seconds,
+            "jobs": len(results),
+            "cached_jobs": scheduler.cached_jobs,
+            "outcomes": report.outcomes,
+            "results": results,
+        }
+
+    def run(self) -> Dict:
+        with tempfile.TemporaryDirectory() as scratch:
+            serial = self._measure(1, ResultStore(
+                os.path.join(scratch, "serial")), resume=False)
+            parallel_store = ResultStore(os.path.join(scratch, "parallel"))
+            parallel = self._measure(self.workers, parallel_store,
+                                     resume=False)
+            resumed = self._measure(self.workers, parallel_store,
+                                    resume=True)
+
+        apps = {}
+        identical = True
+        for row_s, row_p in zip(serial["results"], parallel["results"]):
+            job_id = row_s["job"]["id"]
+            serial_row = _parity_row(row_s)
+            parallel_row = _parity_row(row_p)
+            match = serial_row == parallel_row
+            identical = identical and match
+            apps[job_id] = {"serial": serial_row, "parallel": parallel_row,
+                            "identical": match}
+
+        def strip(run: Dict) -> Dict:
+            return {key: value for key, value in run.items()
+                    if key != "results"}
+
+        serial_wall = serial["wall_seconds"]
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "cpus": os.cpu_count() or 1,
+            "runs": {"serial": strip(serial), "parallel": strip(parallel),
+                     "resumed": strip(resumed)},
+            "speedup": (serial_wall / parallel["wall_seconds"]
+                        if parallel["wall_seconds"] else 0.0),
+            "resume_speedup": (serial_wall / resumed["wall_seconds"]
+                               if resumed["wall_seconds"] else 0.0),
+            "parity": {"identical": identical, "apps": apps},
+        }
+
+
+def write_results(results: Dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)

@@ -11,6 +11,8 @@ Commands:
 * ``bench`` — run the Fig. 10 CF-Bench overhead comparison;
 * ``supervise`` — run the Section VI market study under the resilience
   supervisor, optionally with injected faults (``--faults``);
+* ``farm`` — run a corpus manifest on the sharded multiprocess analysis
+  farm (digest-cached results, merged farm-level report);
 * ``run`` — execute one scenario, writing an artifact directory
   (metrics, leaks, and — with ``--trace`` — the provenance ledger, a
   Graphviz flow graph and a folded profile);
@@ -61,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--emulator", action="store_true",
                        help="run the emulator engine benchmark "
                             "(TB vs single-step + taint parity) instead")
+    bench.add_argument("--farm", action="store_true",
+                       help="run the analysis-farm scaling benchmark "
+                            "(serial vs -j N vs resumed) instead")
+    bench.add_argument("--workers", type=int, default=4,
+                       help="parallel worker count for --farm (default 4)")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write emulator benchmark results to PATH")
     bench.add_argument("--baseline", metavar="PATH", default=None,
@@ -93,6 +100,26 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "watchdog fires (default 2,000,000)")
     supervise.add_argument("--report", action="store_true",
                            help="print full crash reports for failed apps")
+
+    farm = subparsers.add_parser(
+        "farm", help="run a corpus manifest on the sharded analysis farm")
+    farm.add_argument("manifest", nargs="?", default="builtin",
+                      help="manifest JSON path, or 'builtin' for the "
+                           "full scenario+market corpus (default)")
+    farm.add_argument("-j", "--workers", type=int, default=1,
+                      help="worker processes (default 1 = serial)")
+    farm.add_argument("--resume", action="store_true",
+                      help="replay digest-cached results instead of "
+                           "re-running unchanged jobs")
+    farm.add_argument("--out", default="repro-farm", metavar="DIR",
+                      help="artifact directory (default: repro-farm); "
+                           "the result cache lives in DIR/cache")
+    farm.add_argument("--trace", action="store_true",
+                      help="enable the provenance ledger per job "
+                           "(builtin manifest only)")
+    farm.add_argument("--budget", type=int, default=2_000_000,
+                      help="instruction budget per job before the "
+                           "watchdog fires (default 2,000,000)")
 
     run = subparsers.add_parser(
         "run", help="run one scenario and write an artifact directory")
@@ -222,6 +249,28 @@ def _command_bench_emulator(json_path, baseline_path, tolerance) -> int:
     return 0 if parity["identical"] else 1
 
 
+def _command_bench_farm(workers: int, json_path) -> int:
+    from repro.bench.farm_bench import FarmBench, write_results
+    results = FarmBench(workers=workers).run()
+    rows = results["runs"]
+    for name in ("serial", "parallel", "resumed"):
+        row = rows[name]
+        print(f"{name:<10} workers={row['workers']:<3} "
+              f"wall={row['wall_seconds']:.2f}s "
+              f"jobs={row['jobs']} cached={row['cached_jobs']}")
+    print(f"speedup (parallel vs serial):  "
+          f"{results['speedup']:.2f}x on {results['cpus']} cpu(s)")
+    print(f"speedup (resumed vs serial):   {results['resume_speedup']:.2f}x")
+    parity = results["parity"]
+    print(f"per-app count parity: "
+          f"{'identical' if parity['identical'] else 'BROKEN'} "
+          f"over {len(parity['apps'])} jobs")
+    if json_path:
+        write_results(results, json_path)
+        print(f"wrote {json_path}")
+    return 0 if parity["identical"] else 1
+
+
 def _command_supervise(args) -> int:
     from repro.apps.market import run_supervised_market_study
     from repro.resilience import FaultPlan, Supervisor
@@ -273,6 +322,34 @@ def _command_supervise(args) -> int:
     print(f"\n{completed}/{len(results)} apps completed "
           f"({len(results) - completed} contained)")
     return 0
+
+
+def _command_farm(args) -> int:
+    import os
+    from repro.farm import (FarmScheduler, Manifest, ResultStore,
+                            merge_results, render_farm_report,
+                            write_farm_artifacts)
+    try:
+        manifest = Manifest.load(args.manifest, trace=args.trace) \
+            if args.manifest == "builtin" else Manifest.load(args.manifest)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"bad manifest {args.manifest!r}: {error}", file=sys.stderr)
+        return 2
+    if not len(manifest):
+        print("manifest holds no jobs", file=sys.stderr)
+        return 2
+    store = ResultStore(os.path.join(args.out, "cache"))
+    scheduler = FarmScheduler(manifest, workers=args.workers, store=store,
+                              resume=args.resume, budget=args.budget)
+    results = scheduler.run()
+    report = merge_results(results, workers=args.workers,
+                           wall_seconds=scheduler.wall_seconds,
+                           cached_jobs=scheduler.cached_jobs)
+    write_farm_artifacts(report, args.out)
+    print(render_farm_report(report), end="")
+    print(f"wrote {args.out}/{{farm.json, report.txt, jobs/, merged/}}")
+    lost = report.outcomes.get("lost", 0)
+    return 1 if lost else 0
 
 
 def _command_run(args) -> int:
@@ -398,9 +475,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.emulator:
             return _command_bench_emulator(args.json, args.baseline,
                                            args.tolerance)
+        if args.farm:
+            return _command_bench_farm(args.workers, args.json)
         return _command_bench(args.iterations, args.repeats)
     if args.command == "supervise":
         return _command_supervise(args)
+    if args.command == "farm":
+        return _command_farm(args)
     if args.command == "run":
         return _command_run(args)
     if args.command == "report":

@@ -42,11 +42,41 @@ class TaintEngine(NativeTaintInterface):
         # silently dropping flows.
         self.conservative_label: TaintLabel = TAINT_CLEAR
         # Sticky: flips True the first time any non-clear label enters the
-        # engine and never flips back.  While False, every query is
-        # trivially clear (taint only derives from existing taint), so the
-        # instruction tracer skips per-instruction propagation entirely —
-        # the dominant cost in runs that never touch a taint source.
+        # engine.  While False, every query is trivially clear (taint only
+        # derives from existing taint), so the instruction tracer skips
+        # per-instruction propagation entirely — the dominant cost in runs
+        # that never touch a taint source.  It never flips back on its
+        # own; :meth:`reset` and :meth:`rearm_fast_path` re-arm it between
+        # jobs (farm workers reuse engines across analyses).
         self.maybe_tainted = False
+
+    # -- lifecycle (farm worker reuse) ----------------------------------------
+
+    def reset(self) -> None:
+        """Return the engine to its pristine state between analysis jobs.
+
+        Drops every label — shadow registers, the taint map, the iref
+        store, *and* the conservative degradation label (a new job means
+        a new app: the previous app's quarantine pessimism does not carry
+        over) — and re-arms the clean-run fast path.
+        """
+        self.shadow_registers = [TAINT_CLEAR] * 16
+        self._memory_taints.clear()
+        self._iref_taints.clear()
+        self.conservative_label = TAINT_CLEAR
+        self.maybe_tainted = False
+
+    def rearm_fast_path(self) -> bool:
+        """Re-arm the clean-run fast path if no label is live anywhere.
+
+        Unlike :meth:`reset` this never discards state: it only flips
+        ``maybe_tainted`` back to ``False`` when every store is verifiably
+        clear (including the conservative label — a degraded engine stays
+        pessimistic).  Returns ``True`` when the fast path is armed.
+        """
+        if self.maybe_tainted and not self.live_label():
+            self.maybe_tainted = False
+        return not self.maybe_tainted
 
     # -- graceful degradation -------------------------------------------------
 

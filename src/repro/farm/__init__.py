@@ -1,0 +1,46 @@
+"""Sharded parallel analysis farm (corpus-scale runs).
+
+The paper's Section III study covers hundreds of thousands of apps; one
+in-process loop does not scale past a demo.  The farm splits a corpus
+manifest into content-digest-keyed jobs, dispatches them to a
+``multiprocessing`` worker pool (each job supervised, so a hostile app
+is a recorded outcome, not a dead farm), caches results by digest so an
+unchanged corpus re-runs near-free, and merges the per-worker artifacts
+— metrics snapshots, provenance traces, crash tombstones — into one
+farm-level report.
+
+Layers::
+
+    Manifest (manifest.py)   what to run, digest-keyed JobSpecs
+    FarmScheduler (scheduler.py)  shard -> dispatch -> cache -> collect
+    execute_job (worker.py)  one supervised job, JSON-able result
+    ResultStore (store.py)   digest-addressed result cache
+    merge_results (merge.py) summed metrics, tombstones, report text
+"""
+
+from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
+from repro.farm.merge import (
+    FarmReport,
+    merge_results,
+    render_farm_report,
+    sink_counts,
+    write_farm_artifacts,
+)
+from repro.farm.scheduler import FarmScheduler, run_farm
+from repro.farm.store import ResultStore
+from repro.farm.worker import execute_job
+
+__all__ = [
+    "FARM_SCHEMA_VERSION",
+    "FarmReport",
+    "FarmScheduler",
+    "JobSpec",
+    "Manifest",
+    "ResultStore",
+    "execute_job",
+    "merge_results",
+    "render_farm_report",
+    "run_farm",
+    "sink_counts",
+    "write_farm_artifacts",
+]

@@ -1,0 +1,122 @@
+"""Farm job manifests: what to analyse, keyed by content digest.
+
+A manifest is an ordered list of :class:`JobSpec` rows.  Each spec is a
+pure value — no callables, no platform state — so it pickles across the
+worker-pool boundary and hashes deterministically: :meth:`JobSpec.digest`
+is a sha256 over the canonical JSON form plus the farm schema version,
+and the result store uses that digest as its cache key.  Re-running an
+unchanged manifest therefore costs one digest computation per job.
+
+``Manifest.builtin()`` covers the paper's full built-in corpus: the
+Table I / case-study scenarios plus the eight Section VI market apps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+# Bump when the worker's result payload or the job semantics change:
+# every cached result keyed under the old version becomes unreachable.
+FARM_SCHEMA_VERSION = 1
+
+JOB_KINDS = ("scenario", "market")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of farm work: analyse one app under one configuration."""
+
+    id: str
+    kind: str                       # "scenario" | "market"
+    target: str                     # scenario name or market package
+    config: str = "ndroid"
+    seed: int = 0
+    events: int = 12                # Monkey events (market jobs only)
+    faults: Optional[str] = None    # FaultPlan atom string, or None
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r} "
+                             f"(expected one of {JOB_KINDS})")
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def digest(self) -> str:
+        """Content digest: identical spec => identical key, any change
+        to the spec (or the farm schema) => a different key."""
+        canonical = json.dumps(
+            {"schema": FARM_SCHEMA_VERSION, **self.to_dict()},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class Manifest:
+    """An ordered corpus of farm jobs."""
+
+    jobs: List[JobSpec] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[JobSpec]:
+        return iter(self.jobs)
+
+    def shard(self, workers: int) -> List[List[JobSpec]]:
+        """Round-robin job assignment across ``workers`` shards.
+
+        Used for accounting/display; the pool itself steals work
+        dynamically, so a slow job never serialises its whole shard.
+        """
+        workers = max(1, workers)
+        shards: List[List[JobSpec]] = [[] for _ in range(workers)]
+        for index, job in enumerate(self.jobs):
+            shards[index % workers].append(job)
+        return shards
+
+    def to_dict(self) -> Dict:
+        return {"schema": FARM_SCHEMA_VERSION,
+                "jobs": [job.to_dict() for job in self.jobs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Manifest":
+        return cls(jobs=[JobSpec.from_dict(row)
+                         for row in data.get("jobs", [])])
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, source: str, **overrides) -> "Manifest":
+        """``"builtin"`` or a path to a manifest JSON file."""
+        if source == "builtin":
+            return cls.builtin(**overrides)
+        with open(source) as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def builtin(cls, config: str = "ndroid", seed: int = 0,
+                events: int = 12, trace: bool = False) -> "Manifest":
+        """The full built-in corpus: every scenario + every market app."""
+        from repro.apps import ALL_SCENARIOS
+        from repro.apps.market import MARKET_APPS
+        jobs = [JobSpec(id=f"scenario:{name}", kind="scenario", target=name,
+                        config=config, seed=seed, trace=trace)
+                for name in ALL_SCENARIOS]
+        jobs += [JobSpec(id=f"market:{package}", kind="market",
+                         target=package, config=config, seed=seed,
+                         events=events, trace=trace)
+                 for package in MARKET_APPS]
+        return cls(jobs=jobs)

@@ -1,0 +1,180 @@
+"""Merge per-worker artifacts into one farm-level report.
+
+Workers return self-contained result rows (metrics snapshot, leak
+records, provenance-trace lines, tombstones).  The merge is pure
+aggregation — summed metrics, concatenated job-tagged trace lines,
+collected tombstones — so a 4-worker run and a serial run of the same
+manifest merge to identical per-app counts (the parity property the
+scheduler tests pin).  Rendering reuses the PR 3 report machinery
+(:func:`render_analysis_table`) for the merged analysis-work section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.report import render_analysis_table
+
+# Per-app sink activity surfaced in the farm table, pulled from the
+# kernel's syscall tally in each job's metrics snapshot.
+SINK_SYSCALLS = ("write", "send", "sendto")
+
+
+def sink_counts(metrics: Dict) -> Dict[str, int]:
+    return {name: int(metrics.get(f"kernel.syscall.{name}", 0))
+            for name in SINK_SYSCALLS}
+
+
+@dataclass
+class FarmReport:
+    """Everything a farm run produced, merged."""
+
+    results: List[Dict]
+    workers: int = 1
+    wall_seconds: float = 0.0
+    cached_jobs: int = 0
+    merged_metrics: Dict = field(default_factory=dict)
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    tombstones: List[Tuple[str, Dict]] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for row in self.results
+                   if row["status"] in ("ok", "degraded"))
+
+    def rows(self) -> List[Dict]:
+        """The per-job display/parity rows."""
+        rows = []
+        for result in self.results:
+            job = result["job"]
+            rows.append({
+                "id": job["id"],
+                "kind": job["kind"],
+                "status": result["status"],
+                "cached": bool(result.get("cached")),
+                "leaks": len(result.get("leaks", [])),
+                "destinations": sorted({leak["destination"]
+                                        for leak in result.get("leaks", [])
+                                        if leak.get("destination")}),
+                "sinks": sink_counts(result.get("metrics", {})),
+                "degraded_events": result.get("degraded_events", 0),
+                "elapsed_seconds": result.get("elapsed_seconds", 0.0),
+            })
+        return rows
+
+    def to_dict(self) -> Dict:
+        return {
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "jobs": len(self.results),
+            "cached_jobs": self.cached_jobs,
+            "outcomes": dict(self.outcomes),
+            "rows": self.rows(),
+            "merged_metrics": dict(self.merged_metrics),
+            "tombstones": [{"job": job_id, **tombstone}
+                           for job_id, tombstone in self.tombstones],
+        }
+
+
+def merge_metrics(results: List[Dict]) -> Dict:
+    """Sum every numeric metric across the per-job snapshots."""
+    merged: Dict = {}
+    for result in results:
+        for name, value in result.get("metrics", {}).items():
+            if isinstance(value, (int, float)):
+                merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+def merge_results(results: List[Dict], workers: int = 1,
+                  wall_seconds: float = 0.0,
+                  cached_jobs: int = 0) -> FarmReport:
+    outcomes: Dict[str, int] = {}
+    tombstones: List[Tuple[str, Dict]] = []
+    for result in results:
+        outcomes[result["status"]] = outcomes.get(result["status"], 0) + 1
+        if result.get("tombstone"):
+            tombstones.append((result["job"]["id"], result["tombstone"]))
+    return FarmReport(results=results, workers=workers,
+                      wall_seconds=wall_seconds, cached_jobs=cached_jobs,
+                      merged_metrics=merge_metrics(results),
+                      outcomes=outcomes, tombstones=tombstones)
+
+
+def render_farm_report(report: FarmReport) -> str:
+    lines = ["== farm ==",
+             f"  jobs:    {len(report.results)} "
+             f"({report.cached_jobs} from cache)",
+             f"  workers: {report.workers}",
+             f"  wall:    {report.wall_seconds:.2f}s",
+             f"  outcomes: " + ", ".join(
+                 f"{name}={count}"
+                 for name, count in sorted(report.outcomes.items())),
+             "",
+             f"  {'job':<30} {'status':<9} {'leaks':>5} "
+             f"{'write':>6} {'send':>5} {'sendto':>7} "
+             f"{'degraded':>9}  destinations"]
+    for row in report.rows():
+        sinks = row["sinks"]
+        cached = "*" if row["cached"] else ""
+        destinations = ", ".join(row["destinations"]) or "-"
+        lines.append(
+            f"  {row['id']:<30} {row['status'] + cached:<9} "
+            f"{row['leaks']:>5} {sinks['write']:>6} {sinks['send']:>5} "
+            f"{sinks['sendto']:>7} {row['degraded_events']:>9}  "
+            f"{destinations}")
+    lines.append("")
+    if report.tombstones:
+        lines.append("== tombstones ==")
+        for job_id, tombstone in report.tombstones:
+            lines.append(f"  {job_id}: {tombstone.get('error_type')}: "
+                         f"{tombstone.get('error_message')}")
+        lines.append("")
+    lines.append(render_analysis_table(report.merged_metrics))
+    return "\n".join(lines) + "\n"
+
+
+def write_farm_artifacts(report: FarmReport, directory: str) -> List[str]:
+    """Persist the merged farm artifacts; returns the paths written."""
+    os.makedirs(directory, exist_ok=True)
+    jobs_dir = os.path.join(directory, "jobs")
+    merged_dir = os.path.join(directory, "merged")
+    os.makedirs(jobs_dir, exist_ok=True)
+    os.makedirs(merged_dir, exist_ok=True)
+    written: List[str] = []
+
+    def emit(path: str, payload, jsonl: Optional[List[str]] = None) -> None:
+        with open(path, "w") as handle:
+            if jsonl is not None:
+                handle.write("\n".join(jsonl) + ("\n" if jsonl else ""))
+            else:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+        written.append(path)
+
+    for result in report.results:
+        job_id = result["job"]["id"].replace(":", "_").replace("/", "_")
+        emit(os.path.join(jobs_dir, f"{job_id}.json"), result)
+
+    emit(os.path.join(merged_dir, "metrics.json"), report.merged_metrics)
+    trace_lines: List[str] = []
+    for result in report.results:
+        job_id = result["job"]["id"]
+        for line in result.get("trace", []) or []:
+            edge = json.loads(line)
+            edge["job"] = job_id
+            trace_lines.append(json.dumps(edge))
+    if trace_lines:
+        emit(os.path.join(merged_dir, "trace.jsonl"), None,
+             jsonl=trace_lines)
+    emit(os.path.join(merged_dir, "tombstones.json"),
+         [{"job": job_id, **tombstone}
+          for job_id, tombstone in report.tombstones])
+    emit(os.path.join(directory, "farm.json"), report.to_dict())
+    with open(os.path.join(directory, "report.txt"), "w") as handle:
+        handle.write(render_farm_report(report))
+    written.append(os.path.join(directory, "report.txt"))
+    return written

@@ -1,0 +1,158 @@
+"""The farm scheduler: shard, dispatch, cache, and never lose a job.
+
+``workers=1`` executes inline in this process — that *is* the serial
+baseline the parity tests and the bench compare against, not a special
+case bolted on.  ``workers>1`` dispatches to a ``multiprocessing`` pool
+(fork start method where available, so workers inherit the loaded
+modules instead of re-importing).  Dispatch is dynamic work-stealing:
+the round-robin shards from :meth:`Manifest.shard` are accounting only,
+so one slow job never serialises its shard-mates behind it.
+
+Every job ends in exactly one of:
+
+* a **cached** result — ``resume=True`` and the result store already
+  holds this content digest;
+* a **worker result** — whatever :func:`execute_job` classified
+  (``ok``/``degraded``/``crashed``/``timeout``), stored under the digest;
+* a **lost** result — the worker process itself died (the pool broke
+  under it); synthesized here so the merged report still accounts for
+  the job.  Lost results are never cached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.farm.manifest import JobSpec, Manifest
+from repro.farm.store import ResultStore
+from repro.farm.worker import DEFAULT_BUDGET, execute_job
+
+STATUS_LOST = "lost"
+
+# Statuses worth replaying from cache on --resume.  Crashes/timeouts are
+# deterministic under a fixed spec, so they cache too; only a lost
+# worker (environmental) must re-run.
+CACHEABLE = ("ok", "degraded", "crashed", "timeout")
+
+
+def _lost_result(spec: JobSpec, error: BaseException,
+                 elapsed: float) -> Dict:
+    return {
+        "job": spec.to_dict(),
+        "digest": spec.digest(),
+        "status": STATUS_LOST,
+        "attempts": 1,
+        "degraded_events": 0,
+        "quarantined_hooks": [],
+        "injected_faults": [],
+        "error": f"worker lost: {type(error).__name__}: {error}",
+        "tombstone": None,
+        "elapsed_seconds": elapsed,
+        "metrics": {},
+        "leaks": [],
+    }
+
+
+class FarmScheduler:
+    """Runs a manifest to one result row per job, in manifest order."""
+
+    def __init__(self, manifest: Manifest, workers: int = 1,
+                 store: Optional[ResultStore] = None, resume: bool = False,
+                 budget: Optional[int] = DEFAULT_BUDGET) -> None:
+        self.manifest = manifest
+        self.workers = max(1, workers)
+        self.store = store
+        self.resume = resume and store is not None
+        self.budget = budget
+        self.cached_jobs = 0
+        self.wall_seconds = 0.0
+
+    # -- dispatch -------------------------------------------------------------
+
+    def run(self) -> List[Dict]:
+        start = time.perf_counter()
+        results: List[Optional[Dict]] = [None] * len(self.manifest)
+        pending: List[int] = []
+        self.cached_jobs = 0
+
+        for index, spec in enumerate(self.manifest):
+            cached = self._from_cache(spec)
+            if cached is not None:
+                cached["cached"] = True
+                results[index] = cached
+                self.cached_jobs += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.workers == 1:
+                self._run_inline(pending, results)
+            else:
+                self._run_pool(pending, results)
+
+        for result in results:
+            result.setdefault("cached", False)
+        self.wall_seconds = time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def _from_cache(self, spec: JobSpec) -> Optional[Dict]:
+        if not self.resume:
+            return None
+        result = self.store.get(spec.digest())
+        if result is None or result.get("status") not in CACHEABLE:
+            return None
+        return result
+
+    def _record(self, spec: JobSpec, result: Dict) -> Dict:
+        if self.store is not None and result.get("status") in CACHEABLE:
+            self.store.put(spec.digest(), result)
+        return result
+
+    def _run_inline(self, pending: List[int],
+                    results: List[Optional[Dict]]) -> None:
+        jobs = self.manifest.jobs
+        for index in pending:
+            spec = jobs[index]
+            results[index] = self._record(
+                spec, execute_job(spec.to_dict(), budget=self.budget))
+
+    def _run_pool(self, pending: List[int],
+                  results: List[Optional[Dict]]) -> None:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = self.manifest.jobs
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX hosts
+            context = multiprocessing.get_context()
+        start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            futures = {index: pool.submit(execute_job,
+                                          jobs[index].to_dict(),
+                                          self.budget)
+                       for index in pending}
+            for index, future in futures.items():
+                spec = jobs[index]
+                try:
+                    result = future.result()
+                except Exception as error:
+                    result = _lost_result(spec, error,
+                                          time.perf_counter() - start)
+                results[index] = self._record(spec, result)
+
+
+def run_farm(manifest: Manifest, workers: int = 1,
+             store: Optional[ResultStore] = None, resume: bool = False,
+             budget: Optional[int] = DEFAULT_BUDGET):
+    """Convenience wrapper: schedule, run, merge; returns a FarmReport."""
+    from repro.farm.merge import merge_results
+
+    scheduler = FarmScheduler(manifest, workers=workers, store=store,
+                              resume=resume, budget=budget)
+    results = scheduler.run()
+    return merge_results(results, workers=workers,
+                         wall_seconds=scheduler.wall_seconds,
+                         cached_jobs=scheduler.cached_jobs)

@@ -1,0 +1,67 @@
+"""Digest-keyed result store: re-running an unchanged corpus is near-free.
+
+One JSON file per result, named by the job's content digest.  A farm run
+with ``--resume`` consults the store before dispatching: a hit replays
+the recorded result without building a platform at all.  Writes go
+through a temp-file rename so a worker killed mid-write never leaves a
+truncated entry behind (a partial file would poison every later resume).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+
+class ResultStore:
+    """Content-addressed cache of completed farm job results."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def __contains__(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    def get(self, digest: str) -> Optional[Dict]:
+        path = self._path(digest)
+        try:
+            with open(path) as handle:
+                result = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError):
+            # Corrupt entry: drop it and treat as a miss so the job
+            # re-runs instead of resuming from damage.
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest: str, result: Dict) -> None:
+        path = self._path(digest)
+        temp = f"{path}.tmp.{os.getpid()}"
+        with open(temp, "w") as handle:
+            json.dump(result, handle)
+            handle.write("\n")
+        os.replace(temp, path)
+
+    def digests(self) -> List[str]:
+        return sorted(name[:-len(".json")]
+                      for name in os.listdir(self.directory)
+                      if name.endswith(".json"))

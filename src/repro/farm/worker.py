@@ -1,0 +1,156 @@
+"""The farm worker: run one job to a classified, JSON-able result.
+
+:func:`execute_job` is the only function that crosses the process-pool
+boundary, so it takes and returns plain dicts (picklable, JSON-able) and
+lives at module top level.  Every job runs inside the resilience
+:class:`Supervisor`, so a crashing or runaway app becomes a recorded
+``crashed``/``timeout`` outcome with a tombstone (the serialized
+:class:`CrashReport`) instead of killing the worker — and anything that
+somehow escapes the supervisor is caught here and tombstoned too, so the
+pool never loses a worker to one hostile job.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from typing import Dict, Optional
+
+from repro.farm.manifest import JobSpec
+
+DEFAULT_BUDGET = 2_000_000
+
+
+def _leak_rows(platform) -> list:
+    return [
+        {
+            "detector": record.detector,
+            "sink": record.sink,
+            "taint": record.taint,
+            "destination": record.destination,
+            "payload": record.payload.hex(),
+            "context": record.context,
+        }
+        for record in platform.leaks.records
+    ]
+
+
+def _observe(platform, trace: bool) -> Dict:
+    """Collect the per-job observability payload off a finished platform."""
+    payload: Dict = {"leaks": _leak_rows(platform), "metrics": {}}
+    observability = platform.observability
+    if observability is not None:
+        payload["metrics"] = observability.snapshot()
+        if trace and observability.ledger is not None:
+            buffer = io.StringIO()
+            observability.ledger.to_jsonl(buffer)
+            payload["trace"] = [line for line in
+                                buffer.getvalue().splitlines() if line]
+            payload["trace_dropped"] = observability.ledger.dropped
+    return payload
+
+
+def _analyze_scenario(spec: JobSpec, ctx) -> Dict:
+    from repro.apps import ALL_SCENARIOS
+    from repro.apps.base import run_scenario
+    from repro.bench.harness import make_platform
+
+    if spec.target not in ALL_SCENARIOS:
+        raise ValueError(f"unknown scenario {spec.target!r}")
+    scenario = ALL_SCENARIOS[spec.target]()
+    platform = make_platform(spec.config, trace=spec.trace)
+    ctx.attach(platform)
+    run_scenario(scenario, platform)
+    payload = _observe(platform, spec.trace)
+    if scenario.expected_taint:
+        detected = any(r["taint"] & scenario.expected_taint
+                       for r in payload["leaks"])
+    else:
+        detected = bool(payload["leaks"])
+    payload["detected"] = detected
+    payload["expected_taint"] = scenario.expected_taint
+    payload["expected_destination"] = scenario.expected_destination
+    return payload
+
+
+def _analyze_market(spec: JobSpec, ctx) -> Dict:
+    from repro.apps.market import MARKET_APPS
+    from repro.bench.harness import make_platform
+    from repro.framework.monkey import MonkeyRunner
+
+    if spec.target not in MARKET_APPS:
+        raise ValueError(f"unknown market app {spec.target!r}")
+    apk = MARKET_APPS[spec.target]()
+    platform = make_platform(spec.config, trace=spec.trace)
+    ctx.attach(platform)
+    platform.install(apk)
+    session = MonkeyRunner(platform, seed=spec.seed).run(
+        apk, events=spec.events)
+    payload = _observe(platform, spec.trace)
+    payload["coverage"] = session.coverage
+    payload["detected"] = bool(payload["leaks"])
+    return payload
+
+
+_ANALYSES = {"scenario": _analyze_scenario, "market": _analyze_market}
+
+
+def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
+                ) -> Dict:
+    """Run one farm job; always returns a result dict, never raises."""
+    from repro.resilience import FaultPlan, Supervisor
+    from repro.resilience.report import CrashReport
+
+    spec = JobSpec.from_dict(spec_dict)
+    plan = FaultPlan.parse(spec.faults) if spec.faults else None
+    analyze = _ANALYSES[spec.kind]
+
+    def analysis(ctx):
+        return analyze(spec, ctx)
+
+    supervisor = Supervisor(budget=budget)
+    start = time.perf_counter()
+    try:
+        result = supervisor.run(spec.id, analysis, plan=plan)
+    except BaseException as error:  # escaped the supervisor: tombstone it
+        report = CrashReport.capture(label=spec.id, error=error)
+        return {
+            "job": spec.to_dict(),
+            "digest": spec.digest(),
+            "status": "crashed",
+            "attempts": 1,
+            "degraded_events": 0,
+            "quarantined_hooks": [],
+            "injected_faults": [],
+            "error": f"{type(error).__name__}: {error}",
+            "tombstone": report.to_dict(),
+            "elapsed_seconds": time.perf_counter() - start,
+            "worker_pid": os.getpid(),
+            "metrics": {},
+            "leaks": [],
+        }
+    elapsed = time.perf_counter() - start
+
+    payload = result.value if isinstance(result.value, dict) else {}
+    row = {
+        "job": spec.to_dict(),
+        "digest": spec.digest(),
+        "status": result.status,
+        "attempts": result.attempts,
+        "degraded_events": result.degraded_events,
+        "quarantined_hooks": result.quarantined_hooks,
+        "injected_faults": result.injected_faults,
+        "error": result.error,
+        "tombstone": (result.crash_report.to_dict()
+                      if result.crash_report is not None else None),
+        "elapsed_seconds": elapsed,
+        "worker_pid": os.getpid(),
+        "metrics": payload.get("metrics", {}),
+        "leaks": payload.get("leaks", []),
+    }
+    for key in ("detected", "coverage", "expected_taint",
+                "expected_destination", "trace", "trace_dropped"):
+        if key in payload:
+            row[key] = payload[key]
+    return row

@@ -103,6 +103,26 @@ class Kernel:
                            Loc.sink(destination),
                            location=f"syscall:{name}")
 
+    @staticmethod
+    def _sink_view(taints: Optional[List[TaintLabel]],
+                   src_loc: Optional[Loc],
+                   written: int) -> Tuple[Optional[List[TaintLabel]],
+                                          Optional[Loc]]:
+        """Clip a sink recording to the bytes that actually left.
+
+        After a short count (``("partial", n)`` fault or a device-level
+        truncation) the sink edge must describe the emitted prefix only:
+        both the taint list and a precise native ``mem`` source location
+        shrink to ``written`` bytes, so the ledger never claims that the
+        truncated tail reached the destination.
+        """
+        if taints is not None and written < len(taints):
+            taints = taints[:written]
+        if src_loc is not None and src_loc.kind == "mem" \
+                and 0 < written < src_loc.length:
+            src_loc = Loc.mem(src_loc.base, written)
+        return taints, src_loc
+
     # -- process management ----------------------------------------------------
 
     def spawn_process(self, name: str) -> Process:
@@ -208,18 +228,25 @@ class Kernel:
         if taints is not None and len(taints) != len(payload):
             raise KernelError("taint list length mismatch")
         payload, taints = self._apply_write_faults("write", payload, taints)
+        # The sink edge is recorded *after* the device accepted the bytes
+        # (and only over the accepted prefix): a send that raises, or one
+        # that writes short, must not leave a ledger edge claiming the
+        # full payload reached the destination.
         if descriptor.kind == "socket":
             socket = descriptor.socket
             target = (socket.connected_to if socket is not None else None)
-            self._record_sink("write", taints, target or f"socket:{fd}",
-                              src_loc)
-            return self.network.send(fd, payload, taints)
+            written = self.network.send(fd, payload, taints)
+            sink_taints, sink_loc = self._sink_view(taints, src_loc, written)
+            self._record_sink("write", sink_taints, target or f"socket:{fd}",
+                              sink_loc)
+            return written
         if not descriptor.writable:
             raise KernelError(f"fd {fd} not writable")
-        self._record_sink("write", taints, descriptor.path or f"fd:{fd}",
-                          src_loc)
         written = descriptor.file.write_at(descriptor.offset, payload, taints)
         descriptor.offset += written
+        sink_taints, sink_loc = self._sink_view(taints, src_loc, written)
+        self._record_sink("write", sink_taints, descriptor.path or f"fd:{fd}",
+                          sink_loc)
         self.event_log.emit("kernel", "write",
                             f"fd {fd} ({descriptor.path}) {written} bytes",
                             fd=fd, path=descriptor.path, length=written)
@@ -298,8 +325,11 @@ class Kernel:
         payload, taints = self._apply_write_faults("send", payload, taints)
         socket = descriptor.socket
         target = socket.connected_to if socket is not None else None
-        self._record_sink("send", taints, target or f"socket:{fd}", src_loc)
-        return self.network.send(fd, payload, taints)
+        written = self.network.send(fd, payload, taints)
+        sink_taints, sink_loc = self._sink_view(taints, src_loc, written)
+        self._record_sink("send", sink_taints, target or f"socket:{fd}",
+                          sink_loc)
+        return written
 
     def sys_sendto(self, fd: int, payload: bytes, destination: str,
                    taints: Optional[List[TaintLabel]] = None, *,
@@ -310,10 +340,12 @@ class Kernel:
         socket = descriptor.socket
         target = destination or (socket.connected_to
                                  if socket is not None else None)
-        self._record_sink("sendto", taints, target or f"socket:{fd}",
-                          src_loc)
-        return self.network.send(fd, payload, taints,
-                                 destination=destination)
+        written = self.network.send(fd, payload, taints,
+                                    destination=destination)
+        sink_taints, sink_loc = self._sink_view(taints, src_loc, written)
+        self._record_sink("sendto", sink_taints, target or f"socket:{fd}",
+                          sink_loc)
+        return written
 
     def sys_recv(self, fd: int, length: int) -> bytes:
         self._descriptor(fd)

@@ -237,8 +237,24 @@ class Memory:
         Scans whole page slices with ``bytearray.index(0)`` rather than
         issuing one ``read_u8`` per byte — this path is hot in the libc
         string hooks (``strcpy``/``strlen``/format strings).
+
+        Boundary semantics (pinned by ``tests/memory/test_memory.py``):
+
+        * a string may span any number of page boundaries — the scan
+          continues across mapped pages until it finds a NUL;
+        * an **unmapped page** behaves exactly like every other read
+          path: in default (non-strict) memory its bytes read as zero,
+          so the first unmapped byte terminates the string and the bytes
+          read so far are returned; in ``strict`` memory the scan raises
+          :class:`MemoryError_` at the first unmapped address instead;
+        * if no NUL occurs within ``limit`` bytes the scan raises
+          :class:`MemoryError_` identifying the *start* of the string.
+          A terminator exactly at index ``limit - 1`` still succeeds
+          (returning ``limit - 1`` bytes); one at index ``limit`` is
+          past the window and raises.
         """
-        address &= ADDRESS_MASK
+        start = address & ADDRESS_MASK
+        address = start
         out = bytearray()
         remaining = limit
         while remaining > 0:
@@ -258,7 +274,7 @@ class Memory:
                 continue
             out += page[offset:nul]
             return bytes(out)
-        raise MemoryError_(address, f"unterminated C string (>{limit} bytes)")
+        raise MemoryError_(start, f"unterminated C string (>{limit} bytes)")
 
     def write_cstring(self, address: int, text: str) -> int:
         """Write ``text`` as UTF-8 plus a NUL terminator; return byte count."""

@@ -26,6 +26,7 @@ from repro.observability.ledger import (  # noqa: F401
     Loc,
     ProvenanceEdge,
     ProvenanceLedger,
+    ProvenancePath,
 )
 from repro.observability.metrics import (  # noqa: F401
     Counter,

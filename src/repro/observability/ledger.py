@@ -157,6 +157,34 @@ class ProvenanceEdge:
         return f"<Edge {self.format()}>"
 
 
+class ProvenancePath(List[ProvenanceEdge]):
+    """A reconstructed source→sink walk, with truthful completeness flags.
+
+    Behaves exactly like the plain edge list older callers expect, plus:
+
+    * ``complete`` — the walk reached an ``api`` source: the path shows
+      the full recorded journey of the taint;
+    * ``at_horizon`` — the walk stopped at a non-source edge while the
+      ring had already evicted earlier edges, so the true predecessor
+      may have been dropped: the path is a *partial* reconstruction and
+      must be reported as such, never presented as complete;
+    * ``evicted`` — how many edges the ring had dropped at reconstruction
+      time (the horizon's depth).
+    """
+
+    def __init__(self, edges: Iterable[ProvenanceEdge] = (),
+                 complete: bool = False, at_horizon: bool = False,
+                 evicted: int = 0) -> None:
+        super().__init__(edges)
+        self.complete = complete
+        self.at_horizon = at_horizon
+        self.evicted = evicted
+
+    @property
+    def partial(self) -> bool:
+        return bool(self) and not self.complete
+
+
 class ProvenanceLedger:
     """Bounded append-only edge store with source→sink reconstruction."""
 
@@ -215,18 +243,25 @@ class ProvenanceLedger:
 
     def reconstruct(self, edge: Optional[ProvenanceEdge] = None, *,
                     taint: int = 0, destination: Optional[str] = None,
-                    max_hops: int = 256) -> List[ProvenanceEdge]:
+                    max_hops: int = 256) -> ProvenancePath:
         """Walk backwards from a sink edge to the source (Figs. 6-9).
 
         Each hop finds the latest earlier edge whose destination overlaps
         the current edge's source and whose tag intersects it; the walk
         ends at an ``api`` source, the ledger's horizon, or ``max_hops``.
         Returns the path source-first (empty if no sink edge matches).
+
+        After ring eviction the walk may run out of recorded history
+        before reaching a source.  The returned :class:`ProvenancePath`
+        is truthful about that: ``complete`` is set only when the walk
+        reached an ``api`` source, and ``at_horizon`` flags a walk that
+        stopped while evicted edges could have held the predecessor —
+        such a path is a partial reconstruction, not a full one.
         """
         if edge is None:
             edge = self._pick_sink_edge(taint, destination)
             if edge is None:
-                return []
+                return ProvenancePath(evicted=self.dropped)
         edges = list(self._edges)
         path = [edge]
         seen = {edge.seq}
@@ -248,9 +283,14 @@ class ProvenanceLedger:
             path.append(predecessor)
             current = predecessor
         path.reverse()
-        return path
+        complete = path[0].src.kind == "api"
+        # Not complete + edges already evicted: the true predecessor may
+        # have been dropped by the ring, so the walk ended at the horizon.
+        at_horizon = not complete and self.dropped > 0
+        return ProvenancePath(path, complete=complete,
+                              at_horizon=at_horizon, evicted=self.dropped)
 
-    def paths(self, taint: int = 0) -> List[List[ProvenanceEdge]]:
+    def paths(self, taint: int = 0) -> List[ProvenancePath]:
         """One reconstructed path per distinct sink destination."""
         results = []
         seen_sinks = set()
@@ -329,4 +369,9 @@ class ProvenanceLedger:
         return "\n".join(lines) + "\n"
 
     def format_path(self, path: List[ProvenanceEdge]) -> str:
-        return "\n".join("  " + edge.format() for edge in path)
+        lines = ["  " + edge.format() for edge in path]
+        if getattr(path, "at_horizon", False):
+            evicted = getattr(path, "evicted", 0)
+            lines.insert(0, f"  ... [partial: upstream history evicted at "
+                            f"the ring horizon ({evicted} edges dropped)]")
+        return "\n".join(lines)

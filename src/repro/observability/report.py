@@ -125,10 +125,12 @@ def render_provenance(ledger: ProvenanceLedger, leaks: List[Dict]) -> str:
         if not path:
             continue
         rendered += 1
+        marker = " (PARTIAL: truncated at eviction horizon)" \
+            if getattr(path, "at_horizon", False) else ""
         lines.append(f"leak: {leak.get('sink')} -> "
                      f"{leak.get('destination')} "
                      f"taint=0x{leak.get('taint', 0):x} "
-                     f"[{leak.get('detector')}]")
+                     f"[{leak.get('detector')}]{marker}")
         lines.append(ledger.format_path(path))
     if not leaks:
         lines.append("  (no leaks reported)")

@@ -7,7 +7,8 @@ propagated labels against the Table V row it exercises.
 
 import pytest
 
-from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.common.taint import (TAINT_CLEAR, TAINT_CONTACTS, TAINT_IMEI,
+                                TAINT_SMS)
 from repro.core.instruction_tracer import InstructionTracer
 from repro.core.taint_engine import TaintEngine
 from repro.cpu.assembler import assemble
@@ -261,3 +262,34 @@ out:
         """)
         assert engine.propagation_count == 0
         assert tracer.cache_hits > tracer.traced_instructions * 0.5
+
+    def test_tainted_then_clean_run_regains_fast_path(self):
+        # Farm workers reuse one engine across jobs: a tainted first run
+        # must not leave the sticky flag permanently disabling the fast
+        # path once every label is cleared and the engine re-armed.
+        emu = Emulator()
+        program = assemble("main:\n add r0, r1, r2\n mov r3, r0\n bx lr",
+                           base=CODE_BASE)
+        emu.load(CODE_BASE, program.code)
+        emu.memory_map.map(CODE_BASE, 0x1000, "libapp.so", third_party=True)
+        emu.cpu.sp = STACK_TOP
+        engine = TaintEngine()
+        tracer = InstructionTracer(engine, emu.memory_map.is_third_party)
+        emu.add_tracer(tracer)
+
+        engine.set_register(1, TAINT_SMS)
+        emu.call(program.entry("main"))
+        assert engine.get_register(0) == TAINT_SMS
+        after_tainted = engine.propagation_count
+        assert after_tainted > 1  # the seed plus traced handlers
+
+        engine.clear_all_registers()
+        assert engine.rearm_fast_path()
+
+        emu.cpu.sp = STACK_TOP
+        emu.call(program.entry("main"))
+        # The tracer skipped every handler: no propagation happened and
+        # the engine stayed verifiably clean.
+        assert engine.propagation_count == after_tainted
+        assert not engine.maybe_tainted
+        assert engine.get_register(0) == TAINT_CLEAR

@@ -140,6 +140,46 @@ def test_maybe_tainted_flips_on_every_label_entry_point():
         assert engine.maybe_tainted
 
 
+def test_reset_restores_pristine_state_and_rearms():
+    engine = TaintEngine()
+    engine.set_register(1, TAINT_IMEI)
+    engine.set_memory(0x1000, 4, TAINT_IMEI)
+    engine.set_iref(3, TAINT_IMEI)
+    engine.degrade(TAINT_IMEI)
+    assert engine.maybe_tainted
+    engine.reset()
+    assert not engine.maybe_tainted
+    assert engine.live_label() == TAINT_CLEAR
+    assert engine.get_register(1) == TAINT_CLEAR
+    assert engine.get_memory(0x1000, 4) == TAINT_CLEAR
+    assert engine.get_iref(3) == TAINT_CLEAR
+
+
+def test_rearm_fast_path_only_when_every_store_is_clear():
+    engine = TaintEngine()
+    assert engine.rearm_fast_path()  # pristine engine: already armed
+    engine.set_register(1, TAINT_IMEI)
+    engine.set_memory(0x10, 2, TAINT_IMEI)
+    assert not engine.rearm_fast_path()  # labels still live: refuses
+    assert engine.maybe_tainted
+    engine.clear_all_registers()
+    assert not engine.rearm_fast_path()  # memory label still live
+    engine.clear_memory(0x10, 2)
+    assert engine.rearm_fast_path()
+    assert not engine.maybe_tainted
+
+
+def test_rearm_fast_path_refuses_while_degraded():
+    # A degraded engine over-taints every query; the fast path would
+    # silently drop that pessimism, so re-arming must refuse.
+    engine = TaintEngine()
+    engine.degrade(TAINT_IMEI)
+    assert not engine.rearm_fast_path()
+    assert engine.maybe_tainted
+    engine.reset()  # a new job drops the quarantine pessimism too
+    assert engine.rearm_fast_path()
+
+
 def test_empty_map_queries_short_circuit_to_conservative_label():
     engine = TaintEngine()
     assert engine.get_memory(0x4000, 64) == TAINT_CLEAR

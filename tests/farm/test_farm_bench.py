@@ -1,0 +1,32 @@
+"""The farm scaling benchmark harness."""
+
+from repro.bench.farm_bench import FarmBench, load_results, write_results
+from repro.farm import JobSpec, Manifest
+
+TINY = Manifest(jobs=[
+    JobSpec(id="scenario:ephone", kind="scenario", target="ephone"),
+    JobSpec(id="scenario:benign", kind="scenario", target="benign"),
+    JobSpec(id="market:com.market.smsbackup", kind="market",
+            target="com.market.smsbackup"),
+])
+
+
+def test_bench_runs_and_checks_parity(tmp_path):
+    results = FarmBench(workers=2, manifest=TINY).run()
+    assert results["cpus"] >= 1
+    runs = results["runs"]
+    assert runs["serial"]["workers"] == 1
+    assert runs["parallel"]["workers"] == 2
+    assert runs["serial"]["jobs"] == len(TINY)
+    # The resumed run replays everything the parallel run cached.
+    assert runs["resumed"]["cached_jobs"] == len(TINY)
+    assert results["parity"]["identical"]
+    assert set(results["parity"]["apps"]) == {job.id for job in TINY}
+    assert results["speedup"] > 0
+    assert results["resume_speedup"] > 0
+
+    path = str(tmp_path / "bench.json")
+    write_results(results, path)
+    loaded = load_results(path)
+    assert loaded["parity"]["identical"]
+    assert loaded["runs"]["serial"]["jobs"] == len(TINY)

@@ -1,0 +1,74 @@
+"""Farm manifests: digest stability and corpus construction."""
+
+import json
+
+import pytest
+
+from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
+
+
+def test_digest_is_stable_across_instances():
+    a = JobSpec(id="scenario:ephone", kind="scenario", target="ephone")
+    b = JobSpec(id="scenario:ephone", kind="scenario", target="ephone")
+    assert a.digest() == b.digest()
+    assert len(a.digest()) == 64
+
+
+def test_digest_changes_with_any_field():
+    base = JobSpec(id="scenario:ephone", kind="scenario", target="ephone")
+    assert base.digest() != JobSpec(
+        id="scenario:ephone", kind="scenario", target="ephone",
+        seed=1).digest()
+    assert base.digest() != JobSpec(
+        id="scenario:ephone", kind="scenario", target="ephone",
+        faults="decode@1").digest()
+    assert base.digest() != JobSpec(
+        id="scenario:ephone", kind="scenario", target="ephone",
+        trace=True).digest()
+
+
+def test_digest_covers_the_schema_version():
+    spec = JobSpec(id="x", kind="scenario", target="ephone")
+    canonical = json.dumps({"schema": FARM_SCHEMA_VERSION, **spec.to_dict()},
+                           sort_keys=True, separators=(",", ":"))
+    assert FARM_SCHEMA_VERSION == 1
+    assert str(FARM_SCHEMA_VERSION) in canonical
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        JobSpec(id="x", kind="apk", target="ephone")
+
+
+def test_manifest_json_round_trip(tmp_path):
+    manifest = Manifest(jobs=[
+        JobSpec(id="scenario:ephone", kind="scenario", target="ephone"),
+        JobSpec(id="market:com.market.ephone", kind="market",
+                target="com.market.ephone", events=6, faults="decode@1"),
+    ])
+    path = tmp_path / "manifest.json"
+    manifest.save(str(path))
+    loaded = Manifest.load(str(path))
+    assert [job.digest() for job in loaded] == \
+        [job.digest() for job in manifest]
+
+
+def test_builtin_covers_scenarios_and_market_apps():
+    manifest = Manifest.load("builtin")
+    kinds = {job.kind for job in manifest}
+    assert kinds == {"scenario", "market"}
+    assert len(manifest) >= 4
+    ids = [job.id for job in manifest]
+    assert "scenario:ephone" in ids
+    assert "market:com.market.ephone" in ids
+    assert len(set(job.digest() for job in manifest)) == len(manifest)
+
+
+def test_shard_round_robin():
+    manifest = Manifest(jobs=[
+        JobSpec(id=f"scenario:{i}", kind="scenario", target="ephone")
+        for i in range(5)])
+    shards = manifest.shard(2)
+    assert [len(s) for s in shards] == [3, 2]
+    assert [job.id for job in shards[0]] == \
+        ["scenario:0", "scenario:2", "scenario:4"]

@@ -1,0 +1,35 @@
+"""The digest-keyed result store."""
+
+import os
+
+from repro.farm.store import ResultStore
+
+DIGEST = "ab" * 32
+
+
+def test_miss_then_put_then_hit(tmp_path):
+    store = ResultStore(str(tmp_path / "cache"))
+    assert store.get(DIGEST) is None
+    assert store.misses == 1
+    store.put(DIGEST, {"status": "ok", "leaks": []})
+    assert DIGEST in store
+    assert store.get(DIGEST) == {"status": "ok", "leaks": []}
+    assert store.hits == 1
+    assert len(store) == 1
+    assert store.digests() == [DIGEST]
+
+
+def test_corrupt_entry_is_dropped_and_treated_as_miss(tmp_path):
+    store = ResultStore(str(tmp_path))
+    path = os.path.join(str(tmp_path), f"{DIGEST}.json")
+    with open(path, "w") as handle:
+        handle.write('{"status": "ok"')  # truncated write
+    assert store.get(DIGEST) is None
+    assert store.misses == 1
+    assert not os.path.exists(path)  # poison removed: the job re-runs
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    store = ResultStore(str(tmp_path))
+    store.put(DIGEST, {"status": "ok"})
+    assert sorted(os.listdir(str(tmp_path))) == [f"{DIGEST}.json"]

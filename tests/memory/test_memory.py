@@ -145,6 +145,61 @@ def test_cstring_stops_at_unmapped_page():
     assert mem.read_cstring(0x2000 - 20) == b"y" * 20
 
 
+# -- read_cstring boundary semantics (pinned) --------------------------------
+
+class TestCStringBoundarySemantics:
+    """The docstring contract of Memory.read_cstring, case by case."""
+
+    def test_unmapped_successor_page_nonstrict_returns_prefix(self):
+        # The string fills the tail of a mapped page and runs into an
+        # unmapped successor: non-strict memory zero-fills, so the first
+        # unmapped byte terminates the string.
+        mem = Memory()
+        mem.write_bytes(0x5000 - 8, b"p" * 8)
+        assert mem.read_cstring(0x5000 - 8) == b"p" * 8
+
+    def test_unmapped_successor_page_strict_raises_at_boundary(self):
+        mem = Memory(strict=True)
+        mem.write_bytes(0x5000 - 8, b"p" * 8)
+        with pytest.raises(MemoryError_) as info:
+            mem.read_cstring(0x5000 - 8)
+        # The fault identifies the first unmapped byte, not the start.
+        assert info.value.address == 0x5000
+
+    def test_nul_exactly_at_limit_minus_one_succeeds(self):
+        mem = Memory()
+        mem.write_bytes(0x6000, b"q" * 15 + b"\x00")
+        assert mem.read_cstring(0x6000, limit=16) == b"q" * 15
+
+    def test_nul_exactly_at_limit_raises(self):
+        # The terminator sits at index ``limit`` — one byte outside the
+        # scan window — so the string is unterminated within the limit.
+        mem = Memory()
+        mem.write_bytes(0x7000, b"q" * 16 + b"\x00")
+        with pytest.raises(MemoryError_):
+            mem.read_cstring(0x7000, limit=16)
+
+    def test_unterminated_error_reports_start_address(self):
+        mem = Memory()
+        # Cross a page boundary before exhausting the limit, so a naive
+        # implementation would report the advanced scan position.
+        start = 0x8000 - 4
+        mem.write_bytes(start, b"r" * 64)
+        mem.write_bytes(0x8000, b"r" * 64)
+        with pytest.raises(MemoryError_) as info:
+            mem.read_cstring(start, limit=32)
+        assert info.value.address == start
+
+    def test_limit_spanning_pages_with_late_nul(self):
+        # NUL on the second page, within the limit: the scan crosses the
+        # boundary and returns the whole string.
+        mem = Memory()
+        start = 0x9000 - 10
+        mem.write_bytes(start, b"s" * 10)
+        mem.write_bytes(0x9000, b"s" * 5 + b"\x00")
+        assert mem.read_cstring(start, limit=64) == b"s" * 15
+
+
 # -- write watching ----------------------------------------------------------
 
 def test_write_watcher_reports_page_and_range():

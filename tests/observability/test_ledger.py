@@ -79,6 +79,67 @@ def test_jsonl_round_trip_and_dot():
     assert "host:80" in dot
 
 
+def test_complete_path_is_reported_complete():
+    ledger = ProvenanceLedger()
+    ledger.record(0x2, "source:framework", Loc.api("getDeviceId"),
+                  Loc.java(0x2))
+    ledger.record(0x2, "sink:send", Loc.java(0x2), Loc.sink("host:80"))
+    path = ledger.reconstruct(taint=0x2, destination="host:80")
+    assert path.complete
+    assert not path.at_horizon
+    assert not path.partial
+    assert "partial" not in ledger.format_path(path)
+
+
+def test_reconstruct_terminates_truthfully_at_eviction_horizon():
+    # A long register-to-register chain ending in a sink, in a ring too
+    # small to hold it: the source and the early hops get evicted.
+    ledger = ProvenanceLedger(maxlen=8)
+    ledger.record(0x2, "source:framework", Loc.api("getDeviceId"),
+                  Loc.java(0x2))
+    ledger.record(0x2, "jni:dvmCallJNIMethod", Loc.java(0x2), Loc.reg(0))
+    for i in range(20):
+        ledger.record(0x2, "native:mov", Loc.reg(i % 4),
+                      Loc.reg((i + 1) % 4))
+    ledger.record(0x2, "native:str", Loc.reg(1), Loc.mem(0x8000, 4))
+    ledger.record(0x2, "sink:write", Loc.mem(0x8000, 4),
+                  Loc.sink("/sdcard/out"), location="syscall:write")
+    assert ledger.dropped > 0
+
+    path = ledger.reconstruct(taint=0x2, destination="/sdcard/out")
+    # The walk terminates cleanly with only retained edges...
+    assert path
+    retained = {edge.seq for edge in ledger}
+    assert all(edge.seq in retained for edge in path)
+    # ...and the path is truthfully partial: it never claims to reach a
+    # source, and it flags the horizon.
+    assert path[0].src.kind != "api"
+    assert not path.complete
+    assert path.partial
+    assert path.at_horizon
+    assert path.evicted == ledger.dropped
+    assert "partial" in ledger.format_path(path)
+
+
+def test_unevicted_dead_end_is_partial_but_not_at_horizon():
+    # No eviction: a sink whose taint was never sourced ends the walk
+    # with full knowledge — partial, but not a horizon artifact.
+    ledger = ProvenanceLedger()
+    ledger.record(0x2, "native:str", Loc.reg(0), Loc.mem(0x100, 4))
+    ledger.record(0x2, "sink:send", Loc.mem(0x100, 4), Loc.sink("host:80"))
+    path = ledger.reconstruct(taint=0x2, destination="host:80")
+    assert path.partial
+    assert not path.at_horizon
+
+
+def test_empty_reconstruction_is_a_path_object():
+    ledger = ProvenanceLedger()
+    path = ledger.reconstruct(taint=0x2, destination="nowhere")
+    assert path == []
+    assert not path.complete
+    assert not path.partial
+
+
 def test_clear_resets_counts():
     ledger = ProvenanceLedger(maxlen=2)
     for i in range(5):

@@ -2,12 +2,13 @@
 
 import pytest
 
-from repro.common.errors import TransientSyscallFault
-from repro.common.taint import TAINT_CLEAR, TAINT_SMS
+from repro.common.errors import KernelError, TransientSyscallFault
+from repro.common.taint import TAINT_CLEAR, TAINT_CONTACTS, TAINT_SMS
 from repro.kernel import Kernel
 from repro.kernel.kernel import O_CREAT
 from repro.kernel.syscalls import Errno
 from repro.memory import Memory
+from repro.observability.ledger import Loc, ProvenanceLedger
 from repro.resilience import FaultPlan
 
 
@@ -87,3 +88,81 @@ class TestPartialWrites:
     def test_no_hook_means_no_fault(self, kernel):
         fd = kernel.sys_open("/sdcard/f", O_CREAT)
         assert kernel.sys_write(fd, b"abcdef") == 6
+
+
+class TestPartialWriteSinkRecording:
+    """The sink edge must describe the truncated payload, not the original.
+
+    Pins the ordering fix: ``_record_sink`` fires *after* the device
+    accepted the bytes, over the accepted prefix only, on both the file
+    and the socket branch of ``sys_write``.
+    """
+
+    def _ledgered(self, kernel):
+        kernel.ledger = ProvenanceLedger()
+        return kernel.ledger
+
+    def test_socket_write_short_count_and_sink_edge(self, kernel):
+        ledger = self._ledgered(kernel)
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:3:write").activate().syscall_fault
+        fd = connected_socket(kernel)
+        taints = [TAINT_SMS] * 3 + [TAINT_CONTACTS] * 3
+        # The short count is what sys_write returns...
+        assert kernel.sys_write(fd, b"SSSCCC", taints=taints,
+                                src_loc=Loc.mem(0x4000, 6)) == 3
+        # ...the wire saw only the emitted prefix...
+        sent = kernel.network.transmissions_to("evil")[0]
+        assert sent.payload == b"SSS"
+        assert sent.taint_union == TAINT_SMS
+        # ...and so did the sink edge: tag excludes the truncated
+        # CONTACTS tail, and the native source spans 3 bytes, not 6.
+        (edge,) = ledger.sink_edges()
+        assert edge.tag == TAINT_SMS
+        assert edge.src.kind == "mem"
+        assert (edge.src.base, edge.src.length) == (0x4000, 3)
+
+    def test_file_write_short_count_offset_and_sink_edge(self, kernel):
+        ledger = self._ledgered(kernel)
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:2:write").activate().syscall_fault
+        fd = kernel.sys_open("/sdcard/f", O_CREAT)
+        taints = [TAINT_SMS] * 2 + [TAINT_CONTACTS] * 4
+        assert kernel.sys_write(fd, b"SSCCCC", taints=taints,
+                                src_loc=Loc.mem(0x5000, 6)) == 2
+        # The descriptor advanced by the truncated count only.
+        descriptor = kernel.current.fds[fd]
+        assert descriptor.offset == 2
+        assert kernel.filesystem.read_text("/sdcard/f") == "SS"
+        (edge,) = ledger.sink_edges()
+        assert edge.tag == TAINT_SMS
+        assert (edge.src.base, edge.src.length) == (0x5000, 2)
+
+    def test_sendto_short_count_sink_edge_clipped(self, kernel):
+        ledger = self._ledgered(kernel)
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:1:sendto").activate().syscall_fault
+        fd = kernel.sys_socket()
+        kernel.sys_sendto(fd, b"SC", "evil.example.com:80",
+                          taints=[TAINT_SMS, TAINT_CONTACTS],
+                          src_loc=Loc.mem(0x6000, 2))
+        (edge,) = ledger.sink_edges()
+        assert edge.tag == TAINT_SMS
+        assert edge.src.length == 1
+
+    def test_zero_byte_partial_records_no_sink_edge(self, kernel):
+        ledger = self._ledgered(kernel)
+        kernel.syscall_fault_hook = \
+            FaultPlan.parse("partial:0:send").activate().syscall_fault
+        fd = connected_socket(kernel)
+        assert kernel.sys_send(fd, b"SS", taints=[TAINT_SMS] * 2,
+                               src_loc=Loc.mem(0x7000, 2)) == 0
+        assert ledger.sink_edges() == []
+
+    def test_failed_send_records_no_sink_edge(self, kernel):
+        """A send the device rejected never reached a sink."""
+        ledger = self._ledgered(kernel)
+        fd = kernel.sys_socket()  # never connected
+        with pytest.raises(KernelError):
+            kernel.sys_write(fd, b"SS", taints=[TAINT_SMS] * 2)
+        assert ledger.sink_edges() == []
