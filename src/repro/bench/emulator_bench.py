@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.apps import ALL_SCENARIOS
 from repro.apps.base import run_scenario
 from repro.bench.harness import make_platform
+from repro.common.taint import TAINT_IMEI
 from repro.core.instruction_tracer import InstructionTracer
 from repro.core.taint_engine import TaintEngine
 from repro.cpu.assembler import assemble
@@ -44,6 +45,13 @@ PARITY_SCENARIOS = (
 # Speedup may drift this much below the committed baseline before the
 # regression gate fails (the CI smoke job's threshold).
 DEFAULT_TOLERANCE = 0.30
+
+# The instrumented workloads (a live Table V tracer attached) must keep
+# at least this TB-vs-single-step speedup: the whole point of compiling
+# taint propagation into the blocks is that *analysis* runs at TB speed,
+# not just untraced code.
+INSTRUMENTED_WORKLOADS = ("table5_tracer", "table5_tracer_tainted")
+INSTRUMENTED_SPEEDUP_FLOOR = 2.0
 
 # Ceiling on the slowdown a *disabled* observability layer may add to the
 # uninstrumented CFBench loop (the zero-cost-when-off acceptance gate).
@@ -167,7 +175,7 @@ class EmulatorBench:
             assert result.value == crossings * (crossings + 1) // 2
         return platform.emu, run
 
-    def _tracer_setup(self, use_tb: bool):
+    def _tracer_setup(self, use_tb: bool, tainted: bool = False):
         emu = Emulator(use_tb=use_tb)
         program = assemble(TRACER_LOOP, base=TRACER_CODE_BASE)
         emu.load(TRACER_CODE_BASE, program.code)
@@ -178,6 +186,12 @@ class EmulatorBench:
         tracer = InstructionTracer(
             engine, is_third_party=emu.memory_map.is_third_party)
         emu.add_tracer(tracer)
+        if tainted:
+            # Seed the loop's scratch buffer (not a register: the loop's
+            # literal load would overwrite a register seed immediately),
+            # so every Table V handler runs with live labels — the
+            # worst-case instrumented path.
+            engine.set_memory(program.address_of("buffer"), 64, TAINT_IMEI)
         entry = program.entry("main")
         calls = self.tracer_calls
 
@@ -186,11 +200,15 @@ class EmulatorBench:
                 emu.call(entry)
         return emu, run
 
+    def _tainted_tracer_setup(self, use_tb: bool):
+        return self._tracer_setup(use_tb, tainted=True)
+
     def measure_workload(self, name: str) -> Dict[str, float]:
         setup = {
             "cfbench_native_loop": self._cfbench_setup,
             "jni_crossing": self._jni_crossing_setup,
             "table5_tracer": self._tracer_setup,
+            "table5_tracer_tainted": self._tainted_tracer_setup,
         }[name]
         step_instr, step_time = _measure(setup, False, self.repeats)
         tb_instr, tb_time = _measure(setup, True, self.repeats)
@@ -284,7 +302,8 @@ class EmulatorBench:
         # back from its snapshot, so ``BENCH_emulator.json`` and
         # ``repro report`` can never disagree on instruction counts.
         registry = MetricsRegistry()
-        names = ("cfbench_native_loop", "jni_crossing", "table5_tracer")
+        names = ("cfbench_native_loop", "jni_crossing", "table5_tracer",
+                 "table5_tracer_tainted")
         keys = ("instructions", "single_step_instr_per_sec",
                 "tb_instr_per_sec", "speedup")
         for name in names:
@@ -326,6 +345,12 @@ def compare_to_baseline(current: Dict, baseline: Dict,
     failures = []
     baseline_workloads = baseline.get("workloads", {})
     for name, row in current.get("workloads", {}).items():
+        if name in INSTRUMENTED_WORKLOADS and \
+                row["speedup"] < INSTRUMENTED_SPEEDUP_FLOOR:
+            failures.append(
+                f"{name}: instrumented speedup {row['speedup']:.2f}x "
+                f"below the {INSTRUMENTED_SPEEDUP_FLOOR:.0f}x floor "
+                f"(taint compilation is not paying for itself)")
         reference = baseline_workloads.get(name)
         if reference is None:
             continue

@@ -11,6 +11,22 @@ the handler, NDroid caches hot instructions and the corresponding
 handlers": the handler chosen for a (pc, thumb-bit) pair is memoised, so a
 loop body resolves its handlers once.
 
+The tracer exposes the same propagation rules two ways:
+
+* the **single-step callback** (:meth:`__call__`): the emulator invokes it
+  before every instruction — the differential oracle, and the only path
+  compatible with the fault injector;
+* the **translation-time factory** (:meth:`compile_taint_op`): NDroid's
+  real design point — "NDroid inserts its analysis at translation time"
+  inside QEMU's TCG loop.  At block-translation time the emulator asks
+  once whether the block's page is third-party (:meth:`in_scope`, the
+  per-instruction region lookup hoisted to one check per block), then for
+  each instruction requests a *taint micro-op*: the Table V handler is
+  selected once and its operands (register indices, ledger locations, the
+  ``0x%08x`` location string) are pre-bound into a closure that runs
+  alongside the execution micro-op.  Blocks outside third-party regions
+  carry no taint ops at all.
+
 Propagation follows Table V exactly, including the address-dependency
 rule: "if the tainted input is the address of an untainted value, the
 taint will be propagated to it" — loads union the base register's taint
@@ -32,6 +48,8 @@ from repro.core.taint_engine import TaintEngine
 from repro.observability.ledger import Loc
 
 Handler = Callable[[isa.Instruction, Emulator], None]
+# A pre-bound taint propagation step emitted into a translation block.
+TaintOp = Callable[[], None]
 # Installed by NDroid for graceful degradation: called with the handler's
 # exception instead of letting it unwind the whole run.
 TracerFaultHandler = Callable[[ReproError, isa.Instruction, Emulator], None]
@@ -72,6 +90,10 @@ class InstructionRingBuffer:
 class InstructionTracer:
     """Per-instruction taint propagation over third-party code."""
 
+    # The emulator keeps translation blocks enabled for this tracer and
+    # compiles its propagation into the blocks instead of single-stepping.
+    compiles_to_tb = True
+
     def __init__(self, taint_engine: TaintEngine,
                  is_third_party: Callable[[int], bool],
                  handler_cache: bool = True) -> None:
@@ -88,6 +110,10 @@ class InstructionTracer:
         # Provenance ledger (observability); None when not tracing.  The
         # handlers consult it only after they already found taint to move.
         self.ledger = None
+        # Installed by the emulator: compiled taint ops bake in the
+        # region decision, so a region-table change must also flush the
+        # translation cache, not just this tracer's page cache.
+        self._region_invalidate: Optional[Callable[[], None]] = None
 
     def _record(self, emu: Emulator, mnemonic: str, sources, dst) -> None:
         """Append one native-propagation edge per tainted source."""
@@ -99,20 +125,42 @@ class InstructionTracer:
             if tag:
                 ledger.record(tag, f"native:{mnemonic}", src, dst, location)
 
+    def _record_at(self, location: str, mechanism: str, sources, dst) -> None:
+        """Ledger edges from a compiled op (location pre-bound at translate
+        time — ``regs[PC]`` is stale inside a translation block body)."""
+        ledger = self.ledger
+        for src, tag in sources:
+            if tag:
+                ledger.record(tag, mechanism, src, dst, location)
+
+    # -- scoping --------------------------------------------------------------
+
+    def in_scope(self, pc: int) -> bool:
+        """Is ``pc`` in a third-party region?  Page-granular, cached."""
+        page = pc >> 12
+        cached = self._region_cache.get(page)
+        if cached is None:
+            cached = self._is_third_party(pc)
+            self._region_cache[page] = cached
+        return cached
+
+    def invalidate_region_cache(self) -> None:
+        self._region_cache.clear()
+        if self._region_invalidate is not None:
+            self._region_invalidate()
+
+    def set_region_invalidate_callback(
+            self, callback: Optional[Callable[[], None]]) -> None:
+        self._region_invalidate = callback
+
     # -- the emulator tracer callback -----------------------------------------
 
     def __call__(self, ir: isa.Instruction, emu: Emulator) -> None:
-        pc = emu.cpu.pc
-        page = pc >> 12
-        in_scope = self._region_cache.get(page)
-        if in_scope is None:
-            in_scope = self._is_third_party(pc)
-            self._region_cache[page] = in_scope
-        if not in_scope:
+        if not self.in_scope(emu.cpu.pc):
             return
         self.traced_instructions += 1
         if self._use_handler_cache:
-            key = (pc, emu.cpu.thumb)
+            key = (emu.cpu.pc, emu.cpu.thumb)
             handler = self._handler_cache.get(key)
             if handler is None:
                 handler = self._select_handler(ir)
@@ -134,8 +182,281 @@ class InstructionTracer:
         except ReproError as error:
             self.fault_handler(error, ir, emu)
 
-    def invalidate_region_cache(self) -> None:
-        self._region_cache.clear()
+    # -- translation-time factory ---------------------------------------------
+
+    def compile_taint_op(self, ir: isa.Instruction, pc: int,
+                         emu: Emulator) -> Optional[TaintOp]:
+        """Pre-select the Table V handler for ``ir`` and pre-bind its
+        operands into a zero-argument taint micro-op, or ``None`` when the
+        rule is a no-op (compare, plain branch, MOVT, writes to PC).
+
+        The op performs exactly the engine calls and ledger records the
+        single-step handler would: the differential tests pin this.
+        """
+        op = self._compile_select(ir, pc, emu)
+        if op is None:
+            return None
+        tracer = self
+
+        def guarded() -> None:
+            try:
+                op()
+            except ReproError as error:
+                handler = tracer.fault_handler
+                if handler is None:
+                    raise
+                handler(error, ir, emu)
+        return guarded
+
+    def _compile_select(self, ir: isa.Instruction, pc: int,
+                        emu: Emulator) -> Optional[TaintOp]:
+        if isinstance(ir, isa.DataProcessing):
+            return self._compile_data_processing(ir, pc)
+        if isinstance(ir, isa.Multiply):
+            sources = [ir.rm, ir.rs]
+            if ir.accumulate:
+                sources.append(ir.rn)
+            return self._compile_reg_union(sources, ir.rd, ir.mnemonic, pc)
+        if isinstance(ir, isa.MultiplyLong):
+            return self._compile_multiply_long(ir, pc)
+        if isinstance(ir, isa.MoveWide):
+            if ir.top:
+                return None  # MOVT merges an immediate; taint stands
+            return self._compile_clear(ir.rd)
+        if isinstance(ir, isa.CountLeadingZeros):
+            return self._compile_reg_union([ir.rm], ir.rd, ir.mnemonic, pc)
+        if isinstance(ir, isa.LoadStore):
+            return self._compile_load_store(ir, pc, emu)
+        if isinstance(ir, isa.LoadStoreMultiple):
+            return self._compile_load_store_multiple(ir, pc, emu)
+        if isinstance(ir, (isa.Branch, isa.BranchExchange)):
+            if getattr(ir, "link", False):
+                return self._compile_clear(LR)
+            return None
+        return None
+
+    def _compile_clear(self, rd: int) -> TaintOp:
+        set_register = self.taint.set_register
+
+        def op() -> None:
+            set_register(rd, TAINT_CLEAR)
+        return op
+
+    def _compile_data_processing(self, ir: isa.DataProcessing,
+                                 pc: int) -> Optional[TaintOp]:
+        if ir.op in isa.COMPARE_OPS:
+            return None  # flags only; control-flow taint out of scope (§VII)
+        if ir.rd == PC:
+            return None  # the handler computes but never writes
+        operand2 = ir.operand2
+        if operand2.is_immediate:
+            if ir.op in isa.UNARY_OPS:
+                return self._compile_clear(ir.rd)  # mov Rd, #imm
+            return self._compile_reg_union([ir.rn], ir.rd, ir.mnemonic, pc)
+        # Source order matches the single-step ledger: rm, shift_reg, rn.
+        sources = [operand2.rm]
+        if operand2.shift_reg is not None:
+            sources.append(operand2.shift_reg)
+        if ir.op not in isa.UNARY_OPS:
+            sources.append(ir.rn)
+        return self._compile_reg_union(sources, ir.rd, ir.mnemonic, pc)
+
+    def _compile_reg_union(self, sources: List[int], rd: int,
+                           mnemonic: str, pc: int) -> TaintOp:
+        """``t(Rd) := t(Ra) | t(Rb) | ...`` — the register-only Table V
+        rules (data processing, multiply, clz) share this shape."""
+        tracer = self
+        taint = self.taint
+        shadow = taint.shadow_registers  # mutated in place, never rebound
+        set_register = taint.set_register
+        dst = Loc.reg(rd)
+        mechanism = "native:" + mnemonic
+        location = f"0x{pc:08x}"
+        if len(sources) == 1:
+            a = sources[0]
+            loc_a = Loc.reg(a)
+
+            def op() -> None:
+                label = shadow[a] | taint.conservative_label
+                if label and tracer.ledger is not None:
+                    tracer._record_at(location, mechanism,
+                                      ((loc_a, label),), dst)
+                set_register(rd, label)
+            return op
+        if len(sources) == 2:
+            a, b = sources
+            loc_a, loc_b = Loc.reg(a), Loc.reg(b)
+
+            def op() -> None:
+                cons = tracer.taint.conservative_label
+                tag_a = shadow[a] | cons
+                tag_b = shadow[b] | cons
+                label = tag_a | tag_b
+                if label and tracer.ledger is not None:
+                    tracer._record_at(location, mechanism,
+                                      ((loc_a, tag_a), (loc_b, tag_b)), dst)
+                set_register(rd, label)
+            return op
+        pairs = [(index, Loc.reg(index)) for index in sources]
+
+        def op() -> None:
+            cons = taint.conservative_label
+            tagged = [(loc, shadow[index] | cons) for index, loc in pairs]
+            label = cons
+            for __, tag in tagged:
+                label |= tag
+            if label and tracer.ledger is not None:
+                tracer._record_at(location, mechanism,
+                                  tuple((loc, tag) for loc, tag in tagged),
+                                  dst)
+            set_register(rd, label)
+        return op
+
+    def _compile_multiply_long(self, ir: isa.MultiplyLong,
+                               pc: int) -> TaintOp:
+        tracer = self
+        taint = self.taint
+        shadow = taint.shadow_registers
+        set_register = taint.set_register
+        rm, rs = ir.rm, ir.rs
+        rd_lo, rd_hi = ir.rd_lo, ir.rd_hi
+        accumulate = ir.accumulate
+        loc_rm, loc_rs = Loc.reg(rm), Loc.reg(rs)
+        loc_lo, loc_hi = Loc.reg(rd_lo), Loc.reg(rd_hi)
+        mechanism = "native:" + ir.mnemonic
+        location = f"0x{pc:08x}"
+
+        def op() -> None:
+            cons = taint.conservative_label
+            tag_rm = shadow[rm] | cons
+            tag_rs = shadow[rs] | cons
+            label = tag_rm | tag_rs
+            if accumulate:
+                tag_lo = shadow[rd_lo] | cons
+                tag_hi = shadow[rd_hi] | cons
+                label |= tag_lo | tag_hi
+            if label and tracer.ledger is not None:
+                sources = [(loc_rm, tag_rm), (loc_rs, tag_rs)]
+                if accumulate:
+                    sources.append((loc_lo, tag_lo))
+                    sources.append((loc_hi, tag_hi))
+                tracer._record_at(location, mechanism, sources, loc_lo)
+                tracer._record_at(location, mechanism, sources, loc_hi)
+            set_register(rd_lo, label)
+            set_register(rd_hi, label)
+        return op
+
+    def _compile_load_store(self, ir: isa.LoadStore, pc: int,
+                            emu: Emulator) -> Optional[TaintOp]:
+        tracer = self
+        taint = self.taint
+        cpu = emu.cpu
+        regs = cpu.regs
+        shadow = taint.shadow_registers
+        get_memory = taint.get_memory
+        rn, rd, offset_rm, size = ir.rn, ir.rd, ir.offset_rm, ir.size
+        mechanism = "native:" + ir.mnemonic
+        location = f"0x{pc:08x}"
+        # transfer_address reads the pipelined PC through cpu.read_reg:
+        # inside a block body regs[PC] is stale, so restore it first when
+        # the addressing actually involves PC (literal-pool loads).
+        needs_pc = rn == PC or offset_rm == PC
+        if ir.load:
+            if rd == PC:
+                return None
+            set_register = taint.set_register
+            dst = Loc.reg(rd)
+            loc_rn = Loc.reg(rn)
+            loc_off = Loc.reg(offset_rm) if offset_rm is not None else None
+
+            def op() -> None:
+                if needs_pc:
+                    regs[PC] = pc
+                address, __ = transfer_address(cpu, ir)
+                mem_tag = get_memory(address, size)
+                label = mem_tag
+                if rn != PC:
+                    rn_tag = shadow[rn] | taint.conservative_label
+                    label |= rn_tag
+                if offset_rm is not None:
+                    off_tag = shadow[offset_rm] | taint.conservative_label
+                    label |= off_tag
+                if label and tracer.ledger is not None:
+                    sources = [(Loc.mem(address, size), mem_tag)]
+                    if rn != PC:
+                        sources.append((loc_rn, rn_tag))
+                    if offset_rm is not None:
+                        sources.append((loc_off, off_tag))
+                    tracer._record_at(location, mechanism, sources, dst)
+                set_register(rd, label)
+            return op
+        set_memory = taint.set_memory
+        loc_rd = Loc.reg(rd)
+
+        def op() -> None:
+            if needs_pc:
+                regs[PC] = pc
+            address, __ = transfer_address(cpu, ir)
+            label = shadow[rd] | taint.conservative_label
+            if label and tracer.ledger is not None:
+                tracer._record_at(location, mechanism,
+                                  ((loc_rd, label),),
+                                  Loc.mem(address, size))
+            set_memory(address, size, label)
+        return op
+
+    def _compile_load_store_multiple(self, ir: isa.LoadStoreMultiple,
+                                     pc: int, emu: Emulator) -> TaintOp:
+        tracer = self
+        taint = self.taint
+        cpu = emu.cpu
+        regs = cpu.regs
+        shadow = taint.shadow_registers
+        get_memory = taint.get_memory
+        rn = ir.rn
+        mechanism = "native:" + ir.mnemonic
+        location = f"0x{pc:08x}"
+        loc_rn = Loc.reg(rn)
+        needs_pc = rn == PC
+        if ir.load:
+            set_register = taint.set_register
+            # (register, Loc) pairs pre-built; PC loads stay untracked.
+            pairs = [(register, Loc.reg(register))
+                     for register in ir.reglist]
+
+            def op() -> None:
+                if needs_pc:
+                    regs[PC] = pc
+                addresses = multiple_addresses(cpu, ir)
+                base_label = shadow[rn] | taint.conservative_label
+                for (register, loc_rd), address in zip(pairs, addresses):
+                    if register == PC:
+                        continue
+                    mem_tag = get_memory(address, 4)
+                    label = mem_tag | base_label
+                    if label and tracer.ledger is not None:
+                        tracer._record_at(
+                            location, mechanism,
+                            ((Loc.mem(address, 4), mem_tag),
+                             (loc_rn, base_label)),
+                            loc_rd)
+                    set_register(register, label)
+            return op
+        set_memory = taint.set_memory
+        pairs = [(register, Loc.reg(register)) for register in ir.reglist]
+
+        def op() -> None:
+            if needs_pc:
+                regs[PC] = pc
+            addresses = multiple_addresses(cpu, ir)
+            for (register, loc_rd), address in zip(pairs, addresses):
+                label = shadow[register] | taint.conservative_label
+                if label and tracer.ledger is not None:
+                    tracer._record_at(location, mechanism,
+                                      ((loc_rd, label),),
+                                      Loc.mem(address, 4))
+                set_memory(address, 4, label)
+        return op
 
     # -- handler selection ---------------------------------------------------------
 
@@ -218,6 +539,13 @@ class InstructionTracer:
         if label and self.ledger is not None:
             sources = [(Loc.reg(ir.rm), self.taint.get_register(ir.rm)),
                        (Loc.reg(ir.rs), self.taint.get_register(ir.rs))]
+            if ir.accumulate:
+                # The accumulator halves feed the result label: without
+                # them a reconstructed path skips the accumulator hop.
+                sources.append((Loc.reg(ir.rd_lo),
+                                self.taint.get_register(ir.rd_lo)))
+                sources.append((Loc.reg(ir.rd_hi),
+                                self.taint.get_register(ir.rd_hi)))
             self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd_lo))
             self._record(emu, ir.mnemonic, sources, Loc.reg(ir.rd_hi))
         self.taint.set_register(ir.rd_lo, label)

@@ -8,7 +8,11 @@ operation."
 Three stores:
 
 * **shadow registers** — one label per CPU register;
-* **taint map** — a byte-granular sparse map over native memory;
+* **taint map** — a byte-granular *page-chunked* map over native memory:
+  labels live in dense per-page lists, so range operations (every memcpy,
+  every sink check) are slice assignments and slice scans instead of one
+  dict operation per byte, and a page with no taint costs one absent-key
+  lookup for the whole range crossing it;
 * **iref shadow** — labels for Java objects keyed by *indirect reference*,
   because "the direct pointers of Java objects may be changed [by the GC],
   the shadow memory uses the indirect reference as key" (Section V.B).
@@ -25,14 +29,50 @@ from repro.common.events import EventLog
 from repro.common.taint import TAINT_CLEAR, TaintLabel, describe_taint
 from repro.libc.taint_interface import NativeTaintInterface
 
+# The taint map is chunked at page granularity: each present page holds a
+# dense list of per-byte labels.  4 KiB matches the emulator's code pages,
+# so one guest page maps to exactly one chunk.
+CHUNK_SHIFT = 12
+CHUNK_SIZE = 1 << CHUNK_SHIFT
+CHUNK_MASK = CHUNK_SIZE - 1
+ADDR_MASK = 0xFFFFFFFF
+
+# Shared all-clear source for slice-clearing ranges (sliced, never mutated).
+_CLEAR_CHUNK: List[TaintLabel] = [TAINT_CLEAR] * CHUNK_SIZE
+
+
+def _spans(address: int, length: int):
+    """Split ``[address, address+length)`` into (chunk, offset, span) runs.
+
+    Handles the 2^32 address wrap the old per-byte map got for free from
+    masking each key.
+    """
+    address &= ADDR_MASK
+    out = []
+    while length > 0:
+        offset = address & CHUNK_MASK
+        span = CHUNK_SIZE - offset
+        if span > length:
+            span = length
+        out.append((address >> CHUNK_SHIFT, offset, span))
+        address = (address + span) & ADDR_MASK
+        length -= span
+    return out
+
 
 class TaintEngine(NativeTaintInterface):
-    """Shadow registers + byte-granular taint map + iref shadow store."""
+    """Shadow registers + page-chunked taint map + iref shadow store."""
 
     def __init__(self, event_log: Optional[EventLog] = None) -> None:
         self.event_log = event_log
         self.shadow_registers: List[TaintLabel] = [TAINT_CLEAR] * 16
-        self._memory_taints: Dict[int, TaintLabel] = {}
+        # Page-chunked taint map: page index -> dense per-byte label list.
+        self._memory_chunks: Dict[int, List[TaintLabel]] = {}
+        # Monotone union of every label ever stored in the map: once an
+        # accumulating range query reaches it, no further byte can add a
+        # bit, so the scan stops early (stale-high is safe — it only makes
+        # the early exit rarer, never wrong).
+        self._memory_union: TaintLabel = TAINT_CLEAR
         self._iref_taints: Dict[int, TaintLabel] = {}
         self.propagation_count = 0
         # Graceful degradation (resilience): when an analysis hook faults
@@ -43,11 +83,12 @@ class TaintEngine(NativeTaintInterface):
         self.conservative_label: TaintLabel = TAINT_CLEAR
         # Sticky: flips True the first time any non-clear label enters the
         # engine.  While False, every query is trivially clear (taint only
-        # derives from existing taint), so the instruction tracer skips
-        # per-instruction propagation entirely — the dominant cost in runs
-        # that never touch a taint source.  It never flips back on its
-        # own; :meth:`reset` and :meth:`rearm_fast_path` re-arm it between
-        # jobs (farm workers reuse engines across analyses).
+        # derives from existing taint), so both analysis paths skip
+        # propagation entirely — the single-step tracer skips its handler,
+        # and the TB dispatch loop runs each block's *clean* variant with
+        # the taint micro-ops elided.  It never flips back on its own;
+        # :meth:`reset` and :meth:`rearm_fast_path` re-arm it between jobs
+        # (farm workers reuse engines across analyses).
         self.maybe_tainted = False
 
     # -- lifecycle (farm worker reuse) ----------------------------------------
@@ -58,10 +99,13 @@ class TaintEngine(NativeTaintInterface):
         Drops every label — shadow registers, the taint map, the iref
         store, *and* the conservative degradation label (a new job means
         a new app: the previous app's quarantine pessimism does not carry
-        over) — and re-arms the clean-run fast path.
+        over) — and re-arms the clean-run fast path.  The shadow-register
+        list is cleared in place: translation-time-compiled taint ops may
+        hold a reference to it.
         """
-        self.shadow_registers = [TAINT_CLEAR] * 16
-        self._memory_taints.clear()
+        self.shadow_registers[:] = [TAINT_CLEAR] * 16
+        self._memory_chunks.clear()
+        self._memory_union = TAINT_CLEAR
         self._iref_taints.clear()
         self.conservative_label = TAINT_CLEAR
         self.maybe_tainted = False
@@ -76,6 +120,10 @@ class TaintEngine(NativeTaintInterface):
         """
         if self.maybe_tainted and not self.live_label():
             self.maybe_tainted = False
+            # Every chunk is verifiably all-clear: drop them, and reset
+            # the monotone union so the saturation early-exit stays sharp.
+            self._memory_chunks.clear()
+            self._memory_union = TAINT_CLEAR
         return not self.maybe_tainted
 
     # -- graceful degradation -------------------------------------------------
@@ -99,8 +147,9 @@ class TaintEngine(NativeTaintInterface):
         label = self.conservative_label
         for register_label in self.shadow_registers:
             label |= register_label
-        for memory_label in self._memory_taints.values():
-            label |= memory_label
+        for chunk in self._memory_chunks.values():
+            for distinct in set(chunk):
+                label |= distinct
         for iref_label in self._iref_taints.values():
             label |= iref_label
         return label
@@ -126,77 +175,181 @@ class TaintEngine(NativeTaintInterface):
         self.shadow_registers[index] = TAINT_CLEAR
 
     def clear_all_registers(self) -> None:
-        self.shadow_registers = [TAINT_CLEAR] * 16
+        # In place: compiled taint ops may hold a reference to the list.
+        self.shadow_registers[:] = [TAINT_CLEAR] * 16
 
-    # -- taint map (byte granularity) ---------------------------------------------
+    # -- taint map (byte granularity, page-chunked) ---------------------------
 
     def get_memory(self, address: int, length: int = 1) -> TaintLabel:
-        """Union of labels over ``[address, address+length)``."""
-        if not self._memory_taints:
-            return self.conservative_label
+        """Union of labels over ``[address, address+length)``.
+
+        Skips entirely when the map is empty, skips whole absent pages,
+        and exits early once the accumulated label saturates the union of
+        labels the map could possibly hold.
+        """
         label = self.conservative_label
-        for offset in range(length):
-            label |= self._memory_taints.get((address + offset) & 0xFFFFFFFF,
-                                             TAINT_CLEAR)
+        chunks = self._memory_chunks
+        if not chunks or length <= 0:
+            return label
+        saturation = label | self._memory_union
+        if label == saturation:
+            return label
+        offset = address & CHUNK_MASK
+        if offset + length <= CHUNK_SIZE:
+            # Hot path: the whole range lives in one chunk (every 1/2/4
+            # byte instruction-level access lands here).
+            chunk = chunks.get((address & ADDR_MASK) >> CHUNK_SHIFT)
+            if chunk is None:
+                return label
+            if length <= 8:
+                for index in range(offset, offset + length):
+                    label |= chunk[index]
+                    if label == saturation:
+                        return label
+                return label
+            for distinct in set(chunk[offset:offset + length]):
+                label |= distinct
+            return label
+        for page, offset, span in _spans(address, length):
+            chunk = chunks.get(page)
+            if chunk is None:
+                continue
+            for distinct in set(chunk[offset:offset + span]):
+                label |= distinct
+            if label == saturation:
+                return label
         return label
 
     def set_memory(self, address: int, length: int,
                    label: TaintLabel) -> None:
         """Overwrite labels over a range (``t(M) := label``)."""
         self.propagation_count += 1
+        if length <= 0:
+            return
+        chunks = self._memory_chunks
         if label:
             self.maybe_tainted = True
-        for offset in range(length):
-            key = (address + offset) & 0xFFFFFFFF
-            if label:
-                self._memory_taints[key] = label
+            self._memory_union |= label
+            for page, offset, span in _spans(address, length):
+                chunk = chunks.get(page)
+                if chunk is None:
+                    chunks[page] = chunk = [TAINT_CLEAR] * CHUNK_SIZE
+                if span == 1:
+                    chunk[offset] = label
+                else:
+                    chunk[offset:offset + span] = [label] * span
+            return
+        if not chunks:
+            return  # clearing an already-clear map costs nothing
+        for page, offset, span in _spans(address, length):
+            chunk = chunks.get(page)
+            if chunk is None:
+                continue
+            if span == 1:
+                chunk[offset] = TAINT_CLEAR
             else:
-                self._memory_taints.pop(key, None)
+                chunk[offset:offset + span] = _CLEAR_CHUNK[:span]
+            if not any(chunk):
+                del chunks[page]
 
     def add_memory(self, address: int, length: int,
                    label: TaintLabel) -> None:
         """Union labels into a range (``t(M) |= label``)."""
-        if not label:
+        if not label or length <= 0:
             return
         self.propagation_count += 1
         self.maybe_tainted = True
-        for offset in range(length):
-            key = (address + offset) & 0xFFFFFFFF
-            self._memory_taints[key] = self._memory_taints.get(
-                key, TAINT_CLEAR) | label
+        self._memory_union |= label
+        chunks = self._memory_chunks
+        for page, offset, span in _spans(address, length):
+            chunk = chunks.get(page)
+            if chunk is None:
+                chunks[page] = chunk = [TAINT_CLEAR] * CHUNK_SIZE
+            if span == 1:
+                chunk[offset] |= label
+            else:
+                end = offset + span
+                chunk[offset:end] = [old | label
+                                     for old in chunk[offset:end]]
 
     def set_memory_bytes(self, address: int,
                          labels: List[TaintLabel]) -> None:
         """Per-byte assignment (used by modelled copies like memcpy)."""
         self.propagation_count += 1
-        if any(labels):
+        length = len(labels)
+        if not length:
+            return
+        union = TAINT_CLEAR
+        for distinct in set(labels):
+            union |= distinct
+        chunks = self._memory_chunks
+        if union:
             self.maybe_tainted = True
-        for offset, label in enumerate(labels):
-            key = (address + offset) & 0xFFFFFFFF
-            if label:
-                self._memory_taints[key] = label
-            else:
-                self._memory_taints.pop(key, None)
+            self._memory_union |= union
+        elif not chunks:
+            return  # writing all-clear labels into an empty map: no-op
+        index = 0
+        for page, offset, span in _spans(address, length):
+            piece = labels[index:index + span] if span != length else labels
+            index += span
+            chunk = chunks.get(page)
+            if chunk is None:
+                if not any(piece):
+                    continue
+                chunks[page] = chunk = [TAINT_CLEAR] * CHUNK_SIZE
+                chunk[offset:offset + span] = piece
+                continue
+            chunk[offset:offset + span] = piece
+            if not any(piece) and not any(chunk):
+                del chunks[page]
 
     def memory_bytes(self, address: int, length: int) -> List[TaintLabel]:
         base = self.conservative_label
-        if not self._memory_taints:
+        chunks = self._memory_chunks
+        if not chunks or length <= 0:
             return [base] * length
-        return [base | self._memory_taints.get((address + offset) & 0xFFFFFFFF,
-                                               TAINT_CLEAR)
-                for offset in range(length)]
+        out: List[TaintLabel] = []
+        for page, offset, span in _spans(address, length):
+            chunk = chunks.get(page)
+            if chunk is None:
+                out.extend([base] * span)
+            elif base:
+                out.extend(label | base
+                           for label in chunk[offset:offset + span])
+            else:
+                out.extend(chunk[offset:offset + span])
+        return out
 
     def copy_memory(self, dest: int, src: int, length: int) -> None:
         """Propagate ``src``'s byte taints to ``dest`` (Listing 3)."""
         self.set_memory_bytes(dest, self.memory_bytes(src, length))
 
     def clear_memory(self, address: int, length: int) -> None:
-        for offset in range(length):
-            self._memory_taints.pop((address + offset) & 0xFFFFFFFF, None)
+        chunks = self._memory_chunks
+        if not chunks or length <= 0:
+            return
+        for page, offset, span in _spans(address, length):
+            chunk = chunks.get(page)
+            if chunk is None:
+                continue
+            chunk[offset:offset + span] = _CLEAR_CHUNK[:span]
+            if not any(chunk):
+                del chunks[page]
 
     @property
     def tainted_bytes(self) -> int:
-        return len(self._memory_taints)
+        return sum(CHUNK_SIZE - chunk.count(TAINT_CLEAR)
+                   for chunk in self._memory_chunks.values())
+
+    def memory_snapshot(self) -> Dict[int, TaintLabel]:
+        """Every tainted byte as ``{address: label}`` (tests, reports)."""
+        snapshot: Dict[int, TaintLabel] = {}
+        for page, chunk in self._memory_chunks.items():
+            base = page << CHUNK_SHIFT
+            for offset, label in enumerate(chunk):
+                if label:
+                    snapshot[base + offset] = label
+        return snapshot
 
     # -- iref shadow store ----------------------------------------------------------
 

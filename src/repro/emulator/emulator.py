@@ -6,8 +6,22 @@ chained to their static successors — rather than fetch/decode/execute per
 instruction.  Instrumentation is decided at translation boundaries: while
 no per-instruction instrumentation is attached (no tracers, no fault
 injector), blocks run through a tight micro-op loop with **zero**
-per-instruction checks; attaching any reverts execution to the
-single-step interpreter whose semantics the blocks replicate.
+per-instruction checks.
+
+Taint analysis is *compiled into* the blocks rather than demoting them
+(NDroid inserts its analysis at translation time inside QEMU's TCG
+loop): a tracer declaring ``compiles_to_tb`` stays on the block engine —
+at translation time the emulator asks it once per page whether the block
+is in a third-party region and, when it is, requests a pre-bound Table V
+taint micro-op per instruction.  Each such block carries two executable
+variants sharing one translation pass: *clean* (taint ops elided) runs
+while the taint engine's sticky ``maybe_tainted`` flag is off, *tainted*
+(taint ops interleaved before their execution ops) once it flips — the
+flag is re-read at every block dispatch, so the transition needs no
+retranslation.  Anything else — plain tracers, several taint engines at
+once, a fault injector — reverts execution to the single-step
+interpreter whose semantics the blocks replicate (that path also serves
+as the differential oracle for the compiled one).
 
 Invalidation is page-granular and shared between the decode cache and
 the block cache: a write into a page holding translated code (observed
@@ -32,6 +46,7 @@ from repro.emulator.tb import TranslationBlock, TranslationCache
 from repro.emulator.translator import (
     build_micro_op,
     ends_block,
+    interleave_taint_ops,
     static_branch_target,
 )
 from repro.memory.memory import Memory
@@ -141,6 +156,13 @@ class Emulator:
         self._profiler = None
         # True while any per-instruction instrumentation is attached.
         self._per_step_instrumentation = False
+        # The single attached tracer whose taint propagation is compiled
+        # into translation blocks (None when no tracer, a non-compiling
+        # tracer, several tracers, or a fault injector is attached).
+        self._taint_compiler = None
+        # Compiled blocks bake in per-page third-party decisions; a
+        # region-table change must drop those caches.
+        self.memory_map.subscribe(self._on_region_change)
 
         self.instruction_count = 0
         self.host_call_count = 0
@@ -194,8 +216,42 @@ class Emulator:
     # -- instrumentation bookkeeping ------------------------------------------
 
     def _refresh_instrumentation(self) -> None:
-        self._per_step_instrumentation = bool(self._tracers) or \
-            self._fault_injector is not None
+        compilers = [tracer for tracer in self._tracers
+                     if getattr(tracer, "compiles_to_tb", False)]
+        # Exactly one compiling tracer and no fault injector: its taint
+        # propagation rides inside the translation blocks.  Everything
+        # else needs the per-instruction engine (the fault injector must
+        # see every fault point; a second engine would break the
+        # per-block maybe_tainted variant choice).
+        if self._fault_injector is None and self._tracers and \
+                len(compilers) == len(self._tracers) == 1:
+            new_compiler = compilers[0]
+            self._per_step_instrumentation = False
+        else:
+            new_compiler = None
+            self._per_step_instrumentation = bool(self._tracers) or \
+                self._fault_injector is not None
+        if new_compiler is not self._taint_compiler:
+            # Existing blocks lack (or embed) the old instrumentation.
+            self._taint_compiler = new_compiler
+            self._flush_translations()
+
+    def _flush_translations(self) -> None:
+        """Drop every translated block but keep the decode cache."""
+        for page in self._tb_cache.pages():
+            if page not in self._decode_pages:
+                self.memory.unwatch_page(page)
+        self._tb_cache.flush()
+
+    def _on_region_change(self) -> None:
+        """The region table changed: per-page third-party decisions may be
+        stale, both in tracer region caches and in compiled blocks."""
+        for tracer in self._tracers:
+            invalidate = getattr(tracer, "invalidate_region_cache", None)
+            if invalidate is not None:
+                # A compiling tracer's invalidation also flushes the
+                # translation cache through its registered callback.
+                invalidate()
 
     @property
     def fault_injector(self) -> Optional[FaultInjector]:
@@ -267,10 +323,16 @@ class Emulator:
 
     def add_tracer(self, tracer: Tracer) -> None:
         self._tracers.append(tracer)
+        wire = getattr(tracer, "set_region_invalidate_callback", None)
+        if wire is not None:
+            wire(self._flush_translations)
         self._refresh_instrumentation()
 
     def remove_tracer(self, tracer: Tracer) -> None:
         self._tracers.remove(tracer)
+        unwire = getattr(tracer, "set_region_invalidate_callback", None)
+        if unwire is not None:
+            unwire(None)
         self._refresh_instrumentation()
 
     def _notify_branch(self, i_from: int, i_to: int) -> None:
@@ -393,25 +455,52 @@ class Emulator:
     # -- translation ----------------------------------------------------------------
 
     def _translate(self, pc: int, thumb: bool) -> TranslationBlock:
-        """Decode a straight-line run starting at ``pc`` into a block."""
+        """Decode a straight-line run starting at ``pc`` into a block.
+
+        With a taint-compiling tracer attached, the third-party region
+        lookup is hoisted here — once per page the block covers, instead
+        of once per executed instruction — and each in-scope instruction
+        gets a pre-bound taint micro-op for the block's tainted variant.
+        """
         ops = []
         specialised = 0
         term_ir: Optional[Instruction] = None
         term_pc = pc
         current = pc
         hosts = self._host_functions
+        compiler = self._taint_compiler
+        taint_slots: List = []
+        traced = 0
+        term_taint_op = None
+        scope_page = -1
+        in_scope = False
         while True:
             if current in hosts or (current | 1) in hosts:
                 break  # host boundary: fall through into host dispatch
             ir = self._decode(current, thumb)
+            if compiler is not None:
+                page = current >> 12
+                if page != scope_page:
+                    scope_page = page
+                    in_scope = compiler.in_scope(current)
             if ends_block(ir):
                 term_ir = ir
                 term_pc = current
+                if compiler is not None and in_scope:
+                    term_taint_op = compiler.compile_taint_op(
+                        ir, current, self)
+                    traced += 1
                 current += ir.width
                 break
             op, is_specialised = build_micro_op(
                 ir, current, thumb, self.cpu, self.memory, self.executor)
             ops.append(op)
+            if compiler is not None and in_scope:
+                taint_slots.append(compiler.compile_taint_op(
+                    ir, current, self))
+                traced += 1
+            else:
+                taint_slots.append(None)
             if is_specialised:
                 specialised += 1
             current += ir.width
@@ -421,11 +510,15 @@ class Emulator:
         taken_pc = (static_branch_target(term_ir, term_pc, thumb)
                     if term_ir is not None else None)
         pages = tuple(range(pc >> 12, ((current + 3) >> 12) + 1))
+        body_ops = tuple(ops)
+        taint_ops = (interleave_taint_ops(body_ops, taint_slots)
+                     if traced else None)
         tb = TranslationBlock(
-            pc=pc, thumb=thumb, ops=tuple(ops), term_ir=term_ir,
+            pc=pc, thumb=thumb, ops=body_ops, term_ir=term_ir,
             term_pc=term_pc, fall_pc=fall_pc, taken_pc=taken_pc,
             length=len(ops) + (1 if term_ir is not None else 0),
-            pages=pages, specialised=specialised)
+            pages=pages, specialised=specialised, taint_ops=taint_ops,
+            term_taint_op=term_taint_op, traced=traced)
         self._tb_cache.put(tb)
         for page in pages:
             self.memory.watch_page(page)
@@ -458,6 +551,13 @@ class Emulator:
         # Hoisted like the other per-block state: one `is not None` check
         # per block when attached, nothing extra on the code path when not.
         profiler = self._profiler
+        compiler = self._taint_compiler
+        # The sticky flag is re-read at every block dispatch: taint only
+        # enters through hooks, host functions and syscalls, all of which
+        # fire at block boundaries, so choosing the variant per block is
+        # exactly as precise as the single-step engine's per-instruction
+        # check.
+        engine = compiler.taint if compiler is not None else None
         executed = 0
         tb: Optional[TranslationBlock] = None
         # Pending chain link: (predecessor, True for taken-edge).
@@ -465,8 +565,9 @@ class Emulator:
         while executed < budget:
             pc = regs[PC]
             if pc == stop_at or self._stop_requested or \
-                    self._per_step_instrumentation:
-                break
+                    self._per_step_instrumentation or \
+                    self._taint_compiler is not compiler:
+                break  # (a hook may re-wire instrumentation mid-run)
             if profiler is not None and \
                     self.instruction_count >= profiler.next_sample:
                 profiler.take_sample(pc, self.instruction_count)
@@ -490,8 +591,13 @@ class Emulator:
                     link = None
 
             # ---- the tight loop: zero per-instruction checks ----
-            for op in tb.ops:
+            # Variant choice: tainted (taint ops interleaved) once any
+            # label is live, clean (plain body) otherwise.
+            tainted = engine is not None and engine.maybe_tainted
+            for op in (tb.taint_ops if tainted else tb.ops):
                 op()
+            if compiler is not None and tb.traced:
+                compiler.traced_instructions += tb.traced
 
             executed += tb.length
             term_ir = tb.term_ir
@@ -506,6 +612,8 @@ class Emulator:
                 continue
 
             regs[PC] = tb.term_pc
+            if tainted and tb.term_taint_op is not None:
+                tb.term_taint_op()
             wrote_pc = executor_execute(term_ir)
             self.instruction_count += tb.length
             if not wrote_pc:

@@ -28,19 +28,36 @@ class TranslationBlock:
     decoded terminator executed through the interpretive executor, or
     None when the block was cut short (max length / host-code boundary),
     in which case control falls through to ``fall_pc``.
+
+    Blocks from third-party regions carry a second executable variant:
+    ``taint_ops`` interleaves a pre-bound Table V taint micro-op before
+    each execution micro-op (NDroid's translation-time instrumentation
+    insertion).  The dispatch loop picks the variant per execution —
+    ``ops`` (*clean*) while the taint engine's sticky ``maybe_tainted``
+    flag is off, ``taint_ops`` (*tainted*) once it flips — so the
+    clean→tainted transition costs no retranslation.  Both variants come
+    from the same translation pass.  ``traced`` counts the block's
+    in-scope instructions (terminator included) for tracer accounting;
+    blocks outside third-party regions have ``taint_ops is ops``,
+    ``term_taint_op is None`` and ``traced == 0``.
     """
 
-    __slots__ = ("pc", "thumb", "ops", "term_ir", "term_pc", "fall_pc",
+    __slots__ = ("pc", "thumb", "ops", "taint_ops", "term_taint_op",
+                 "traced", "term_ir", "term_pc", "fall_pc",
                  "taken_pc", "length", "pages", "valid", "specialised",
                  "succ_taken", "succ_fall")
 
     def __init__(self, pc: int, thumb: bool, ops: Tuple, term_ir,
                  term_pc: int, fall_pc: int, taken_pc: Optional[int],
                  length: int, pages: Tuple[int, ...],
-                 specialised: int) -> None:
+                 specialised: int, taint_ops: Optional[Tuple] = None,
+                 term_taint_op=None, traced: int = 0) -> None:
         self.pc = pc
         self.thumb = thumb
         self.ops = ops
+        self.taint_ops = ops if taint_ops is None else taint_ops
+        self.term_taint_op = term_taint_op
+        self.traced = traced
         self.term_ir = term_ir
         self.term_pc = term_pc
         self.fall_pc = fall_pc

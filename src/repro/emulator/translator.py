@@ -67,6 +67,22 @@ def static_branch_target(ir: isa.Instruction, pc: int,
     return None
 
 
+def interleave_taint_ops(ops: Tuple[MicroOp, ...],
+                         taint_slots) -> Tuple[MicroOp, ...]:
+    """Build a block's *tainted* variant: each instruction's pre-bound
+    taint micro-op (slot may be None for Table V no-ops) runs immediately
+    before its execution micro-op — the same tracer-before-execute order
+    as the single-step engine.  Taint ops run unconditionally even when
+    the execution op's condition fails, again matching single-step (the
+    tracer fires before the condition is evaluated)."""
+    out = []
+    for op, taint_op in zip(ops, taint_slots):
+        if taint_op is not None:
+            out.append(taint_op)
+        out.append(op)
+    return tuple(out)
+
+
 def build_micro_op(ir: isa.Instruction, pc: int, thumb: bool,
                    cpu: CpuState, memory: Memory,
                    executor: Executor) -> Tuple[MicroOp, bool]:

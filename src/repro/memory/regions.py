@@ -10,7 +10,7 @@ of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.common.errors import MemoryError_
 
@@ -56,6 +56,19 @@ class MemoryMap:
 
     def __init__(self) -> None:
         self._regions: List[Region] = []
+        # Region-table change listeners.  The instruction tracer caches
+        # per-page third-party decisions (and bakes them into translated
+        # blocks), so a library mapped after tracing starts must be able
+        # to invalidate those caches.
+        self._listeners: List[Callable[[], None]] = []
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` after every successful map/unmap."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()
 
     def map_region(self, region: Region) -> Region:
         for existing in self._regions:
@@ -66,6 +79,7 @@ class MemoryMap:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.start)
+        self._notify()
         return region
 
     def map(self, start: int, size: int, name: str, perms: str = "rwx",
@@ -78,6 +92,7 @@ class MemoryMap:
         for index, region in enumerate(self._regions):
             if region.start == start:
                 del self._regions[index]
+                self._notify()
                 return
         raise MemoryError_(start, "unmap of unknown region")
 

@@ -19,8 +19,9 @@ DATA = 0x0003_0000
 STACK_TOP = 0x0800_0000
 
 
-def run_traced(source, seed=None, third_party=True, handler_cache=True):
-    emu = Emulator()
+def run_traced(source, seed=None, third_party=True, handler_cache=True,
+               use_tb=True):
+    emu = Emulator(use_tb=use_tb)
     program = assemble("main:\n" + source + "\n bx lr", base=CODE_BASE)
     emu.load(CODE_BASE, program.code)
     emu.memory_map.map(CODE_BASE, 0x1000, "libapp.so",
@@ -185,13 +186,15 @@ class TestScopingAndCache:
         assert engine.get_register(0) == 0
 
     def test_handler_cache_hits_on_loops(self):
+        # The per-(pc, thumb) handler cache belongs to the single-step
+        # path; the TB engine pre-selects handlers at translation time.
         source = """
             mov r1, #20
         loop:
             subs r1, r1, #1
             bne loop
         """
-        __, tracer, __ = run_traced(source)
+        __, tracer, __ = run_traced(source, use_tb=False)
         assert tracer.cache_hits > 30
 
     def test_cache_disabled_never_hits(self):
@@ -201,7 +204,8 @@ class TestScopingAndCache:
             subs r1, r1, #1
             bne loop
         """
-        __, tracer, __ = run_traced(source, handler_cache=False)
+        __, tracer, __ = run_traced(source, handler_cache=False,
+                                    use_tb=False)
         assert tracer.cache_hits == 0
         assert tracer.traced_instructions > 0
 
@@ -259,7 +263,7 @@ loop:
     b loop
 out:
     mov r2, r0
-        """)
+        """, use_tb=False)
         assert engine.propagation_count == 0
         assert tracer.cache_hits > tracer.traced_instructions * 0.5
 

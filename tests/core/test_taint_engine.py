@@ -187,3 +187,81 @@ def test_empty_map_queries_short_circuit_to_conservative_label():
     engine.degrade(TAINT_IMEI)
     assert engine.get_memory(0x4000, 64) == TAINT_IMEI
     assert engine.memory_bytes(0x4000, 2) == [TAINT_IMEI] * 2
+
+
+# -- page-chunked store ------------------------------------------------------
+
+def test_clearing_an_empty_map_allocates_nothing():
+    # set_memory with a clear label over a huge range must not walk the
+    # range (the old per-byte map popped each absent key one by one).
+    engine = TaintEngine()
+    engine.set_memory(0x10_0000, 1 << 20, TAINT_CLEAR)
+    assert engine._memory_chunks == {}
+    assert engine.propagation_count == 1  # the call is still accounted
+
+
+def test_chunks_are_dropped_when_fully_cleared():
+    engine = TaintEngine()
+    engine.set_memory(0x5000, 16, TAINT_SMS)
+    assert len(engine._memory_chunks) == 1
+    engine.set_memory(0x5000, 16, TAINT_CLEAR)
+    assert engine._memory_chunks == {}
+    engine.set_memory(0x5000, 16, TAINT_SMS)
+    engine.clear_memory(0x5000, 16)
+    assert engine._memory_chunks == {}
+
+
+def test_bulk_range_spanning_many_chunks():
+    engine = TaintEngine()
+    engine.set_memory(0x1800, 0x3000, TAINT_SMS)  # 3 pages, unaligned
+    assert engine.tainted_bytes == 0x3000
+    assert engine.get_memory(0x17FF, 1) == TAINT_CLEAR
+    assert engine.get_memory(0x1800, 1) == TAINT_SMS
+    assert engine.get_memory(0x47FF, 1) == TAINT_SMS
+    assert engine.get_memory(0x4800, 1) == TAINT_CLEAR
+    assert engine.get_memory(0x1000, 0x4000) == TAINT_SMS
+    engine.copy_memory(0x2_0800, 0x1800, 0x3000)
+    assert engine.get_memory(0x2_0800, 0x3000) == TAINT_SMS
+    assert engine.tainted_bytes == 0x6000
+
+
+def test_get_memory_saturation_early_exit_is_still_exact():
+    # Once the accumulated label reaches the union of every label the map
+    # ever held, the scan stops early; the answer must be unchanged.
+    engine = TaintEngine()
+    engine.set_memory(0x1000, 4, TAINT_SMS)
+    engine.set_memory(0x9000, 4, TAINT_IMEI)
+    union = TAINT_SMS | TAINT_IMEI
+    assert engine._memory_union == union
+    # The first bytes already saturate: the rest of the 64 KiB range
+    # (mostly absent chunks) is never walked byte-by-byte.
+    assert engine.get_memory(0x1000, 0x10000) == union
+    # Clearing one label leaves the monotone union stale-high, which only
+    # makes the early exit rarer — answers stay exact.
+    engine.set_memory(0x9000, 4, TAINT_CLEAR)
+    assert engine._memory_union == union
+    assert engine.get_memory(0x1000, 0x10000) == TAINT_SMS
+
+
+def test_memory_snapshot_lists_every_tainted_byte():
+    engine = TaintEngine()
+    engine.set_memory(0x1FFE, 4, TAINT_SMS)  # straddles a chunk edge
+    engine.set_memory(0x2000, 1, TAINT_IMEI)
+    assert engine.memory_snapshot() == {
+        0x1FFE: TAINT_SMS, 0x1FFF: TAINT_SMS,
+        0x2000: TAINT_IMEI, 0x2001: TAINT_SMS,
+    }
+
+
+def test_shadow_register_list_identity_survives_reset():
+    # Compiled taint micro-ops close over the shadow-register list; reset
+    # and clear_all_registers must mutate it in place, never rebind it.
+    engine = TaintEngine()
+    shadow = engine.shadow_registers
+    engine.set_register(3, TAINT_SMS)
+    engine.clear_all_registers()
+    assert engine.shadow_registers is shadow
+    engine.set_register(3, TAINT_SMS)
+    engine.reset()
+    assert engine.shadow_registers is shadow
+    assert shadow == [TAINT_CLEAR] * 16

@@ -1,0 +1,251 @@
+"""Differential tests: taint-compiled translation blocks vs single-step.
+
+The single-step engine is the oracle: for every scenario and for the
+clean→tainted variant-switch edge cases, running under taint-compiled
+translation blocks must produce *identical* propagation counts, shadow
+state, taint-map contents, ledger edge sequences and leak reports.
+"""
+
+import pytest
+
+from repro.apps import ALL_SCENARIOS
+from repro.bench.emulator_bench import PARITY_SCENARIOS
+from repro.apps.base import run_scenario
+from repro.bench.harness import make_platform
+from repro.common.taint import TAINT_CLEAR, TAINT_IMEI, TAINT_SMS
+from repro.core.instruction_tracer import InstructionTracer
+from repro.core.taint_engine import TaintEngine
+from repro.cpu.assembler import assemble
+from repro.emulator import Emulator
+
+CODE_BASE = 0x6000_0000
+LATE_BASE = 0x6100_0000
+STACK_TOP = 0x0800_0000
+
+
+def _run_scenario_state(name, use_tb):
+    """Full observable end state of one scenario run."""
+    platform = make_platform("ndroid", use_tb=use_tb, trace=True)
+    scenario = ALL_SCENARIOS[name]()
+    run_scenario(scenario, platform)
+    engine = platform.ndroid.taint_engine
+    return {
+        "propagation_count": engine.propagation_count,
+        "traced": platform.ndroid.instruction_tracer.traced_instructions,
+        "shadow": list(engine.shadow_registers),
+        "memory": engine.memory_snapshot(),
+        "edges": [edge.to_dict() for edge in platform.observability.ledger],
+        "leaks": sorted(
+            (record.detector, record.sink, record.taint, record.payload)
+            for record in platform.leaks.records),
+    }
+
+
+@pytest.mark.parametrize("name", PARITY_SCENARIOS)
+def test_scenario_differential(name):
+    single_step = _run_scenario_state(name, use_tb=False)
+    compiled = _run_scenario_state(name, use_tb=True)
+    assert compiled == single_step
+
+
+class _Rig:
+    """One tracer-attached emulator around a third-party snippet."""
+
+    def __init__(self, source, use_tb, base=CODE_BASE):
+        self.emu = Emulator(use_tb=use_tb)
+        self.program = assemble("main:\n" + source + "\n bx lr", base=base)
+        self.emu.load(base, self.program.code)
+        self.emu.memory_map.map(base, 0x1000, "libapp.so",
+                                third_party=True)
+        self.emu.cpu.sp = STACK_TOP
+        self.engine = TaintEngine()
+        self.tracer = InstructionTracer(self.engine,
+                                        self.emu.memory_map.is_third_party)
+        self.emu.add_tracer(self.tracer)
+
+    def call(self):
+        self.emu.cpu.sp = STACK_TOP
+        self.emu.call(self.program.entry("main"))
+
+    def state(self):
+        return {
+            "propagation_count": self.engine.propagation_count,
+            "traced": self.tracer.traced_instructions,
+            "shadow": list(self.engine.shadow_registers),
+            "memory": self.engine.memory_snapshot(),
+        }
+
+
+PROPAGATING = """
+    mov r2, r1
+    add r3, r2, r1
+    str r3, [sp, #-4]!
+    ldr r4, [sp], #4
+    eor r5, r4, r2
+"""
+
+
+def _differential(source, drive):
+    """Run ``drive(rig)`` under both engines; end states must agree."""
+    states = []
+    for use_tb in (False, True):
+        rig = _Rig(source, use_tb)
+        drive(rig)
+        states.append(rig.state())
+    assert states[0] == states[1]
+    return states[0]
+
+
+class TestVariantSwitch:
+    def test_clean_then_tainted_reuses_the_same_block(self):
+        # First run is clean (taint ops elided); seeding taint afterwards
+        # must switch the cached block to its tainted variant with no
+        # retranslation — both variants come from one translation pass.
+        rig = _Rig(PROPAGATING, use_tb=True)
+        rig.call()
+        assert rig.engine.propagation_count == 0
+        assert rig.tracer.traced_instructions > 0
+        translations = rig.emu.translation_stats()["translations"]
+        rig.engine.set_register(1, TAINT_IMEI)
+        rig.call()
+        assert rig.emu.translation_stats()["translations"] == translations
+        assert rig.engine.get_register(5) == TAINT_IMEI
+
+    def test_clean_then_tainted_matches_single_step(self):
+        def drive(rig):
+            rig.call()
+            rig.engine.set_register(1, TAINT_IMEI)
+            rig.call()
+        end = _differential(PROPAGATING, drive)
+        assert end["shadow"][5] == TAINT_IMEI
+        assert end["propagation_count"] > 0
+
+    def test_mid_block_first_taint_transition(self):
+        # The first taint arrives from a host function spliced into the
+        # middle of a straight-line run: the instructions before the call
+        # execute clean, the ones after must propagate — under both
+        # engines identically.
+        source = """
+    push {lr}
+    mov r2, r1
+    bl host_source
+    mov r3, r1
+    add r4, r3, r2
+    pop {pc}
+        """
+        states = []
+        for use_tb in (False, True):
+            emu = Emulator(use_tb=use_tb)
+            engine = TaintEngine()
+
+            def host_source(ctx):
+                engine.set_register(1, TAINT_SMS)
+            emu.register_host_function(LATE_BASE, "host_source",
+                                       host_source)
+            program = assemble("main:\n" + source + "\n bx lr",
+                               base=CODE_BASE,
+                               externs={"host_source": LATE_BASE})
+            emu.load(CODE_BASE, program.code)
+            emu.memory_map.map(CODE_BASE, 0x1000, "libapp.so",
+                               third_party=True)
+            emu.cpu.sp = STACK_TOP
+            tracer = InstructionTracer(engine,
+                                       emu.memory_map.is_third_party)
+            emu.add_tracer(tracer)
+            emu.call(program.entry("main"))
+            states.append({
+                "propagation_count": engine.propagation_count,
+                "traced": tracer.traced_instructions,
+                "shadow": list(engine.shadow_registers),
+            })
+        assert states[0] == states[1]
+        # r2 was copied before the source fired (clean); r3/r4 after.
+        assert states[0]["shadow"][2] == TAINT_CLEAR
+        assert states[0]["shadow"][3] == TAINT_SMS
+        assert states[0]["shadow"][4] == TAINT_SMS
+
+    def test_condition_failed_instruction_still_propagates(self):
+        # The single-step tracer fires before the condition is evaluated,
+        # so a failed conditional still moves taint (over-approximation);
+        # the compiled taint op must be just as unconditional.
+        source = """
+    mov r0, #1
+    cmp r0, #1
+    movne r0, r1
+    mov r6, r0
+        """
+
+        def drive(rig):
+            rig.engine.set_register(1, TAINT_IMEI)
+            rig.call()
+        end = _differential(source, drive)
+        assert end["shadow"][0] == TAINT_IMEI  # despite movne not executing
+
+
+class TestRegionChange:
+    def test_library_loaded_after_tracing_starts_is_traced(self):
+        # Regression: the tracer's page-granular region cache (and any
+        # translated blocks baking in its decisions) must be invalidated
+        # when a new library is mapped into a previously-looked-up range.
+        snippet = assemble("f:\n mov r2, r1\n bx lr", base=LATE_BASE)
+        for use_tb in (False, True):
+            rig = _Rig("mov r2, r1", use_tb)
+            rig.emu.load(LATE_BASE, snippet.code)
+            rig.engine.set_register(1, TAINT_IMEI)
+            # Not mapped yet: out of scope, nothing traced or propagated.
+            rig.emu.call(snippet.entry("f"))
+            assert rig.tracer.traced_instructions == 0
+            assert rig.engine.get_register(2) == TAINT_CLEAR
+            # The library "loads" (maps) into the already-cached range.
+            rig.emu.memory_map.map(LATE_BASE, 0x1000, "liblate.so",
+                                   third_party=True)
+            rig.emu.call(snippet.entry("f"))
+            assert rig.tracer.traced_instructions > 0, \
+                f"use_tb={use_tb}: stale region decision survived a map"
+            assert rig.engine.get_register(2) == TAINT_IMEI
+
+    def test_unmap_also_invalidates(self):
+        for use_tb in (False, True):
+            rig = _Rig("mov r2, r1", use_tb)
+            rig.engine.set_register(1, TAINT_IMEI)
+            rig.call()
+            traced = rig.tracer.traced_instructions
+            assert traced > 0
+            rig.emu.memory_map.unmap(CODE_BASE)
+            rig.engine.set_register(2, TAINT_CLEAR)
+            rig.call()
+            assert rig.tracer.traced_instructions == traced, \
+                f"use_tb={use_tb}: unmapped region still traced"
+            assert rig.engine.get_register(2) == TAINT_CLEAR
+
+
+class TestLedgerParity:
+    def test_native_edge_sequences_match_including_multiply_long(self):
+        # umlal exercises the accumulate case whose ledger record now
+        # includes the rd_lo/rd_hi accumulator sources.
+        source = """
+    mov r2, #3
+    mov r3, #4
+    umlal r4, r5, r2, r3
+    add r6, r4, r5
+        """
+        from repro.observability.ledger import ProvenanceLedger
+
+        def edges(use_tb):
+            rig = _Rig(source, use_tb)
+            ledger = ProvenanceLedger()
+            rig.tracer.ledger = ledger
+            rig.engine.set_register(4, TAINT_SMS)   # tainted accumulator
+            rig.engine.set_register(5, TAINT_IMEI)
+            rig.call()
+            return [edge.to_dict() for edge in ledger]
+
+        step_edges = edges(False)
+        tb_edges = edges(True)
+        assert step_edges == tb_edges
+        umlal = [e for e in step_edges if e["mechanism"] == "native:umlal"]
+        # Two destinations (rd_lo, rd_hi), each recording both
+        # accumulator-half sources: the r4 and r5 hops must be present.
+        sources = {(e["src"]["base"], e["dst"]["base"]) for e in umlal}
+        assert (4, 4) in sources and (5, 4) in sources
+        assert (4, 5) in sources and (5, 5) in sources
