@@ -13,6 +13,13 @@ cannot beat serial on a single-core host — the recorded ``cpus`` field
 keeps the numbers honest) and a per-app parity check: the serial and
 parallel runs must report identical per-job leak/sink counts, since the
 merge is pure aggregation.
+
+Since schema 2 the bench also runs the **chaos recovery drill**
+(:func:`repro.farm.chaos.run_chaos_harness`) with a fixed seed over a
+scenario slice of the manifest and records the verdict: the recovery
+invariants (no lost jobs, no duplicates, store verifies, poison
+quarantined exactly once, parity with the clean serial baseline) become
+regression-checkable numbers alongside the speedups.
 """
 
 from __future__ import annotations
@@ -20,14 +27,20 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.farm.manifest import Manifest
 from repro.farm.merge import merge_results, sink_counts
 from repro.farm.scheduler import FarmScheduler
 from repro.farm.store import ResultStore
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+# Fixed drill seed: the injected fault schedule is part of the recorded
+# result, so two bench runs disagree only if recovery itself changed.
+DEFAULT_CHAOS_SEED = 20260808
+CHAOS_SLICE = 6         # scenario jobs in the drill manifest (keeps the
+                        # subprocess kill/resume cycle a few seconds)
 
 
 def _parity_row(result: Dict) -> Dict:
@@ -39,10 +52,12 @@ def _parity_row(result: Dict) -> Dict:
 class FarmBench:
     """Measures farm wall clocks and validates serial/parallel parity."""
 
-    def __init__(self, workers: int = 4, manifest: Manifest = None) -> None:
+    def __init__(self, workers: int = 4, manifest: Manifest = None,
+                 chaos_seed: Optional[int] = DEFAULT_CHAOS_SEED) -> None:
         self.workers = max(2, workers)
         self.manifest = manifest if manifest is not None \
             else Manifest.builtin()
+        self.chaos_seed = chaos_seed    # None skips the recovery drill
 
     def _measure(self, workers: int, store: ResultStore,
                  resume: bool) -> Dict:
@@ -97,6 +112,34 @@ class FarmBench:
             "resume_speedup": (serial_wall / resumed["wall_seconds"]
                                if resumed["wall_seconds"] else 0.0),
             "parity": {"identical": identical, "apps": apps},
+            "chaos": self._chaos_drill(),
+        }
+
+    def _chaos_drill(self) -> Optional[Dict]:
+        """Kill/tear/resume over a scenario slice; record the verdict."""
+        if self.chaos_seed is None:
+            return None
+        from repro.farm.chaos import run_chaos_harness
+
+        jobs = [spec for spec in self.manifest
+                if spec.kind == "scenario"][:CHAOS_SLICE]
+        if len(jobs) < 2:   # need a poison target *and* a survivor
+            return None
+        drill = Manifest(jobs=jobs)
+        with tempfile.TemporaryDirectory() as out:
+            report = run_chaos_harness(drill, seed=self.chaos_seed,
+                                       out_dir=out, workers=2)
+        stats = report.stats
+        return {
+            "seed": self.chaos_seed,
+            "jobs": len(drill),
+            "recovered": report.ok,
+            "invariants": dict(report.invariants),
+            "failures": list(report.failures),
+            "injected": stats.get("chaos", {}),
+            "health": stats.get("health", {}),
+            "outcomes": stats.get("outcomes", {}),
+            "resumed_from_cache": stats.get("resumed_from_cache", 0),
         }
 
 

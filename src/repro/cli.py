@@ -120,6 +120,22 @@ def _build_parser() -> argparse.ArgumentParser:
     farm.add_argument("--budget", type=int, default=2_000_000,
                       help="instruction budget per job before the "
                            "watchdog fires (default 2,000,000)")
+    farm.add_argument("--deadline", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="per-job wall-clock deadline; a worker past "
+                           "it is SIGKILLed and the job retried "
+                           "(default 0 = no deadline)")
+    farm.add_argument("--max-retries", type=int, default=2,
+                      help="requeue a job whose worker died/hung up to "
+                           "N times with backoff+jitter (default 2)")
+    farm.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                      help="run the chaos harness instead of a plain "
+                           "farm run: inject worker kills/SIGSTOPs, "
+                           "SIGKILL the scheduler mid-run, tear a "
+                           "result file, resume, and verify the "
+                           "recovery invariants")
+    farm.add_argument("--chaos-inject", type=int, default=None,
+                      metavar="SEED", help=argparse.SUPPRESS)
 
     run = subparsers.add_parser(
         "run", help="run one scenario and write an artifact directory")
@@ -326,9 +342,9 @@ def _command_supervise(args) -> int:
 
 def _command_farm(args) -> int:
     import os
-    from repro.farm import (FarmScheduler, Manifest, ResultStore,
-                            merge_results, render_farm_report,
-                            write_farm_artifacts)
+    from repro.farm import (ChaosMonkey, FarmInterrupted, FarmScheduler,
+                            Manifest, ResultStore, merge_results,
+                            render_farm_report, write_farm_artifacts)
     try:
         manifest = Manifest.load(args.manifest, trace=args.trace) \
             if args.manifest == "builtin" else Manifest.load(args.manifest)
@@ -338,18 +354,43 @@ def _command_farm(args) -> int:
     if not len(manifest):
         print("manifest holds no jobs", file=sys.stderr)
         return 2
+    if args.chaos is not None:
+        return _command_farm_chaos(args, manifest)
     store = ResultStore(os.path.join(args.out, "cache"))
-    scheduler = FarmScheduler(manifest, workers=args.workers, store=store,
-                              resume=args.resume, budget=args.budget)
-    results = scheduler.run()
+    chaos = None
+    if args.chaos_inject is not None:
+        chaos = ChaosMonkey.for_manifest(manifest, args.chaos_inject)
+    scheduler = FarmScheduler(
+        manifest, workers=args.workers, store=store, resume=args.resume,
+        budget=args.budget, deadline=args.deadline or None,
+        max_retries=args.max_retries, chaos=chaos,
+        run_dir=os.path.join(args.out, "runstate"))
+    try:
+        results = scheduler.run()
+    except FarmInterrupted as drained:
+        print(f"interrupted: {drained} — journaled, workers reaped; "
+              f"re-run with --resume to finish", file=sys.stderr)
+        return 130
     report = merge_results(results, workers=args.workers,
                            wall_seconds=scheduler.wall_seconds,
-                           cached_jobs=scheduler.cached_jobs)
+                           cached_jobs=scheduler.cached_jobs,
+                           health=scheduler.health.summary())
     write_farm_artifacts(report, args.out)
     print(render_farm_report(report), end="")
     print(f"wrote {args.out}/{{farm.json, report.txt, jobs/, merged/}}")
     lost = report.outcomes.get("lost", 0)
     return 1 if lost else 0
+
+
+def _command_farm_chaos(args, manifest) -> int:
+    from repro.farm.chaos import render_chaos_report, run_chaos_harness
+    report = run_chaos_harness(
+        manifest, seed=args.chaos, out_dir=args.out,
+        workers=max(2, args.workers), budget=args.budget,
+        deadline=args.deadline or 10.0, max_retries=max(3, args.max_retries))
+    print(render_chaos_report(report), end="")
+    print(f"wrote {args.out}/chaos.json")
+    return 0 if report.ok else 1
 
 
 def _command_run(args) -> int:

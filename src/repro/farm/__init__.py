@@ -2,22 +2,37 @@
 
 The paper's Section III study covers hundreds of thousands of apps; one
 in-process loop does not scale past a demo.  The farm splits a corpus
-manifest into content-digest-keyed jobs, dispatches them to a
-``multiprocessing`` worker pool (each job supervised, so a hostile app
-is a recorded outcome, not a dead farm), caches results by digest so an
+manifest into content-digest-keyed jobs, dispatches them to a pool of
+directly-forked workers (each job supervised, so a hostile app is a
+recorded outcome, not a dead farm), caches results by digest so an
 unchanged corpus re-runs near-free, and merges the per-worker artifacts
 — metrics snapshots, provenance traces, crash tombstones — into one
 farm-level report.
 
+At fleet scale the failures are the workload, so the farm is built to be
+killed: workers heartbeat (hung != dead != busy), struck jobs retry with
+jittered backoff, a job that keeps killing workers is quarantined as
+``poison`` exactly once, every state transition is fsync'd to a
+write-ahead journal before it takes effect, and results commit with
+power-loss-safe writes — SIGKILL the scheduler itself and ``--resume``
+completes the run with no lost jobs, no duplicates, no corrupt store.
+``repro farm --chaos SEED`` proves all of that on demand.
+
 Layers::
 
     Manifest (manifest.py)   what to run, digest-keyed JobSpecs
-    FarmScheduler (scheduler.py)  shard -> dispatch -> cache -> collect
+    FarmScheduler (scheduler.py)  dispatch -> retry/quarantine -> collect
     execute_job (worker.py)  one supervised job, JSON-able result
-    ResultStore (store.py)   digest-addressed result cache
-    merge_results (merge.py) summed metrics, tombstones, report text
+    WorkerPool (health.py)   fork, heartbeat, hung-vs-dead, reclaim
+    RunJournal (journal.py)  crash-consistent WAL of job transitions
+    ResultStore (store.py)   digest-addressed fsync'd result cache
+    ChaosMonkey (chaos.py)   deterministic fault injection + harness
+    merge_results (merge.py) summed metrics, tombstones, health, report
 """
 
+from repro.farm.chaos import ChaosMonkey, ChaosReport, run_chaos_harness
+from repro.farm.health import HealthStats, WorkerPool
+from repro.farm.journal import RunJournal, replay, verify_journal
 from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
 from repro.farm.merge import (
     FarmReport,
@@ -26,21 +41,30 @@ from repro.farm.merge import (
     sink_counts,
     write_farm_artifacts,
 )
-from repro.farm.scheduler import FarmScheduler, run_farm
+from repro.farm.scheduler import FarmInterrupted, FarmScheduler, run_farm
 from repro.farm.store import ResultStore
 from repro.farm.worker import execute_job
 
 __all__ = [
     "FARM_SCHEMA_VERSION",
+    "ChaosMonkey",
+    "ChaosReport",
+    "FarmInterrupted",
     "FarmReport",
     "FarmScheduler",
+    "HealthStats",
     "JobSpec",
     "Manifest",
     "ResultStore",
+    "RunJournal",
+    "WorkerPool",
     "execute_job",
     "merge_results",
     "render_farm_report",
+    "replay",
+    "run_chaos_harness",
     "run_farm",
     "sink_counts",
+    "verify_journal",
     "write_farm_artifacts",
 ]

@@ -39,6 +39,9 @@ class FarmReport:
     merged_metrics: Dict = field(default_factory=dict)
     outcomes: Dict[str, int] = field(default_factory=dict)
     tombstones: List[Tuple[str, Dict]] = field(default_factory=list)
+    # Scheduler fault-tolerance summary (HealthStats.summary()):
+    # reclaims, retries, quarantines, mean time to reclaim.
+    health: Dict = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -76,6 +79,7 @@ class FarmReport:
             "merged_metrics": dict(self.merged_metrics),
             "tombstones": [{"job": job_id, **tombstone}
                            for job_id, tombstone in self.tombstones],
+            "health": dict(self.health),
         }
 
 
@@ -91,7 +95,8 @@ def merge_metrics(results: List[Dict]) -> Dict:
 
 def merge_results(results: List[Dict], workers: int = 1,
                   wall_seconds: float = 0.0,
-                  cached_jobs: int = 0) -> FarmReport:
+                  cached_jobs: int = 0,
+                  health: Optional[Dict] = None) -> FarmReport:
     outcomes: Dict[str, int] = {}
     tombstones: List[Tuple[str, Dict]] = []
     for result in results:
@@ -101,7 +106,8 @@ def merge_results(results: List[Dict], workers: int = 1,
     return FarmReport(results=results, workers=workers,
                       wall_seconds=wall_seconds, cached_jobs=cached_jobs,
                       merged_metrics=merge_metrics(results),
-                      outcomes=outcomes, tombstones=tombstones)
+                      outcomes=outcomes, tombstones=tombstones,
+                      health=dict(health or {}))
 
 
 def render_farm_report(report: FarmReport) -> str:
@@ -112,8 +118,17 @@ def render_farm_report(report: FarmReport) -> str:
              f"  wall:    {report.wall_seconds:.2f}s",
              f"  outcomes: " + ", ".join(
                  f"{name}={count}"
-                 for name, count in sorted(report.outcomes.items())),
-             "",
+                 for name, count in sorted(report.outcomes.items()))]
+    if report.health and report.health.get("workers_reclaimed"):
+        lines.append(
+            f"  health:  reclaimed={report.health['workers_reclaimed']} "
+            f"(died={report.health.get('worker_deaths', 0)} "
+            f"hung={report.health.get('hung_workers', 0)} "
+            f"deadline={report.health.get('deadline_kills', 0)}) "
+            f"retries={report.health.get('retries', 0)} "
+            f"poison={report.health.get('poison_quarantined', 0)} "
+            f"mttr={report.health.get('mean_time_to_reclaim_seconds', 0):.3f}s")
+    lines += ["",
              f"  {'job':<30} {'status':<9} {'leaks':>5} "
              f"{'write':>6} {'send':>5} {'sendto':>7} "
              f"{'degraded':>9}  destinations"]

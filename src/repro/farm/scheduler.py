@@ -1,57 +1,134 @@
-"""The farm scheduler: shard, dispatch, cache, and never lose a job.
+"""The farm scheduler: shard, dispatch, supervise, journal — never lose a job.
 
 ``workers=1`` executes inline in this process — that *is* the serial
 baseline the parity tests and the bench compare against, not a special
-case bolted on.  ``workers>1`` dispatches to a ``multiprocessing`` pool
-(fork start method where available, so workers inherit the loaded
-modules instead of re-importing).  Dispatch is dynamic work-stealing:
-the round-robin shards from :meth:`Manifest.shard` are accounting only,
-so one slow job never serialises its shard-mates behind it.
+case bolted on.  ``workers>1`` dispatches to a pool of directly-forked
+workers (:mod:`repro.farm.health`) under full fleet discipline:
 
-Every job ends in exactly one of:
+* **heartbeats** — each worker stamps a per-job heartbeat file; the
+  scheduler distinguishes *hung* (alive, silent — SIGKILL + reclaim)
+  from *dead* (reaped) from *busy* (stamping — leave it alone), and
+  enforces an optional per-job wall-clock ``deadline`` on top of the
+  Supervisor's in-worker instruction budget;
+* **bounded retry with backoff + jitter** — a job whose worker died,
+  hung, or tore its result is requeued up to ``max_retries`` times with
+  exponentially growing, deterministically jittered delays (shared
+  policy: :func:`repro.resilience.backoff.backoff_delay`);
+* **poison quarantine** — a job that kills ``poison_threshold`` workers
+  (counted across scheduler restarts, via the journal) is classified
+  ``poison`` with a tombstone, cached, and never dispatched again: one
+  hostile app costs one classified outcome fleet-wide;
+* **write-ahead journal** — every transition is fsync'd to
+  ``run_dir/journal.jsonl`` *before* it takes effect, and workers commit
+  results with crash-consistent store writes, so SIGKILLing the
+  scheduler itself mid-run and re-running with ``resume=True`` completes
+  exactly: no lost jobs, no duplicate records, no corrupt store;
+* **clean drain** — SIGTERM/``KeyboardInterrupt`` journals in-flight
+  jobs as ``interrupted``, SIGKILLs the pool (no leaked forks), and
+  raises :class:`FarmInterrupted` for the CLI to exit nonzero.
 
-* a **cached** result — ``resume=True`` and the result store already
-  holds this content digest;
-* a **worker result** — whatever :func:`execute_job` classified
-  (``ok``/``degraded``/``crashed``/``timeout``), stored under the digest;
-* a **lost** result — the worker process itself died (the pool broke
-  under it); synthesized here so the merged report still accounts for
-  the job.  Lost results are never cached.
+Every job ends in exactly one of ``cached`` / a worker-classified result
+(``ok``/``degraded``/``crashed``/``timeout``) / ``poison`` / ``lost``
+(retries exhausted below the poison threshold; never cached).
 """
 
 from __future__ import annotations
 
+import heapq
+import os
+import shutil
+import signal
+import tempfile
+import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.farm import worker as worker_module
+from repro.farm.health import (
+    HEARTBEAT_INTERVAL,
+    HealthStats,
+    WorkerHandle,
+    WorkerPool,
+)
+from repro.farm.journal import RunJournal, replay
 from repro.farm.manifest import JobSpec, Manifest
-from repro.farm.store import ResultStore
-from repro.farm.worker import DEFAULT_BUDGET, execute_job
+from repro.farm.store import ResultStore, atomic_write_json, read_verified_json
+from repro.farm.worker import DEFAULT_BUDGET
+from repro.resilience.backoff import backoff_delay, jitter_rng
 
 STATUS_LOST = "lost"
+STATUS_POISON = "poison"
+STATUS_INTERRUPTED = "interrupted"
 
 # Statuses worth replaying from cache on --resume.  Crashes/timeouts are
-# deterministic under a fixed spec, so they cache too; only a lost
-# worker (environmental) must re-run.
-CACHEABLE = ("ok", "degraded", "crashed", "timeout")
+# deterministic under a fixed spec, so they cache too, and a poison
+# verdict is the whole point of quarantine (classified exactly once);
+# only a lost worker (environmental) must re-run.
+CACHEABLE = ("ok", "degraded", "crashed", "timeout", "poison")
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_POISON_THRESHOLD = 3
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_JITTER = 0.5
 
 
-def _lost_result(spec: JobSpec, error: BaseException,
-                 elapsed: float) -> Dict:
+class FarmInterrupted(RuntimeError):
+    """A clean drain: the run was interrupted, in-flight jobs journaled."""
+
+    def __init__(self, in_flight: List[str]) -> None:
+        jobs = ", ".join(in_flight) if in_flight else "none in flight"
+        super().__init__(f"farm run interrupted ({jobs})")
+        self.in_flight = in_flight
+
+
+def _base_row(spec: JobSpec, status: str, error: str, elapsed: float,
+              attempts: int, tombstone: Optional[Dict]) -> Dict:
     return {
         "job": spec.to_dict(),
         "digest": spec.digest(),
-        "status": STATUS_LOST,
-        "attempts": 1,
+        "status": status,
+        "attempts": attempts,
         "degraded_events": 0,
         "quarantined_hooks": [],
         "injected_faults": [],
-        "error": f"worker lost: {type(error).__name__}: {error}",
-        "tombstone": None,
+        "error": error,
+        "tombstone": tombstone,
         "elapsed_seconds": elapsed,
         "metrics": {},
         "leaks": [],
     }
+
+
+def _lost_result(spec: JobSpec, error, elapsed: float,
+                 attempts: int = 1) -> Dict:
+    if isinstance(error, BaseException):
+        message = f"worker lost: {type(error).__name__}: {error}"
+    else:
+        message = f"worker lost: {error}"
+    return _base_row(spec, STATUS_LOST, message, elapsed, attempts,
+                     tombstone=None)
+
+
+def _poison_result(spec: JobSpec, strikes: int, reasons: List[str],
+                   elapsed: float, attempts: int) -> Dict:
+    message = (f"poison job: killed {strikes} workers "
+               f"({', '.join(reasons)})")
+    tombstone = {
+        "error_type": "PoisonJob",
+        "error_message": message,
+        "strikes": strikes,
+        "strike_reasons": list(reasons),
+    }
+    return _base_row(spec, STATUS_POISON, message, elapsed, attempts,
+                     tombstone=tombstone)
+
+
+def _interrupted_result(spec: JobSpec, elapsed: float,
+                        attempts: int) -> Dict:
+    return _base_row(spec, STATUS_INTERRUPTED,
+                     "run interrupted while job was in flight",
+                     elapsed, attempts, tombstone=None)
 
 
 class FarmScheduler:
@@ -59,14 +136,31 @@ class FarmScheduler:
 
     def __init__(self, manifest: Manifest, workers: int = 1,
                  store: Optional[ResultStore] = None, resume: bool = False,
-                 budget: Optional[int] = DEFAULT_BUDGET) -> None:
+                 budget: Optional[int] = DEFAULT_BUDGET,
+                 deadline: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 run_dir: Optional[str] = None, chaos=None,
+                 metrics=None) -> None:
         self.manifest = manifest
         self.workers = max(1, workers)
         self.store = store
         self.resume = resume and store is not None
         self.budget = budget
+        self.deadline = deadline
+        self.max_retries = max(0, max_retries)
+        self.poison_threshold = max(1, poison_threshold)
+        self.heartbeat_interval = heartbeat_interval
+        self.run_dir = run_dir
+        self.chaos = chaos
+        self.health = HealthStats()
+        if metrics is not None:
+            self.health.register_metrics(metrics)
         self.cached_jobs = 0
         self.wall_seconds = 0.0
+        self._strikes: Dict[str, int] = {}
+        self._strike_reasons: Dict[str, List[str]] = {}
 
     # -- dispatch -------------------------------------------------------------
 
@@ -76,25 +170,74 @@ class FarmScheduler:
         pending: List[int] = []
         self.cached_jobs = 0
 
+        run_dir = self.run_dir or tempfile.mkdtemp(prefix="repro-farm-run-")
+        os.makedirs(run_dir, exist_ok=True)
+        journal = RunJournal(os.path.join(run_dir, "journal.jsonl"))
+        if self.resume:
+            # Strike counts survive scheduler death: a poison job that
+            # killed two workers before the scheduler was SIGKILLed is
+            # one strike from quarantine, not three.
+            state = replay(journal.path)
+            self._strikes = {digest: ledger.strikes
+                            for digest, ledger in state.jobs.items()
+                            if ledger.strikes}
+        journal.record("run_start", resume=self.resume,
+                       workers=self.workers, jobs=len(self.manifest),
+                       pid=os.getpid())
+
         for index, spec in enumerate(self.manifest):
             cached = self._from_cache(spec)
             if cached is not None:
                 cached["cached"] = True
                 results[index] = cached
                 self.cached_jobs += 1
+                journal.record("cached", digest=spec.digest(), id=spec.id,
+                               status=cached.get("status"))
             else:
                 pending.append(index)
 
-        if pending:
-            if self.workers == 1:
-                self._run_inline(pending, results)
-            else:
-                self._run_pool(pending, results)
+        previous_sigterm = self._install_sigterm()
+        try:
+            if pending:
+                if self.workers == 1:
+                    self._run_inline(pending, results, journal)
+                else:
+                    self._run_pool(pending, results, journal, run_dir)
+            journal.record("run_end", jobs=len(self.manifest))
+        finally:
+            self._restore_sigterm(previous_sigterm)
+            journal.close()
+            if self.run_dir is None:
+                shutil.rmtree(run_dir, ignore_errors=True)
 
         for result in results:
             result.setdefault("cached", False)
         self.wall_seconds = time.perf_counter() - start
         return results  # type: ignore[return-value]
+
+    # -- signals --------------------------------------------------------------
+
+    @staticmethod
+    def _install_sigterm():
+        """SIGTERM drains exactly like ^C (only from the main thread)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        def raise_interrupt(signum, frame):
+            raise KeyboardInterrupt(f"signal {signum}")
+        try:
+            return signal.signal(signal.SIGTERM, raise_interrupt)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return None
+
+    @staticmethod
+    def _restore_sigterm(previous) -> None:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    # -- cache ----------------------------------------------------------------
 
     def _from_cache(self, spec: JobSpec) -> Optional[Dict]:
         if not self.resume:
@@ -109,50 +252,221 @@ class FarmScheduler:
             self.store.put(spec.digest(), result)
         return result
 
+    # -- inline (serial baseline) ---------------------------------------------
+
     def _run_inline(self, pending: List[int],
-                    results: List[Optional[Dict]]) -> None:
+                    results: List[Optional[Dict]], journal: RunJournal) -> None:
         jobs = self.manifest.jobs
         for index in pending:
             spec = jobs[index]
-            results[index] = self._record(
-                spec, execute_job(spec.to_dict(), budget=self.budget))
+            digest = spec.digest()
+            journal.record("dispatched", digest=digest, id=spec.id,
+                           attempt=1, pid=os.getpid())
+            job_start = time.perf_counter()
+            try:
+                result = worker_module.execute_job(spec.to_dict(),
+                                                   budget=self.budget)
+            except KeyboardInterrupt:
+                journal.record("interrupted", digest=digest, id=spec.id,
+                               attempt=1)
+                self.health.interrupted_jobs += 1
+                results[index] = _interrupted_result(
+                    spec, time.perf_counter() - job_start, attempts=1)
+                raise FarmInterrupted([spec.id]) from None
+            results[index] = self._record(spec, result)
+            journal.record("done", digest=digest, id=spec.id, attempt=1,
+                           status=result.get("status"))
 
-    def _run_pool(self, pending: List[int],
-                  results: List[Optional[Dict]]) -> None:
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
+    # -- pool (fleet mode) ----------------------------------------------------
 
+    def _result_sink(self, run_dir: str, digest: str
+                     ) -> Tuple[str, Callable[[Dict], None]]:
+        """Where a worker commits its result and how the parent reads it.
+
+        With a store, the worker commits straight into it (the atomic
+        fsync'd write *is* the transaction — scheduler death after the
+        commit costs nothing).  Without one, results spool into the run
+        directory with the same crash-consistent write.
+        """
+        if self.store is not None:
+            path = os.path.join(self.store.directory, f"{digest}.json")
+            return path, (lambda result: self.store.put(digest, result))
+        spool = os.path.join(run_dir, "spool")
+        os.makedirs(spool, exist_ok=True)
+        path = os.path.join(spool, f"{digest}.json")
+        return path, (lambda result: atomic_write_json(path, result))
+
+    def _read_result(self, path: str, digest: str) -> Optional[Dict]:
+        if self.store is not None:
+            return self.store.get(digest)   # drops torn entries itself
+        result = read_verified_json(path, digest=digest)
+        if result is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return result
+
+    def _run_pool(self, pending: List[int], results: List[Optional[Dict]],
+                  journal: RunJournal, run_dir: str) -> None:
         jobs = self.manifest.jobs
+        pool = WorkerPool(hb_dir=os.path.join(run_dir, "hb"),
+                          interval=self.heartbeat_interval)
+        queue = deque(pending)
+        retries: List = []              # heap of (eligible_monotonic, index)
+        attempts: Dict[int, int] = {}
+        result_paths: Dict[str, str] = {}
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX hosts
-            context = multiprocessing.get_context()
-        start = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=self.workers,
-                                 mp_context=context) as pool:
-            futures = {index: pool.submit(execute_job,
-                                          jobs[index].to_dict(),
-                                          self.budget)
-                       for index in pending}
-            for index, future in futures.items():
-                spec = jobs[index]
-                try:
-                    result = future.result()
-                except Exception as error:
-                    result = _lost_result(spec, error,
-                                          time.perf_counter() - start)
-                results[index] = self._record(spec, result)
+            while queue or retries or pool.live:
+                now = time.monotonic()
+                while retries and retries[0][0] <= now:
+                    __, index = heapq.heappop(retries)
+                    queue.append(index)
+                progressed = self._spawn_ready(queue, pool, attempts,
+                                               journal, run_dir,
+                                               result_paths)
+                progressed |= self._collect(pool, results, journal,
+                                            retries, attempts, result_paths)
+                progressed |= self._reclaim_unhealthy(
+                    pool, results, journal, retries, attempts)
+                if not progressed:
+                    time.sleep(min(self.heartbeat_interval / 4, 0.01))
+        except KeyboardInterrupt:
+            in_flight = sorted(handle.job_id
+                               for handle in pool.live.values())
+            for handle in sorted(pool.live.values(),
+                                 key=lambda h: h.index):
+                journal.record("interrupted", digest=handle.digest,
+                               id=handle.job_id, attempt=handle.attempt)
+                self.health.interrupted_jobs += 1
+                results[handle.index] = _interrupted_result(
+                    jobs[handle.index], handle.runtime(time.monotonic()),
+                    attempts=handle.attempt)
+            raise FarmInterrupted(in_flight) from None
+        finally:
+            pool.kill_all()
+
+    def _spawn_ready(self, queue, pool: WorkerPool, attempts: Dict[int, int],
+                     journal: RunJournal, run_dir: str,
+                     result_paths: Dict[str, str]) -> bool:
+        jobs = self.manifest.jobs
+        progressed = False
+        while queue and len(pool.live) < self.workers:
+            index = queue.popleft()
+            spec = jobs[index]
+            digest = spec.digest()
+            attempts[index] = attempts.get(index, 0) + 1
+            path, commit = self._result_sink(run_dir, digest)
+            result_paths[digest] = path
+            handle = pool.spawn(spec.to_dict(), self.budget, index, digest,
+                                spec.id, attempts[index], commit)
+            journal.record("dispatched", digest=digest, id=spec.id,
+                           attempt=attempts[index], pid=handle.pid)
+            if self.chaos is not None:
+                self.chaos.on_spawn(handle)
+            progressed = True
+        return progressed
+
+    def _collect(self, pool: WorkerPool, results, journal: RunJournal,
+                 retries, attempts, result_paths) -> bool:
+        progressed = False
+        for handle, status in pool.reap():
+            progressed = True
+            if status == 0:
+                path = result_paths.get(handle.digest, "")
+                if self.chaos is not None:
+                    self.chaos.on_commit(handle, path)
+                result = self._read_result(path, handle.digest)
+                if result is None:
+                    self.health.torn_results += 1
+                    self._strike(handle, "torn-result", results, journal,
+                                 retries, attempts)
+                    continue
+                results[handle.index] = result
+                journal.record("done", digest=handle.digest,
+                               id=handle.job_id, attempt=handle.attempt,
+                               status=result.get("status"))
+            else:
+                self.health.worker_deaths += 1
+                self.health.record_reclaim(
+                    handle.heartbeat_age(time.time()))
+                cause = (f"worker died (signal {-status})" if status < 0
+                         else f"worker died (exit {status})")
+                self._strike(handle, cause, results, journal, retries,
+                             attempts)
+        return progressed
+
+    def _reclaim_unhealthy(self, pool: WorkerPool, results,
+                           journal: RunJournal, retries,
+                           attempts) -> bool:
+        progressed = False
+        now_wall = time.time()
+        for handle in pool.overdue(self.deadline):
+            progressed = True
+            self.health.deadline_kills += 1
+            self.health.record_reclaim(handle.heartbeat_age(now_wall))
+            pool.kill(handle)
+            self._strike(handle, f"deadline ({self.deadline:.1f}s) exceeded",
+                         results, journal, retries, attempts)
+        for handle in pool.hung(now_wall):
+            progressed = True
+            self.health.hung_workers += 1
+            self.health.record_reclaim(handle.heartbeat_age(now_wall))
+            pool.kill(handle)
+            self._strike(handle, "hung (heartbeats missed)", results,
+                         journal, retries, attempts)
+        return progressed
+
+    # -- failure policy -------------------------------------------------------
+
+    def _strike(self, handle: WorkerHandle, reason: str, results,
+                journal: RunJournal, retries, attempts) -> None:
+        spec = self.manifest.jobs[handle.index]
+        digest = handle.digest
+        strikes = self._strikes.get(digest, 0) + 1
+        self._strikes[digest] = strikes
+        reasons = self._strike_reasons.setdefault(digest, [])
+        reasons.append(reason)
+        journal.record("strike", digest=digest, id=handle.job_id,
+                       attempt=handle.attempt, reason=reason,
+                       strikes=strikes)
+        elapsed = handle.runtime(time.monotonic())
+        if strikes >= self.poison_threshold:
+            row = _poison_result(spec, strikes, reasons, elapsed,
+                                 attempts=handle.attempt)
+            journal.record("poison", digest=digest, id=handle.job_id,
+                           strikes=strikes)
+            self.health.poison_quarantined += 1
+            results[handle.index] = self._record(spec, row)
+        elif handle.attempt >= 1 + self.max_retries:
+            row = _lost_result(spec, reason, elapsed,
+                               attempts=handle.attempt)
+            journal.record("lost", digest=digest, id=handle.job_id,
+                           attempt=handle.attempt, reason=reason)
+            self.health.lost_jobs += 1
+            results[handle.index] = row       # lost is never cached
+        else:
+            delay = backoff_delay(handle.attempt, base=RETRY_BACKOFF_BASE,
+                                  jitter=RETRY_BACKOFF_JITTER,
+                                  rng=jitter_rng(digest, handle.attempt))
+            journal.record("retry", digest=digest, id=handle.job_id,
+                           next_attempt=handle.attempt + 1, delay=delay)
+            self.health.retries += 1
+            heapq.heappush(retries, (time.monotonic() + delay,
+                                     handle.index))
 
 
 def run_farm(manifest: Manifest, workers: int = 1,
              store: Optional[ResultStore] = None, resume: bool = False,
-             budget: Optional[int] = DEFAULT_BUDGET):
+             budget: Optional[int] = DEFAULT_BUDGET, **scheduler_options):
     """Convenience wrapper: schedule, run, merge; returns a FarmReport."""
     from repro.farm.merge import merge_results
 
     scheduler = FarmScheduler(manifest, workers=workers, store=store,
-                              resume=resume, budget=budget)
+                              resume=resume, budget=budget,
+                              **scheduler_options)
     results = scheduler.run()
     return merge_results(results, workers=workers,
                          wall_seconds=scheduler.wall_seconds,
-                         cached_jobs=scheduler.cached_jobs)
+                         cached_jobs=scheduler.cached_jobs,
+                         health=scheduler.health.summary())

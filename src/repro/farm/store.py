@@ -2,16 +2,76 @@
 
 One JSON file per result, named by the job's content digest.  A farm run
 with ``--resume`` consults the store before dispatching: a hit replays
-the recorded result without building a platform at all.  Writes go
-through a temp-file rename so a worker killed mid-write never leaves a
-truncated entry behind (a partial file would poison every later resume).
+the recorded result without building a platform at all.
+
+Writes are **crash-consistent**, not merely atomic-looking: the temp
+file is fsync'd before the rename and the directory entry is fsync'd
+after it, so a result that :meth:`put` returned from survives a
+power-loss-style SIGKILL of the writer (farm workers commit their own
+results and are chaos-killed on purpose).  Reads are **verified**: a
+truncated or bit-damaged entry — and an entry whose recorded job digest
+does not match its filename — is dropped and treated as a cache miss,
+so the job re-runs instead of resuming from damage.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory entry table to disk (best-effort off POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: Dict) -> None:
+    """Commit ``payload`` at ``path`` so it is either absent or whole.
+
+    write temp -> fsync temp -> rename -> fsync directory: the sequence
+    a kill at any point leaves either no file, the old file, or the new
+    complete file — never a torn one.  (A torn file can still *appear*
+    if something truncates the committed entry afterwards; readers guard
+    against that separately.)
+    """
+    temp = f"{path}.tmp.{os.getpid()}"
+    with open(temp, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    fsync_directory(os.path.dirname(path) or ".")
+
+
+def read_verified_json(path: str, digest: Optional[str] = None
+                       ) -> Optional[Dict]:
+    """Load a committed result, or ``None`` if missing/torn/mismatched.
+
+    When ``digest`` is given and the payload records a ``digest`` field,
+    the two must agree — a partial overwrite that still parses as JSON
+    (or a file renamed under the wrong key) reads as damage, not data.
+    """
+    try:
+        with open(path) as handle:
+            result = json.load(handle)
+    except (FileNotFoundError, ValueError, OSError):
+        return None
+    if not isinstance(result, dict):
+        return None
+    if digest is not None and result.get("digest") not in (None, digest):
+        return None
+    return result
 
 
 class ResultStore:
@@ -35,15 +95,13 @@ class ResultStore:
 
     def get(self, digest: str) -> Optional[Dict]:
         path = self._path(digest)
-        try:
-            with open(path) as handle:
-                result = json.load(handle)
-        except FileNotFoundError:
+        if not os.path.exists(path):
             self.misses += 1
             return None
-        except (ValueError, OSError):
-            # Corrupt entry: drop it and treat as a miss so the job
-            # re-runs instead of resuming from damage.
+        result = read_verified_json(path, digest=digest)
+        if result is None:
+            # Corrupt or mismatched entry: drop it and treat as a miss
+            # so the job re-runs instead of resuming from damage.
             self.misses += 1
             try:
                 os.unlink(path)
@@ -54,14 +112,25 @@ class ResultStore:
         return result
 
     def put(self, digest: str, result: Dict) -> None:
-        path = self._path(digest)
-        temp = f"{path}.tmp.{os.getpid()}"
-        with open(temp, "w") as handle:
-            json.dump(result, handle)
-            handle.write("\n")
-        os.replace(temp, path)
+        atomic_write_json(self._path(digest), result)
 
     def digests(self) -> List[str]:
         return sorted(name[:-len(".json")]
                       for name in os.listdir(self.directory)
                       if name.endswith(".json"))
+
+    def verify(self) -> Tuple[List[str], List[str]]:
+        """Audit every entry; returns ``(good_digests, bad_digests)``.
+
+        Non-destructive (unlike :meth:`get`, which drops damage on
+        read): the chaos harness runs this after recovery to prove the
+        store holds only whole, correctly-keyed results.
+        """
+        good: List[str] = []
+        bad: List[str] = []
+        for digest in self.digests():
+            if read_verified_json(self._path(digest), digest=digest) is None:
+                bad.append(digest)
+            else:
+                good.append(digest)
+        return good, bad

@@ -113,6 +113,11 @@ def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
     start = time.perf_counter()
     try:
         result = supervisor.run(spec.id, analysis, plan=plan)
+    except (KeyboardInterrupt, SystemExit):
+        # Not this job's fault: the scheduler is draining (inline mode)
+        # or the worker process is being told to die — let it unwind so
+        # the job is journaled ``interrupted``, not mis-tombstoned.
+        raise
     except BaseException as error:  # escaped the supervisor: tombstone it
         report = CrashReport.capture(label=spec.id, error=error)
         return {

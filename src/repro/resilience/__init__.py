@@ -10,8 +10,13 @@ halves of that property:
   failures per analysis: watchdog budget, retry-with-backoff for
   transient faults, outcome classification, and structured
   :mod:`crash reports <repro.resilience.report>`.
+
+:mod:`repro.resilience.backoff` is the shared retry-delay policy — the
+supervisor's in-process retries and the farm scheduler's worker-reclaim
+requeues both draw their exponential-plus-jitter delays from it.
 """
 
+from repro.resilience.backoff import backoff_delay, jitter_rng
 from repro.resilience.faults import (
     ActiveFaultPlan,
     FaultPlan,
@@ -45,5 +50,7 @@ __all__ = [
     "RunContext",
     "SupervisedResult",
     "Supervisor",
+    "backoff_delay",
+    "jitter_rng",
     "parse_fault_spec",
 ]

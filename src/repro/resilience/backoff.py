@@ -1,0 +1,53 @@
+"""One backoff policy for every retry path in the system.
+
+Both retry layers — the :class:`Supervisor`'s in-process transient-fault
+retries and the farm scheduler's worker-reclaim requeues — compute their
+delays here, so the growth curve and the jitter semantics cannot drift
+apart.  Jitter matters at farm scale: a scheduler that reclaims a whole
+batch of workers at once (one bad host event) would otherwise requeue
+them on the exact same schedule and thunder straight back into the same
+contention.
+
+The jitter is *deterministic when the caller wants it to be*: pass an
+``rng`` seeded from stable run state (the farm seeds one per
+``(job digest, attempt)``) and the same failure history replays the same
+delays — which is what makes the chaos harness's recovery runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+DEFAULT_BASE = 0.01
+DEFAULT_FACTOR = 2.0
+
+
+def backoff_delay(attempt: int, base: float = DEFAULT_BASE,
+                  factor: float = DEFAULT_FACTOR, jitter: float = 0.0,
+                  rng: Optional[random.Random] = None) -> float:
+    """Delay before retrying after ``attempt`` failed attempts (1-based).
+
+    The deterministic core is ``base * factor ** (attempt - 1)``; with
+    ``jitter`` > 0 the delay is stretched by up to ``jitter`` of itself
+    (never shrunk below the core value, so backoff stays monotone in
+    expectation and a floor of ``base`` is always respected).
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    delay = base * (factor ** (attempt - 1))
+    if jitter:
+        source = rng if rng is not None else random
+        delay *= 1.0 + jitter * source.random()
+    return delay
+
+
+def jitter_rng(*key) -> random.Random:
+    """A deterministic RNG keyed by stable run state (digest, attempt, …).
+
+    Seeding from the joined string form keeps the stream independent of
+    ``PYTHONHASHSEED`` — the same key yields the same jitter in every
+    process, which the farm's crash-consistent resume relies on.
+    """
+    return random.Random(":".join(str(part) for part in key))

@@ -39,6 +39,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.common.errors import ReproError, TransientSyscallFault
 from repro.core.instruction_tracer import InstructionRingBuffer
+from repro.resilience.backoff import backoff_delay, jitter_rng
 from repro.resilience.faults import ActiveFaultPlan, FaultPlan
 from repro.resilience.report import CrashReport
 
@@ -128,13 +129,20 @@ class Supervisor:
 
     def __init__(self, budget: Optional[int] = 5_000_000,
                  max_retries: int = 3, backoff_base: float = 0.01,
-                 backoff_factor: float = 2.0, ring_capacity: int = 32,
+                 backoff_factor: float = 2.0, backoff_jitter: float = 0.0,
+                 ring_capacity: int = 32,
                  sleep: Callable[[float], None] = time.sleep,
                  metrics=None) -> None:
         self.budget = budget
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_factor = backoff_factor
+        # Jitter stretches each retry delay by up to this fraction of
+        # itself (shared semantics with the farm's requeue path — both
+        # go through repro.resilience.backoff.backoff_delay).  The RNG
+        # is seeded per supervised label, so a given app retries on the
+        # same schedule in every process.
+        self.backoff_jitter = backoff_jitter
         self.ring_capacity = ring_capacity
         self._sleep = sleep
         # Optional MetricsRegistry: supervised-run outcomes become
@@ -158,6 +166,7 @@ class Supervisor:
         active = plan.activate() if plan else None
         delays: List[float] = []
         attempt = 0
+        rng = jitter_rng("supervisor", label)
         self._count("runs")
         while True:
             attempt += 1
@@ -166,10 +175,13 @@ class Supervisor:
                 value = analysis(ctx)
             except TransientSyscallFault as error:
                 if attempt <= self.max_retries:
-                    delay = self.backoff_base * (
-                        self.backoff_factor ** (attempt - 1))
+                    delay = backoff_delay(attempt, base=self.backoff_base,
+                                          factor=self.backoff_factor,
+                                          jitter=self.backoff_jitter,
+                                          rng=rng)
                     delays.append(delay)
                     self._count("retries")
+                    self._rearm(ctx)
                     self._sleep(delay)
                     continue
                 return self._failed(OUTCOME_CRASHED, label, error, ctx,
@@ -183,6 +195,21 @@ class Supervisor:
                 return self._failed(OUTCOME_CRASHED, label, error, ctx,
                                     attempt, delays)
             return self._completed(label, value, ctx, attempt, delays, active)
+
+    @staticmethod
+    def _rearm(ctx: RunContext) -> None:
+        """Re-arm the taint engine's clean-run fast path between attempts.
+
+        Mirror of the farm's between-jobs fix: analyses that reuse a
+        cached platform (or share an engine across attempts) would
+        otherwise start the retry with ``maybe_tainted`` stuck on from
+        the failed attempt, paying instrumented-path cost for a clean
+        re-run.  Safe no-op when the attempt never attached a platform.
+        """
+        ndroid = ctx.ndroid
+        engine = getattr(ndroid, "taint_engine", None) if ndroid else None
+        if engine is not None:
+            engine.rearm_fast_path()
 
     # -- result assembly ------------------------------------------------------
 

@@ -1,0 +1,41 @@
+"""The shared backoff policy (supervisor retries + farm requeues)."""
+
+import pytest
+
+from repro.resilience.backoff import backoff_delay, jitter_rng
+
+
+class TestCore:
+    def test_exponential_growth(self):
+        delays = [backoff_delay(a, base=0.5, factor=2.0)
+                  for a in (1, 2, 3, 4)]
+        assert delays == [0.5, 1.0, 2.0, 4.0]
+
+    def test_attempt_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delay(0)
+
+    def test_zero_jitter_is_exact(self):
+        assert backoff_delay(3, base=0.01) == pytest.approx(0.04)
+
+
+class TestJitter:
+    def test_jitter_stretches_never_shrinks(self):
+        rng = jitter_rng("test", 1)
+        core = backoff_delay(2, base=0.5)
+        for __ in range(50):
+            delay = backoff_delay(2, base=0.5, jitter=0.5, rng=rng)
+            assert core <= delay <= core * 1.5
+
+    def test_same_key_same_delays_across_processes(self):
+        # PYTHONHASHSEED-independent: string-seeded Random, not hash().
+        first = [backoff_delay(a, jitter=1.0, rng=jitter_rng("digest", a))
+                 for a in (1, 2, 3)]
+        second = [backoff_delay(a, jitter=1.0, rng=jitter_rng("digest", a))
+                  for a in (1, 2, 3)]
+        assert first == second
+
+    def test_different_keys_decorrelate(self):
+        a = backoff_delay(1, jitter=1.0, rng=jitter_rng("job-a", 1))
+        b = backoff_delay(1, jitter=1.0, rng=jitter_rng("job-b", 1))
+        assert a != b

@@ -86,6 +86,64 @@ class TestRetryPolicy:
         assert result.injected_faults == ["eintr:sendto"]
 
 
+class TestRetryHygiene:
+    def test_fast_path_rearmed_between_attempts(self):
+        """A retry must not inherit the failed attempt's slow path."""
+        supervisor, __ = make_supervisor()
+        rearms = []
+        engine = SimpleNamespace(rearm_fast_path=lambda: rearms.append(1))
+        attempts = []
+
+        def analysis(ctx):
+            ctx.platform = SimpleNamespace(
+                ndroid=SimpleNamespace(taint_engine=engine,
+                                       degraded_events=0,
+                                       quarantined_hooks=set()))
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientSyscallFault("sendto", 4)
+            return "done"
+
+        result = supervisor.run("app", analysis)
+        assert result.status == OUTCOME_OK
+        assert result.attempts == 3
+        assert len(rearms) == 2  # once before each retry, not after success
+
+    def test_rearm_is_a_noop_without_a_platform(self):
+        supervisor, __ = make_supervisor()
+        calls = []
+
+        def analysis(ctx):
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientSyscallFault("write", 4)
+            return "ok"
+
+        assert supervisor.run("bare", analysis).status == OUTCOME_OK
+
+    def test_jittered_backoff_stays_bounded_and_deterministic(self):
+        def run_once():
+            supervisor, sleeps = make_supervisor(backoff_jitter=0.5)
+            calls = []
+
+            def analysis(ctx):
+                calls.append(1)
+                if len(calls) < 3:
+                    raise TransientSyscallFault("sendto", 4)
+                return "done"
+
+            supervisor.run("jittery", analysis)
+            return sleeps
+
+        first, second = run_once(), run_once()
+        # Deterministic: the RNG is keyed on the supervised label.
+        assert first == second
+        # Bounded: stretched by at most the jitter fraction, never shrunk.
+        for delay, core in zip(first, [0.5, 1.0]):
+            assert core <= delay <= core * 1.5
+        assert first != [0.5, 1.0]  # the jitter actually engaged
+
+
 class TestWatchdog:
     def test_budget_timeout_on_runaway_loop(self):
         supervisor, __ = make_supervisor(budget=500)
