@@ -54,8 +54,15 @@ class EventLog:
         self.maxlen = maxlen
         self._seq = 0
         self._subscribers: List[Callable[[Event], None]] = []
+        # Hot-path callers (the per-crossing JNI emits) guard on this flag
+        # before building the f-string detail and data dict; ``emit`` itself
+        # still honours it so un-guarded callers behave consistently.
+        self.enabled = True
 
     def emit(self, source: str, kind: str, detail: str = "", **data: Any) -> Event:
+        if not self.enabled:
+            # Detached record: not appended, not delivered to subscribers.
+            return Event(source=source, kind=kind, detail=detail, data=data)
         event = Event(source=source, kind=kind, detail=detail, data=data,
                       seq=self._seq)
         self._seq += 1

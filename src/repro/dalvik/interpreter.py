@@ -90,9 +90,21 @@ class Interpreter:
     # -- main loop -----------------------------------------------------------------
 
     def _run(self, frame: Frame) -> Slot:
+        vm = self.vm
+        # Trace-compiled fast path: active when the VM carries a compiler
+        # and no per-instruction listener needs to see every bytecode
+        # (the DroidScope comparator forces the single-step oracle).
+        tbc = vm.tbc
+        if tbc is not None and self.listener is None:
+            return self._run_compiled(frame, tbc)
         method = frame.method
         code = method.code
-        taint_on = self.vm.taint_tracking
+        taint_on = vm.taint_tracking
+        # The provenance ledger is resolved once per frame run, not per
+        # instruction; ``ledger_epoch`` bumps whenever observability
+        # attaches/detaches one, so a cheap int compare re-validates it.
+        ledger = vm._ledger
+        epoch = vm.ledger_epoch
         while True:
             if frame.pc >= len(code):
                 raise DalvikError(
@@ -101,13 +113,42 @@ class Interpreter:
             self.instructions_executed += 1
             if self.listener is not None:
                 self.listener(frame, ins)
+            if epoch != vm.ledger_epoch:
+                ledger = vm._ledger
+                epoch = vm.ledger_epoch
             try:
-                result = self._dispatch(frame, ins, taint_on)
+                result = self._dispatch(frame, ins, taint_on, ledger)
             except PendingException as pending:
                 handler = self._find_handler(method, frame.pc)
                 if handler is None:
                     raise
                 self.vm.caught_exception = pending
+                frame.pc = handler
+                continue
+            if result is not None:
+                return result
+
+    def _run_compiled(self, frame: Frame, tbc) -> Slot:
+        """The block-replay loop: lazily compile, then execute cached blocks.
+
+        Mirrors ``_run``'s exception unwinding exactly; per-block
+        instruction accounting happens inside ``DalvikBlock.execute``.
+        """
+        vm = self.vm
+        method = frame.method
+        blocks = tbc.blocks_for(method)
+        tracking = vm.taint_tracking
+        while True:
+            block = blocks.get(frame.pc)
+            if block is None:
+                block = tbc.compile(method, frame.pc)
+            try:
+                result = block.execute(frame, self, tracking)
+            except PendingException as pending:
+                handler = self._find_handler(method, frame.pc)
+                if handler is None:
+                    raise
+                vm.caught_exception = pending
                 frame.pc = handler
                 continue
             if result is not None:
@@ -122,8 +163,8 @@ class Interpreter:
 
     # -- dispatch ----------------------------------------------------------------------
 
-    def _dispatch(self, frame: Frame, ins: Ins,
-                  taint_on: bool) -> Optional[Slot]:
+    def _dispatch(self, frame: Frame, ins: Ins, taint_on: bool,
+                  ledger=None) -> Optional[Slot]:
         op = ins.op
         vm = self.vm
 
@@ -134,7 +175,6 @@ class Interpreter:
         # -- moves ----------------------------------------------------------
         if op in (Op.MOVE, Op.MOVE_OBJECT):
             taint = frame.get_taint(ins.b) if taint_on else TAINT_CLEAR
-            ledger = getattr(vm, "ledger", None)
             if taint and ledger is not None:
                 ledger.record(taint, "dalvik:move",
                               Loc.dvreg(frame.slot_address(ins.b)),
@@ -146,7 +186,6 @@ class Interpreter:
         if op in (Op.MOVE_RESULT, Op.MOVE_RESULT_OBJECT):
             result = vm.interp_save_state
             taint = result.taint if taint_on else TAINT_CLEAR
-            ledger = getattr(vm, "ledger", None)
             if taint and ledger is not None:
                 ledger.record(taint, "dalvik:move-result",
                               Loc.java(taint),

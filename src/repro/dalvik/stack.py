@@ -53,6 +53,14 @@ class Frame:
         self.register_count = method.registers_size
         self.ref_flags: List[bool] = [False] * self.register_count
         self.pc = 0
+        # Sticky taint flag: becomes True the first time a nonzero taint
+        # tag lands in any register slot and never resets for the frame's
+        # lifetime.  The trace compiler dispatches on it to pick the clean
+        # or tainted block variant (mirroring the TB engine's per-block
+        # ``maybe_tainted`` discipline): False guarantees every taint word
+        # in the frame is zero, so clean variants may skip taint reads and
+        # writes entirely.
+        self.maybe_tainted = False
 
     # -- slot addressing ---------------------------------------------------------
 
@@ -86,12 +94,14 @@ class Frame:
 
     def set(self, register: int, value: int,
             taint: TaintLabel = TAINT_CLEAR, is_ref: bool = False) -> None:
-        self.memory.write_u32(self.slot_address(register),
-                              value & 0xFFFF_FFFF)
-        self.memory.write_u32(self.taint_address(register), taint)
+        if taint:
+            self.maybe_tainted = True
+        self.memory.write_u32x2(self.slot_address(register), value, taint)
         self.ref_flags[register] = is_ref
 
     def set_taint(self, register: int, taint: TaintLabel) -> None:
+        if taint:
+            self.maybe_tainted = True
         self.memory.write_u32(self.taint_address(register), taint)
 
     def add_taint(self, register: int, taint: TaintLabel) -> None:
@@ -141,8 +151,7 @@ class DvmStack:
         self.memory.write_u32(save_area + 8, 0)  # return-taint slot
         frame = Frame(self.memory, fp, method, prev_fp)
         # Zero the slots so stale values/taints never leak between calls.
-        for register in range(method.registers_size):
-            frame.set(register, 0, TAINT_CLEAR, is_ref=False)
+        self.memory.fill(fp, SLOT_SIZE * method.registers_size, 0)
         self.frames.append(frame)
         self._stack_pointer = new_sp
         return frame

@@ -47,8 +47,14 @@ class DalvikVM:
         self.caught_exception: Optional[PendingException] = None
         self.taint_tracking = True
         self.call_bridge: Optional[CallBridge] = None
-        # Provenance ledger (observability); None when not tracing.
-        self.ledger = None
+        # Provenance ledger (observability); None when not tracing.  The
+        # interpreter hoists the lookup out of its dispatch loop and uses
+        # ``ledger_epoch`` to notice attach/detach mid-run.
+        self._ledger = None
+        self.ledger_epoch = 0
+        # Dalvik trace compiler (None = single-step oracle only);
+        # installed by :meth:`enable_trace_compiler`.
+        self.tbc = None
 
         self.heap.set_root_scanner(self._scan_roots)
         self.heap.add_move_listener(self.irt.on_object_moved)
@@ -56,11 +62,38 @@ class DalvikVM:
         self.heap.add_post_gc_hook(self._rebuild_intern_table)
         self._root_frame_slots: List[Tuple[object, int, Slot]] = []
 
+    # -- observability ------------------------------------------------------------
+
+    @property
+    def ledger(self):
+        return self._ledger
+
+    @ledger.setter
+    def ledger(self, value) -> None:
+        self._ledger = value
+        self.ledger_epoch += 1
+
+    # -- trace compilation ---------------------------------------------------------
+
+    def enable_trace_compiler(self) -> None:
+        """Attach the Dalvik trace compiler (lazy per-region compilation)."""
+        if self.tbc is None:
+            from repro.dalvik.tbc import DalvikTraceCompiler
+            self.tbc = DalvikTraceCompiler(self)
+
+    def disable_trace_compiler(self) -> None:
+        """Back to the single-step oracle (differential test harnesses)."""
+        self.tbc = None
+
     # -- classes ------------------------------------------------------------------
 
     def register_class(self, class_def: ClassDef) -> ClassDef:
         self.classes[class_def.name] = class_def
-        return class_def
+        if self.tbc is not None:
+            # Redefinition may replace Method objects mid-run; drop every
+            # compiled block rather than tracking which methods changed.
+            self.tbc.flush()
+        return self.classes[class_def.name]
 
     def class_by_name(self, name: str) -> ClassDef:
         found = self.classes.get(name)

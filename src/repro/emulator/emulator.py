@@ -215,6 +215,19 @@ class Emulator:
 
     # -- instrumentation bookkeeping ------------------------------------------
 
+    def instrumentation_free(self) -> bool:
+        """True when no hook/listener/injector could observe a call.
+
+        The JNI trampoline fast path bypasses the guest-memory marshalling
+        protocol, which is exactly what entry/exit hooks (NDroid) and the
+        per-instruction engines inspect — so it may only be taken when
+        nothing is attached.
+        """
+        return (not self._entry_hooks and not self._exit_hooks
+                and not self._branch_listeners
+                and self._fault_injector is None
+                and not self._per_step_instrumentation)
+
     def _refresh_instrumentation(self) -> None:
         compilers = [tracer for tracer in self._tracers
                      if getattr(tracer, "compiles_to_tb", False)]

@@ -63,6 +63,11 @@ class AndroidPlatform:
         self.libc = CLibrary(self.emu, self.kernel)
         self.libm = MathLibrary(self.emu)
         self.vm = DalvikVM(self.memory, event_log=self.event_log)
+        if use_tb:
+            # The managed side follows the native TB engine's switch: the
+            # same flag selects trace-compiled Dalvik blocks, keeping the
+            # use_tb=False platform a byte-identical single-step oracle.
+            self.vm.enable_trace_compiler()
         self.jni = JniLayer(self.emu, self.vm)
         self.device = device if device is not None else DeviceProfile.default()
         self.leaks = LeakRegistry()

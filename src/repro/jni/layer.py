@@ -47,6 +47,30 @@ _PRIM_TYPE_CHAR = {
 }
 
 
+class _Trampoline:
+    """Per-method compiled JNI call plan (the managed→native twin of a TB).
+
+    Everything ``dvmCallJNIMethod`` re-derives on every crossing — the
+    shorty-driven iref conversion plan, the static receiver handle, the
+    method handle, the return-kind — is resolved once at first call and
+    cached keyed by the :class:`Method`.  ``fast`` is the full
+    marshalling closure used when nothing can observe the guest-memory
+    protocol; the slow path reuses ``prefix``/``arg_refs``/``handle`` so
+    even instrumented crossings skip the per-call recomputation.
+    """
+
+    __slots__ = ("handle", "prefix", "arg_refs", "returns_ref", "fast")
+
+    def __init__(self, handle: int, prefix: Tuple[int, ...],
+                 arg_refs: Tuple[bool, ...], returns_ref: bool,
+                 fast) -> None:
+        self.handle = handle
+        self.prefix = prefix
+        self.arg_refs = arg_refs
+        self.returns_ref = returns_ref
+        self.fast = fast
+
+
 class JniLayer:
     """Owns handles, the env table, and every libdvm host function."""
 
@@ -65,6 +89,10 @@ class JniLayer:
         self.pending_interpret: Optional[Dict] = None
         # The args pointer of the JNI invocation in flight (dvmCallJNIMethod).
         self.current_native_call: Optional[Dict] = None
+        # Per-method compiled call plans; invalidated on RegisterNatives /
+        # UnregisterNatives rebinding (the closures also re-read
+        # ``native_address`` per call, so a stale entry is never wrong).
+        self._trampolines: Dict[Method, _Trampoline] = {}
 
         self._register_internals()
         self._register_env_table()
@@ -178,39 +206,102 @@ class JniLayer:
 
     # -------------------------------------------------- Java -> native (entry)
 
+    def _compile_trampoline(self, method: Method) -> _Trampoline:
+        """Build and cache the per-method call plan (first crossing only)."""
+        arg_refs = tuple(ch == "L" for ch in method.param_types())
+        returns_ref = method.return_type == "L"
+        if method.is_static:
+            prefix = (self.env_pointer(),
+                      self.class_handle(method.class_name))
+        else:
+            prefix = (self.env_pointer(),)
+        irt = self.vm.irt
+        add_local = irt.add_local
+        remove = irt.remove
+        decode = irt.decode
+        emu_call = self.emu.call
+
+        def fast(args: List[Slot]) -> Slot:
+            # TaintDroid's JNI policy, computed host-side: the return value
+            # is tainted if any parameter is tainted.
+            taint = TAINT_CLEAR
+            local_refs: List[int] = []
+            jni_args = list(prefix)
+            append = jni_args.append
+            for slot, is_ref in zip(args, arg_refs):
+                taint |= slot.taint
+                if is_ref:
+                    iref = add_local(slot.value)
+                    if iref:
+                        local_refs.append(iref)
+                    append(iref)
+                else:
+                    append(slot.value)
+            return_value = emu_call(method.native_address, tuple(jni_args))
+            if returns_ref:
+                return_value = decode(return_value)
+            for iref in local_refs:
+                try:
+                    remove(iref)
+                except JNIError:
+                    pass  # native code may have deleted it already
+            if self.pending_exception is not None:
+                address, exc_taint, class_name = self.pending_exception
+                self.pending_exception = None
+                raise PendingException(address, exc_taint, class_name)
+            return Slot(return_value & 0xFFFF_FFFF, taint, returns_ref)
+
+        trampoline = _Trampoline(self.method_handle(method), prefix,
+                                 arg_refs, returns_ref, fast)
+        self._trampolines[method] = trampoline
+        return trampoline
+
     def _call_bridge(self, vm: DalvikVM, method: Method,
                      args: List[Slot]) -> Slot:
         """The VM-side half of a native invocation.
 
         TaintDroid's interpreter stores parameters *and their taints* in the
         outs area, plus an appended return-taint slot, then transfers to the
-        JNI call bridge (``dvmCallJNIMethod``).
+        JNI call bridge (``dvmCallJNIMethod``).  When nothing can observe
+        that protocol — no hooks, no per-step engines, event log off — the
+        trampoline's fast closure performs the same marshalling host-side
+        and skips the guest-memory round trip entirely; the native code
+        itself still executes instruction-for-instruction identically.
         """
         if method.native_address == 0:
             raise DalvikError(
                 f"UnsatisfiedLinkError: {method.full_name} "
                 "(library not loaded?)")
+        trampoline = self._trampolines.get(method)
+        if trampoline is None:
+            trampoline = self._compile_trampoline(method)
+        emu = self.emu
+        if emu.use_tb and not vm.event_log.enabled \
+                and emu.instrumentation_free():
+            return trampoline.fast(args)
         values = [slot.value for slot in args]
         taints = [slot.taint for slot in args]
         args_ptr = vm.stack.write_native_args(values, taints)
         result_ptr = self.chars_heap.alloc(8)
-        handle = self.method_handle(method)
-        self.emu.call(self.symbols["dvmCallJNIMethod"],
-                      args=(args_ptr, result_ptr, handle, 0))
-        value = self.emu.memory.read_u32(result_ptr)
-        taint = self.emu.memory.read_u32(
+        emu.call(self.symbols["dvmCallJNIMethod"],
+                 args=(args_ptr, result_ptr, trampoline.handle, 0))
+        value = emu.memory.read_u32(result_ptr)
+        taint = emu.memory.read_u32(
             DvmStack.native_return_taint_address(args_ptr, len(values)))
         self.chars_heap.free(result_ptr)
         if self.pending_exception is not None:
             address, exc_taint, class_name = self.pending_exception
             self.pending_exception = None
             raise PendingException(address, exc_taint, class_name)
-        return Slot(value, taint, is_ref=(method.return_type == "L"))
+        return Slot(value, taint, is_ref=trampoline.returns_ref)
 
     def _impl_dvmCallJNIMethod(self, ctx: HostContext):
         """const u4* args, JValue* pResult, const Method* method, Thread*."""
         args_ptr, result_ptr, handle = ctx.arg(0), ctx.arg(1), ctx.arg(2)
         method = self.method_from_handle(handle)
+        trampoline = self._trampolines.get(method)
+        if trampoline is None:
+            trampoline = self._compile_trampoline(method)
         memory = self.emu.memory
         count = method.ins_size
         values, taints = [], []
@@ -219,42 +310,37 @@ class JniLayer:
             values.append(value)
             taints.append(taint)
 
-        # Marshal to the JNI calling convention.
+        # Marshal to the JNI calling convention following the trampoline's
+        # precompiled iref plan (no per-call param_types() recomputation).
         local_refs: List[int] = []
-
-        def to_iref(address: int) -> int:
-            iref = self.vm.irt.add_local(address)
-            if iref:
-                local_refs.append(iref)
-            return iref
-
-        jni_args: List[int] = [self.env_pointer()]
-        param_types = method.param_types()
-        if method.is_static:
-            jni_args.append(self.class_handle(method.class_name))
-            param_values = values
-        else:
-            jni_args.append(to_iref(values[0]))
-            param_values = values[1:]
-            param_types = param_types[1:]
-        for type_char, value in zip(param_types, param_values):
-            jni_args.append(to_iref(value) if type_char == "L" else value)
+        add_local = self.vm.irt.add_local
+        jni_args: List[int] = list(trampoline.prefix)
+        for value, is_ref in zip(values, trampoline.arg_refs):
+            if is_ref:
+                iref = add_local(value)
+                if iref:
+                    local_refs.append(iref)
+                jni_args.append(iref)
+            else:
+                jni_args.append(value)
 
         self.current_native_call = {
             "method": method, "args_ptr": args_ptr, "count": count,
             "taints": list(taints), "jni_args": list(jni_args),
         }
-        self.vm.event_log.emit(
-            "jni", "dvmCallJNIMethod",
-            f"{method.full_name} shorty={method.shorty}",
-            method=method.full_name, shorty=method.shorty,
-            insn_addr=method.native_address & ~1, args_ptr=args_ptr,
-            taints=list(taints))
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", "dvmCallJNIMethod",
+                f"{method.full_name} shorty={method.shorty}",
+                method=method.full_name, shorty=method.shorty,
+                insn_addr=method.native_address & ~1, args_ptr=args_ptr,
+                taints=list(taints))
 
         return_value = self.emu.call(method.native_address, tuple(jni_args))
 
         # Convert an object return (iref) back to a direct pointer.
-        if method.return_type == "L":
+        if trampoline.returns_ref:
             return_value = self.vm.irt.decode(return_value)
         memory.write_u32(result_ptr, return_value & 0xFFFF_FFFF)
         # TaintDroid's JNI policy: "the return value will be tainted if any
@@ -392,10 +478,12 @@ class JniLayer:
             "method": method, "frame": frame, "irefs": irefs,
             "variant": variant, "first_in": first_in, "types": types,
         }
-        self.vm.event_log.emit(
-            "jni", f"dvmCallMethod{variant}",
-            f"{method.full_name} frame@0x{frame.fp:08x}",
-            method=method.full_name, frame=frame.fp, irefs=list(irefs))
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", f"dvmCallMethod{variant}",
+                f"{method.full_name} frame@0x{frame.fp:08x}",
+                method=method.full_name, frame=frame.fp, irefs=list(irefs))
         self.emu.call_host(self.symbols["dvmInterpret"])
         return self.emu.cpu.regs[0]
 
@@ -406,12 +494,15 @@ class JniLayer:
         self.pending_interpret = None
         frame = pending["frame"]
         method = pending["method"]
-        self.vm.event_log.emit(
-            "jni", "dvmInterpret",
-            f"{method.full_name} shorty={method.shorty} "
-            f"curFrame@0x{frame.fp:08x}",
-            method=method.full_name, shorty=method.shorty, frame=frame.fp,
-            registers=frame.register_count, ins=method.ins_size)
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", "dvmInterpret",
+                f"{method.full_name} shorty={method.shorty} "
+                f"curFrame@0x{frame.fp:08x}",
+                method=method.full_name, shorty=method.shorty,
+                frame=frame.fp, registers=frame.register_count,
+                ins=method.ins_size)
         try:
             result = self.vm.interpreter.execute_frame(frame)
             self.vm.interp_save_state = result
@@ -437,11 +528,13 @@ class JniLayer:
     def _impl_dvmCreateStringFromCstr(self, ctx: HostContext):
         text = ctx.cstring_arg(0)
         record = self.vm.heap.alloc_string(text)
-        self.vm.event_log.emit(
-            "jni", "dvmCreateStringFromCstr",
-            f"{text!r} -> 0x{record.address:08x}",
-            text=text, address=record.address, source_ptr=ctx.arg(0),
-            length=len(text))
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", "dvmCreateStringFromCstr",
+                f"{text!r} -> 0x{record.address:08x}",
+                text=text, address=record.address, source_ptr=ctx.arg(0),
+                length=len(text))
         return record.address
 
     def _impl_dvmCreateStringFromUnicode(self, ctx: HostContext):
@@ -449,11 +542,13 @@ class JniLayer:
         data = self.emu.memory.read_bytes(pointer, 2 * length)
         text = data.decode("utf-16-le", errors="replace")
         record = self.vm.heap.alloc_string(text)
-        self.vm.event_log.emit(
-            "jni", "dvmCreateStringFromUnicode",
-            f"{text!r} -> 0x{record.address:08x}",
-            text=text, address=record.address, source_ptr=pointer,
-            length=2 * length)
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", "dvmCreateStringFromUnicode",
+                f"{text!r} -> 0x{record.address:08x}",
+                text=text, address=record.address, source_ptr=pointer,
+                length=2 * length)
         return record.address
 
     def _impl_dvmAllocArrayByClass(self, ctx: HostContext):
@@ -630,11 +725,13 @@ class JniLayer:
         self.emu.memory.write_bytes(buffer, data + b"\x00")
         if ctx.arg(2):
             self.emu.memory.write_u8(ctx.arg(2), 1)  # *isCopy = JNI_TRUE
-        self.vm.event_log.emit(
-            "jni", "GetStringUTFChars",
-            f"{record.text!r} -> buffer@0x{buffer:08x}",
-            text=record.text, buffer=buffer, length=len(data),
-            jstring=ctx.arg(1), string_address=record.address)
+        log = self.vm.event_log
+        if log.enabled:
+            log.emit(
+                "jni", "GetStringUTFChars",
+                f"{record.text!r} -> buffer@0x{buffer:08x}",
+                text=record.text, buffer=buffer, length=len(data),
+                jstring=ctx.arg(1), string_address=record.address)
         return buffer
 
     def _env_ReleaseStringUTFChars(self, ctx: HostContext):
@@ -818,6 +915,9 @@ class JniLayer:
             if method is None or not method.is_native:
                 return 0xFFFF_FFFF
             method.native_address = function
+            # Rebinding invalidates the compiled call plan (belt and
+            # braces: the closure re-reads native_address anyway).
+            self._trampolines.pop(method, None)
             bound += 1
             self.vm.event_log.emit(
                 "jni", "RegisterNatives",
@@ -833,4 +933,5 @@ class JniLayer:
         for method in class_def.methods.values():
             if method.is_native:
                 method.native_address = 0
+                self._trampolines.pop(method, None)
         return 0

@@ -175,6 +175,31 @@ class Memory:
         self.write_u16(address, value)
         self.write_u16(address + 2, value >> 16)
 
+    def write_u32x2(self, address: int, first: int, second: int) -> None:
+        """Write two adjacent u32 words in one page operation.
+
+        This is the TaintDroid slot shape — a 4-byte value immediately
+        followed by its 4-byte taint tag — so the Dalvik fast paths
+        (frame writes, compiled superinstruction blocks) pay one page
+        lookup per slot instead of two.
+        """
+        address &= ADDRESS_MASK
+        offset = address & PAGE_MASK
+        if offset <= PAGE_SIZE - 8:
+            index = address >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
+            page[offset:offset + 8] = \
+                (first & 0xFFFF_FFFF).to_bytes(4, "little") + \
+                (second & 0xFFFF_FFFF).to_bytes(4, "little")
+            if index in self._watched_pages:
+                self._notify_write(index, offset, offset + 8)
+            return
+        self.write_u32(address, first)
+        self.write_u32(address + 4, second)
+
     def read_i32(self, address: int) -> int:
         value = self.read_u32(address)
         return value - 0x1_0000_0000 if value & 0x8000_0000 else value

@@ -1,0 +1,348 @@
+"""Differential parity: trace-compiled Dalvik blocks vs the single-step oracle.
+
+Every program below runs twice — once on a plain VM (the single-step
+interpreter) and once on a VM with the trace compiler enabled — and must
+produce identical results: return value and taint, heap/static slot
+values and taints, executed-instruction counts, and byte-identical
+provenance-ledger edges.  The suite also replays all 11 taint-parity
+scenarios end-to-end through both engines, and exercises the mid-trace
+first-taint variant switch (a clean block escalating to the tainted
+variant partway through).
+"""
+
+import pytest
+
+from repro.bench.emulator_bench import PARITY_SCENARIOS, EmulatorBench
+from repro.common.errors import DalvikError
+from repro.common.taint import TAINT_CONTACTS, TAINT_IMEI, TAINT_SMS
+from repro.dalvik import ClassDef, DalvikVM, MethodBuilder, Op
+from repro.dalvik.heap import Slot
+from repro.memory import Memory
+from repro.observability.ledger import ProvenanceLedger
+
+
+def _fresh_vms():
+    """(oracle, compiled): identical VMs, separate memories, one with TBC.
+
+    Both VMs allocate frames/objects at the same deterministic guest
+    addresses, so even address-bearing ledger locations must match.
+    """
+    oracle = DalvikVM(Memory())
+    compiled = DalvikVM(Memory())
+    compiled.enable_trace_compiler()
+    return oracle, compiled
+
+
+def run_both(make_class, symbol, make_args=lambda: [],
+             taint_tracking=True, setup=None):
+    """Run the program on both engines and assert full-state parity."""
+    outcomes = []
+    for vm in _fresh_vms():
+        vm.taint_tracking = taint_tracking
+        vm.ledger = ProvenanceLedger()
+        vm.register_class(make_class())
+        if setup is not None:
+            setup(vm)
+        try:
+            result = vm.call_main(symbol, make_args())
+            outcome = ("ok", result.value, result.taint, result.is_ref)
+        except DalvikError as error:
+            outcome = ("dalvik-error", str(error))
+        outcomes.append((vm, outcome))
+    (oracle, oracle_out), (compiled, compiled_out) = outcomes
+    assert compiled.tbc is not None and oracle.tbc is None
+    assert compiled_out == oracle_out
+    if oracle_out[0] == "ok":
+        assert compiled.dalvik_instructions == oracle.dalvik_instructions
+    assert [edge.to_dict() for edge in compiled.ledger] == \
+        [edge.to_dict() for edge in oracle.ledger]
+    return oracle, compiled
+
+
+class TestStraightLineParity:
+    def test_arithmetic_and_literals_clean(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "III", static=True, registers=8)
+            b.binop(Op.ADD_INT, 0, 6, 7)
+            b.binop(Op.XOR_INT, 1, 0, 6)
+            b.binop(Op.MUL_INT, 2, 1, 7)
+            b.add_lit(3, 2, 17)
+            b.neg(4, 3)
+            b.binop(Op.SUB_INT, 5, 4, 0)
+            b.binop(Op.USHR_INT, 0, 5, 6)
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LT;->main",
+                 lambda: [Slot(5), Slot((-3) & 0xFFFF_FFFF)])
+
+    def test_tainted_arg_propagates_through_binops_and_moves(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "III", static=True, registers=6)
+            b.binop(Op.ADD_INT, 0, 4, 5)
+            b.move(1, 0)
+            b.binop(Op.AND_INT, 2, 1, 4)
+            b.int_to_string(3, 2)
+            b.string_concat(3, 3, 3)
+            b.ret_object(3)
+            cls.add_method(b.build())
+            return cls
+        oracle, compiled = run_both(
+            make_class, "LT;->main",
+            lambda: [Slot(0x1234, TAINT_IMEI), Slot(7)])
+        # The move recorded a ledger edge on both engines.
+        assert any(edge.mechanism == "dalvik:move" for edge in compiled.ledger)
+        assert len(compiled.ledger) == len(oracle.ledger) > 0
+
+    def test_loop_with_invoke_and_move_result(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            cls.add_method(
+                MethodBuilder("LT;", "bump", "II", static=True, registers=3)
+                .add_lit(0, 2, 3).ret(0).build())
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=4)
+            b.const(0, 0).const(1, 0)
+            b.label("loop")
+            b.if_cmp(Op.IF_GE, 1, 3, "done")
+            b.invoke_static("LT;->bump", 0)
+            b.move_result(0)
+            b.add_lit(1, 1, 1)
+            b.goto("loop")
+            b.label("done")
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LT;->main", lambda: [Slot(25)])
+
+    def test_tainted_invoke_result_flows_back(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            cls.add_method(
+                MethodBuilder("LT;", "ident", "II", static=True, registers=3)
+                .move(0, 2).ret(0).build())
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=3)
+            b.invoke_static("LT;->ident", 2)
+            b.move_result(0)
+            b.add_lit(0, 0, 1)
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LT;->main", lambda: [Slot(41, TAINT_SMS)])
+
+
+class TestHeapParity:
+    def test_fields_roundtrip_with_taint(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            cls.add_instance_field("x")
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=4)
+            b.new_instance(0, "LT;")
+            b.iput(3, 0, "x")
+            b.iget(1, 0, "x")
+            b.add_lit(1, 1, 5)
+            b.ret(1)
+            cls.add_method(b.build())
+            return cls
+        oracle, compiled = run_both(
+            make_class, "LT;->main", lambda: [Slot(9, TAINT_CONTACTS)])
+        for vm in (oracle, compiled):
+            record = next(r for r in vm.heap._objects.values()
+                          if r.class_name == "LT;" and not r.is_string)
+            assert record.fields["x"].value == 9
+            assert record.fields["x"].taint == TAINT_CONTACTS
+
+    def test_arrays_roundtrip_with_taint_union(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=6)
+            b.const(0, 4)
+            b.new_array(1, 0)
+            b.const(2, 1)              # index
+            b.aput(5, 1, 2)            # tainted store -> array label union
+            b.aget(3, 1, 2)
+            b.array_length(4, 1)
+            b.binop(Op.ADD_INT, 3, 3, 4)
+            b.ret(3)
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LT;->main", lambda: [Slot(30, TAINT_IMEI)])
+
+    def test_statics_roundtrip(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            cls.add_static_field("acc")
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=3)
+            b.sput(2, "LT;->acc")
+            b.sget(0, "LT;->acc")
+            b.add_lit(0, 0, 100)
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        oracle, compiled = run_both(
+            make_class, "LT;->main", lambda: [Slot(11, TAINT_SMS)])
+        for vm in (oracle, compiled):
+            assert vm.get_static("LT;->acc") == (11, TAINT_SMS)
+
+
+class TestExceptionParity:
+    def test_caught_throw_and_move_exception(self):
+        def make_class():
+            cls = ClassDef("LBoom;")
+            cls.add_instance_field("message")
+            b = MethodBuilder("LBoom;", "main", "II", static=True,
+                              registers=4)
+            b.label("try")
+            b.new_instance(0, "LBoom;")
+            b.throw(0)
+            b.label("end")
+            b.const(1, 0)
+            b.ret(1)
+            b.label("catch")
+            b.move_exception(2)
+            b.const(1, 7)
+            b.ret(1)
+            b.catch_range("try", "end", "catch")
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LBoom;->main", lambda: [Slot(0)])
+
+    def test_divide_by_zero_lands_in_handler(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "III", static=True, registers=5)
+            b.label("try")
+            b.binop(Op.DIV_INT, 0, 3, 4)
+            b.label("end")
+            b.ret(0)
+            b.label("catch")
+            b.const(0, 0xDEAD)
+            b.ret(0)
+            b.catch_range("try", "end", "catch")
+            cls.add_method(b.build())
+            return cls
+        run_both(make_class, "LT;->main", lambda: [Slot(10), Slot(0)])
+        run_both(make_class, "LT;->main", lambda: [Slot(10), Slot(2)])
+
+    def test_uncaught_divide_by_zero_matches(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "III", static=True, registers=5)
+            b.binop(Op.DIV_INT, 0, 3, 4)
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        from repro.dalvik.interpreter import PendingException
+        for vm in _fresh_vms():
+            vm.register_class(make_class())
+            with pytest.raises(PendingException):
+                vm.call_main("LT;->main", [Slot(1), Slot(0)])
+
+
+class TestVariantSwitch:
+    """The mid-trace first-taint escalation (clean block -> tainted)."""
+
+    def _escalating_class(self):
+        cls = ClassDef("LT;")
+        cls.add_static_field("secret")
+        b = MethodBuilder("LT;", "main", "II", static=True, registers=6)
+        # Straight-line run: two clean ops, then taint enters mid-block
+        # via sget, then two more ops that must propagate it.
+        b.const(0, 10)
+        b.binop(Op.ADD_INT, 1, 0, 5)
+        b.sget(2, "LT;->secret")
+        b.binop(Op.ADD_INT, 3, 1, 2)
+        b.move(4, 3)
+        b.ret(4)
+        cls.add_method(b.build())
+        return cls
+
+    def test_first_taint_mid_block_switches_variant(self):
+        def setup(vm):
+            vm.set_static("LT;->secret", 99, TAINT_IMEI)
+        oracle, compiled = run_both(
+            self._escalating_class, "LT;->main",
+            lambda: [Slot(1)], setup=setup)
+        assert compiled.tbc.blocks_compiled > 0
+        # The sticky flag flipped on the compiled frame mid-trace and the
+        # taint reached the return value on both engines.
+        result = compiled.call_main("LT;->main", [Slot(1)])
+        assert result.value == 10 + 1 + 99
+        assert result.taint == TAINT_IMEI
+
+    def test_same_block_serves_clean_and_tainted_frames(self):
+        """One compiled block must serve clean calls after a tainted one."""
+        oracle, compiled = _fresh_vms()
+        for vm in (oracle, compiled):
+            vm.register_class(self._escalating_class())
+        for secret_taint in (TAINT_IMEI, 0, TAINT_SMS, 0):
+            for vm in (oracle, compiled):
+                vm.set_static("LT;->secret", 50, secret_taint)
+            expected_oracle = oracle.call_main("LT;->main", [Slot(2)])
+            got_compiled = compiled.call_main("LT;->main", [Slot(2)])
+            assert got_compiled.value == expected_oracle.value
+            assert got_compiled.taint == expected_oracle.taint == secret_taint
+        # The block was compiled once, not per call.
+        assert compiled.tbc.blocks_compiled == len(
+            [b for m in compiled.tbc._method_blocks.values()
+             for b in m.values()])
+
+    def test_untracked_mode_clears_taint_like_the_oracle(self):
+        def make_class():
+            cls = ClassDef("LT;")
+            b = MethodBuilder("LT;", "main", "II", static=True, registers=3)
+            b.move(0, 2)
+            b.add_lit(0, 0, 1)
+            b.ret(0)
+            cls.add_method(b.build())
+            return cls
+        # Tracking off: a tainted argument must come back clear on BOTH
+        # engines (the untracked variant writes clear tags exactly like
+        # the single-step loop does with taint_on False).  run_both
+        # asserts the result values and taints match.
+        run_both(make_class, "LT;->main",
+                 lambda: [Slot(5, TAINT_IMEI)], taint_tracking=False)
+
+
+class TestCacheInvalidation:
+    def test_register_class_flushes_blocks(self):
+        vm = DalvikVM(Memory())
+        vm.enable_trace_compiler()
+        cls = ClassDef("LT;")
+        cls.add_method(MethodBuilder("LT;", "main", "I", static=True)
+                       .const(0, 1).ret(0).build())
+        vm.register_class(cls)
+        assert vm.call_main("LT;->main").value == 1
+        assert vm.tbc.cached_blocks > 0
+        # Redefine: same symbol, new body.  The stale block must not run.
+        cls2 = ClassDef("LT;")
+        cls2.add_method(MethodBuilder("LT;", "main", "I", static=True)
+                        .const(0, 2).ret(0).build())
+        vm.register_class(cls2)
+        assert vm.tbc.cached_blocks == 0
+        assert vm.call_main("LT;->main").value == 2
+
+    def test_listener_forces_single_step(self):
+        vm = DalvikVM(Memory())
+        vm.enable_trace_compiler()
+        cls = ClassDef("LT;")
+        cls.add_method(MethodBuilder("LT;", "main", "I", static=True)
+                       .const(0, 3).ret(0).build())
+        vm.register_class(cls)
+        seen = []
+        vm.interpreter.listener = lambda frame, ins: seen.append(ins.op)
+        assert vm.call_main("LT;->main").value == 3
+        # The listener saw every bytecode: the compiled path was bypassed.
+        assert seen == [Op.CONST, Op.RETURN]
+        assert vm.tbc.blocks_compiled == 0
+
+
+class TestScenarioParity:
+    """All 11 Table I / Fig. 6-9 scenarios: identical leak reports."""
+
+    @pytest.mark.parametrize("name", PARITY_SCENARIOS)
+    def test_scenario_parity(self, name):
+        compiled = EmulatorBench._leak_report(name, True)
+        single_step = EmulatorBench._leak_report(name, False)
+        assert compiled == single_step

@@ -1,0 +1,176 @@
+"""Per-method JNI trampolines: fast-path parity and cache invalidation.
+
+``dvmCallJNIMethod``'s argument marshalling is compiled once per
+:class:`Method` into a ``_Trampoline``.  When nothing can observe the
+guest-memory protocol (no hooks, event log off, TB engine on) the
+trampoline's ``fast`` closure performs the marshalling host-side; these
+tests pin down that the two paths are indistinguishable from Java and
+that the cache is invalidated when bindings change.
+"""
+
+import pytest
+
+from repro.common.taint import TAINT_CLEAR, TAINT_IMEI, TAINT_SMS
+from repro.cpu.assembler import assemble
+from repro.dalvik import ClassDef, DalvikVM, MethodBuilder
+from repro.dalvik.heap import Slot
+from repro.emulator import Emulator, HostContext
+from repro.jni import JniLayer
+from repro.kernel import Kernel
+from repro.libc import CLibrary
+
+NATIVE_BASE = 0x6000_0000
+STACK_TOP = 0x0800_0000
+
+
+class Platform:
+    def __init__(self):
+        self.emu = Emulator()
+        self.kernel = Kernel(self.emu.memory, event_log=self.emu.event_log)
+        self.kernel.spawn_process("com.example.app")
+        self.emu.syscall_handler = self.kernel.handle_svc
+        self.libc = CLibrary(self.emu, self.kernel)
+        self.vm = DalvikVM(self.emu.memory, event_log=self.emu.event_log)
+        self.jni = JniLayer(self.emu, self.vm)
+        self.emu.cpu.sp = STACK_TOP
+
+    def load_native(self, source, name="libtest.so"):
+        program = assemble(source, base=NATIVE_BASE, externs=self.libc.symbols)
+        self.emu.load(NATIVE_BASE, program.code)
+        self.emu.memory_map.map(NATIVE_BASE, max(len(program.code), 0x1000),
+                                name, third_party=True)
+        return program
+
+    def add_native_method(self, cls, name, shorty, program, symbol):
+        method = cls.add_method(
+            MethodBuilder(cls.name, name, shorty, static=True,
+                          native=True).build())
+        method.native_address = program.entry(symbol)
+        return method
+
+
+@pytest.fixture
+def platform():
+    p = Platform()
+    cls = ClassDef("LTest;")
+    p.vm.register_class(cls)
+    program = p.load_native("""
+    add_args:           ; r0=env, r1=jclass, r2=x, r3=y
+        add r0, r2, r3
+        bx lr
+    const_seven:
+        mov r0, #7
+        bx lr
+    """)
+    p.method = p.add_native_method(cls, "addArgs", "III", program,
+                                   "add_args")
+    p.cls = cls
+    p.program = program
+    return p
+
+
+class TestFastSlowParity:
+    def test_results_and_taints_agree(self, platform):
+        """Same value, taint and instruction stream on both paths."""
+        vm, emu = platform.vm, platform.emu
+        cases = [
+            [Slot(3), Slot(4)],
+            [Slot(3, TAINT_IMEI), Slot(4)],
+            [Slot(3, TAINT_IMEI), Slot(4, TAINT_SMS)],
+        ]
+        slow, fast = [], []
+        vm.event_log.enabled = True      # slow path
+        for args in cases:
+            before = emu.instruction_count
+            result = vm.call_main("LTest;->addArgs", list(args))
+            slow.append((result.value, result.taint, result.is_ref,
+                         emu.instruction_count - before))
+        vm.event_log.enabled = False     # fast path eligible
+        for args in cases:
+            before = emu.instruction_count
+            result = vm.call_main("LTest;->addArgs", list(args))
+            fast.append((result.value, result.taint, result.is_ref,
+                         emu.instruction_count - before))
+        assert slow == fast
+        assert slow[0][:2] == (7, TAINT_CLEAR)
+        assert slow[1][1] == TAINT_IMEI
+        assert slow[2][1] == TAINT_IMEI | TAINT_SMS
+
+    def test_hooks_force_slow_path(self, platform):
+        """Any instrumentation routes through dvmCallJNIMethod in guest."""
+        vm, emu, jni = platform.vm, platform.emu, platform.jni
+        vm.event_log.enabled = False
+        bridge_hits = []
+        # Hooking anything makes instrumentation_free() False; hook the
+        # bridge itself so the slow path is directly observable.
+        emu.add_entry_hook(jni.symbols["dvmCallJNIMethod"],
+                           lambda *a, **k: bridge_hits.append(1))
+        assert not emu.instrumentation_free()
+        result = vm.call_main("LTest;->addArgs", [Slot(20), Slot(22)])
+        assert result.value == 42
+        assert bridge_hits, "hooked run must take the guest bridge"
+
+    def test_fast_path_skips_guest_bridge(self, platform):
+        """Without instrumentation the guest bridge never runs."""
+        vm, jni = platform.vm, platform.jni
+        vm.event_log.enabled = False
+        result = vm.call_main("LTest;->addArgs", [Slot(20), Slot(22)])
+        assert result.value == 42
+        # The fast closure is cached and keyed by the method.
+        assert platform.method in jni._trampolines
+
+
+class TestEventLogGuard:
+    def test_disabled_log_stays_empty_across_crossing(self, platform):
+        vm = platform.vm
+        vm.event_log.enabled = False
+        before = len(vm.event_log)
+        vm.call_main("LTest;->addArgs", [Slot(1), Slot(2)])
+        assert len(vm.event_log) == before
+
+    def test_enabled_log_records_the_bridge(self, platform):
+        vm = platform.vm
+        vm.event_log.enabled = True
+        vm.call_main("LTest;->addArgs", [Slot(1), Slot(2)])
+        assert vm.event_log.find(kind="dvmCallJNIMethod")
+
+
+class TestInvalidation:
+    def _register_natives(self, platform, method_name, symbol):
+        """Drive the real _env_RegisterNatives handler via guest memory."""
+        jni, emu = platform.jni, platform.emu
+        scratch = jni.chars_heap.alloc(64)
+        name_ptr = scratch + 16
+        emu.memory.write_cstring(name_ptr, method_name)
+        emu.memory.write_words(scratch, [
+            name_ptr, 0, platform.program.entry(symbol)])
+        emu.cpu.regs[0] = jni.env_pointer()
+        emu.cpu.regs[1] = jni.class_handle(platform.cls.name)
+        emu.cpu.regs[2] = scratch
+        emu.cpu.regs[3] = 1
+        status = jni._env_RegisterNatives(HostContext(emu))
+        jni.chars_heap.free(scratch)
+        return status
+
+    def test_register_natives_pops_cached_trampoline(self, platform):
+        vm, jni = platform.vm, platform.jni
+        vm.event_log.enabled = False
+        assert vm.call_main("LTest;->addArgs",
+                            [Slot(2), Slot(3)]).value == 5
+        assert platform.method in jni._trampolines
+        status = self._register_natives(platform, "addArgs", "const_seven")
+        assert status == 0
+        assert platform.method not in jni._trampolines
+        assert vm.call_main("LTest;->addArgs",
+                            [Slot(2), Slot(3)]).value == 7
+
+    def test_stale_trampoline_still_follows_rebinding(self, platform):
+        """Belt and braces: the closure re-reads native_address anyway."""
+        vm = platform.vm
+        vm.event_log.enabled = False
+        assert vm.call_main("LTest;->addArgs",
+                            [Slot(2), Slot(3)]).value == 5
+        platform.method.native_address = platform.program.entry(
+            "const_seven")
+        assert vm.call_main("LTest;->addArgs",
+                            [Slot(2), Slot(3)]).value == 7
