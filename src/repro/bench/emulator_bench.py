@@ -248,6 +248,12 @@ class EmulatorBench:
         """CFBench loop with observability constructed-but-disabled vs
         absent.  Both runs use the TB engine; best-of-``repeats`` each.
         The ratio must stay under :data:`OBS_DISABLED_OVERHEAD_LIMIT`.
+
+        The span layer rides inside this gate: every engine carries its
+        ``span_tracer`` attribute (``None`` here, as in any untraced
+        run), so the per-emit ``is not None`` guards are part of the
+        measured loop and the <limit ceiling covers them too — the
+        result row says so with ``span_layer_included``.
         """
         from repro.bench.cfbench import CFBench
         # Longer runs than the throughput workloads: a percent-level gate
@@ -279,6 +285,7 @@ class EmulatorBench:
             "seconds_without": round(without, 6),
             "seconds_with_disabled": round(with_disabled, 6),
             "limit": OBS_DISABLED_OVERHEAD_LIMIT,
+            "span_layer_included": True,
         }
 
     # -- taint parity -------------------------------------------------------

@@ -136,6 +136,17 @@ def _build_parser() -> argparse.ArgumentParser:
                            "recovery invariants")
     farm.add_argument("--chaos-inject", type=int, default=None,
                       metavar="SEED", help=argparse.SUPPRESS)
+    farm.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="record cross-process span spools under DIR "
+                           "and merge them into DIR/trace.json (Chrome "
+                           "trace-event JSON, Perfetto-loadable) + "
+                           "DIR/timeline.txt after the run")
+    farm.add_argument("--watch", action="store_true",
+                      help="live farm console on stderr while the run "
+                           "is in flight: per-worker busy/hung/dead, "
+                           "current job + instruction count, open spans "
+                           "and cache hit rates (needs --trace-dir for "
+                           "the span columns)")
 
     run = subparsers.add_parser(
         "run", help="run one scenario and write an artifact directory")
@@ -342,9 +353,10 @@ def _command_supervise(args) -> int:
 
 def _command_farm(args) -> int:
     import os
-    from repro.farm import (ChaosMonkey, FarmInterrupted, FarmScheduler,
-                            Manifest, ResultStore, merge_results,
-                            render_farm_report, write_farm_artifacts)
+    from repro.farm import (ChaosMonkey, FarmConsole, FarmInterrupted,
+                            FarmScheduler, Manifest, ResultStore,
+                            merge_results, render_farm_report,
+                            write_farm_artifacts, write_trace_artifacts)
     try:
         manifest = Manifest.load(args.manifest, trace=args.trace) \
             if args.manifest == "builtin" else Manifest.load(args.manifest)
@@ -360,22 +372,34 @@ def _command_farm(args) -> int:
     chaos = None
     if args.chaos_inject is not None:
         chaos = ChaosMonkey.for_manifest(manifest, args.chaos_inject)
+    run_dir = os.path.join(args.out, "runstate")
     scheduler = FarmScheduler(
         manifest, workers=args.workers, store=store, resume=args.resume,
         budget=args.budget, deadline=args.deadline or None,
         max_retries=args.max_retries, chaos=chaos,
-        run_dir=os.path.join(args.out, "runstate"))
+        run_dir=run_dir, trace_dir=args.trace_dir)
+    console = None
+    if args.watch:
+        console = FarmConsole(run_dir, trace_dir=args.trace_dir)
+        console.start()
     try:
         results = scheduler.run()
     except FarmInterrupted as drained:
         print(f"interrupted: {drained} — journaled, workers reaped; "
               f"re-run with --resume to finish", file=sys.stderr)
         return 130
+    finally:
+        if console is not None:
+            console.stop()
     report = merge_results(results, workers=args.workers,
                            wall_seconds=scheduler.wall_seconds,
                            cached_jobs=scheduler.cached_jobs,
                            health=scheduler.health.summary())
     write_farm_artifacts(report, args.out)
+    if args.trace_dir is not None:
+        artifacts = write_trace_artifacts(args.trace_dir)
+        print(f"wrote {artifacts['trace']} (Chrome trace-event JSON) "
+              f"and {artifacts['timeline']}")
     print(render_farm_report(report), end="")
     print(f"wrote {args.out}/{{farm.json, report.txt, jobs/, merged/}}")
     lost = report.outcomes.get("lost", 0)

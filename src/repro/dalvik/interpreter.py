@@ -142,6 +142,8 @@ class Interpreter:
             block = blocks.get(frame.pc)
             if block is None:
                 block = tbc.compile(method, frame.pc)
+            else:
+                tbc.hits += 1
             try:
                 result = block.execute(frame, self, tracking)
             except PendingException as pending:

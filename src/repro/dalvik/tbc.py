@@ -124,6 +124,13 @@ class DalvikBlock:
                 for op in self.clean:
                     op(frame)
             except _TaintEntered as entered:
+                tbc = interp.vm.tbc
+                if tbc is not None:
+                    tbc.escalations += 1
+                    tracer = tbc.span_tracer
+                    if tracer is not None:
+                        tracer.event("tbc_escalation", cat="engine",
+                                     start=self.start, index=entered.index)
                 tainted = self.tainted
                 try:
                     for index in range(entered.index + 1, self.body_count):
@@ -157,6 +164,15 @@ class DalvikTraceCompiler:
         self._method_blocks: Dict[Method, Dict[int, DalvikBlock]] = {}
         self.blocks_compiled = 0
         self.flushes = 0
+        # Cache introspection counters (observability).  ``hits`` is
+        # bumped by the interpreter's dispatch loop on a block-map hit;
+        # the rest are owned here.  Plain int adds — no tracer gating.
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.escalations = 0
+        # Optional span tracer; emits only on the compile (miss) path.
+        self.span_tracer = None
 
     # -- cache ------------------------------------------------------------
 
@@ -176,12 +192,14 @@ class DalvikTraceCompiler:
         an in-place clear invalidates blocks even mid-run.
         """
         for blocks in self._method_blocks.values():
+            self.invalidations += len(blocks)
             blocks.clear()
         self.flushes += 1
 
     def invalidate_method(self, method: Method) -> None:
         blocks = self._method_blocks.get(method)
         if blocks is not None:
+            self.invalidations += len(blocks)
             blocks.clear()
 
     @property
@@ -191,6 +209,9 @@ class DalvikTraceCompiler:
     # -- compilation ------------------------------------------------------
 
     def compile(self, method: Method, start: int) -> DalvikBlock:
+        self.misses += 1
+        tracer = self.span_tracer
+        span_start = tracer.now() if tracer is not None else 0.0
         code = method.code
         if start >= len(code):
             raise DalvikError(f"fell off the end of {method.full_name}")
@@ -215,6 +236,10 @@ class DalvikTraceCompiler:
                             tuple(tainted), term_clean, term_tainted)
         self.blocks_for(method)[start] = block
         self.blocks_compiled += 1
+        if tracer is not None:
+            tracer.complete("tbc_compile", span_start, cat="engine",
+                            method=method.full_name, start=start,
+                            ops=block.count)
         return block
 
     # -- op compilation ---------------------------------------------------

@@ -154,6 +154,10 @@ class Emulator:
         # tracers, attaching one does NOT force the single-step engine:
         # sampling is a block-boundary presence check, never per-step.
         self._profiler = None
+        # Optional span tracer (observability/spans.py).  Emits only at
+        # translation time — a cache-miss path — never per block run, so
+        # execution order and instruction counts are identical either way.
+        self.span_tracer = None
         # True while any per-instruction instrumentation is attached.
         self._per_step_instrumentation = False
         # The single attached tracer whose taint propagation is compiled
@@ -475,6 +479,8 @@ class Emulator:
         of once per executed instruction — and each in-scope instruction
         gets a pre-bound taint micro-op for the block's tainted variant.
         """
+        tracer = self.span_tracer
+        span_start = tracer.now() if tracer is not None else 0.0
         ops = []
         specialised = 0
         term_ir: Optional[Instruction] = None
@@ -535,6 +541,9 @@ class Emulator:
         self._tb_cache.put(tb)
         for page in pages:
             self.memory.watch_page(page)
+        if tracer is not None:
+            tracer.complete("tb_translate", span_start, cat="engine",
+                            pc=pc, ops=tb.length, traced=traced)
         return tb
 
     def translation_stats(self) -> Dict[str, int]:

@@ -27,19 +27,23 @@ Layers::
     RunJournal (journal.py)  crash-consistent WAL of job transitions
     ResultStore (store.py)   digest-addressed fsync'd result cache
     ChaosMonkey (chaos.py)   deterministic fault injection + harness
-    merge_results (merge.py) summed metrics, tombstones, health, report
+    merge_results (merge.py) type-aware metric merge, tombstones, report
+    FarmConsole (console.py) live TTY view over heartbeats + span spools
 """
 
 from repro.farm.chaos import ChaosMonkey, ChaosReport, run_chaos_harness
-from repro.farm.health import HealthStats, WorkerPool
+from repro.farm.console import FarmConsole
+from repro.farm.health import HealthStats, WorkerPool, parse_heartbeat
 from repro.farm.journal import RunJournal, replay, verify_journal
 from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
 from repro.farm.merge import (
     FarmReport,
     merge_results,
+    merge_spans,
     render_farm_report,
     sink_counts,
     write_farm_artifacts,
+    write_trace_artifacts,
 )
 from repro.farm.scheduler import FarmInterrupted, FarmScheduler, run_farm
 from repro.farm.store import ResultStore
@@ -49,6 +53,7 @@ __all__ = [
     "FARM_SCHEMA_VERSION",
     "ChaosMonkey",
     "ChaosReport",
+    "FarmConsole",
     "FarmInterrupted",
     "FarmReport",
     "FarmScheduler",
@@ -60,6 +65,8 @@ __all__ = [
     "WorkerPool",
     "execute_job",
     "merge_results",
+    "merge_spans",
+    "parse_heartbeat",
     "render_farm_report",
     "replay",
     "run_chaos_harness",
@@ -67,4 +74,5 @@ __all__ = [
     "sink_counts",
     "verify_journal",
     "write_farm_artifacts",
+    "write_trace_artifacts",
 ]

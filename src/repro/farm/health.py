@@ -37,44 +37,113 @@ HEARTBEAT_INTERVAL = 0.05
 MISS_THRESHOLD = 4      # consecutive missed heartbeats before "hung"
 
 
-def stamp_heartbeat(path: str) -> None:
-    """Record proof of life; the mtime is the signal, the body is debug."""
+def stamp_heartbeat(path: str, digest: str = "",
+                    instructions: int = 0) -> None:
+    """Record proof of life; the mtime is the signal, the body is debug.
+
+    The body carries *what* the worker is doing, not just that it beats:
+    the current job digest and the emulator's instruction count at stamp
+    time, so ``--watch`` and hung-worker tombstones can show a frozen
+    counter instead of a bare pid.
+    """
     with open(path, "w") as handle:
-        handle.write(f"{os.getpid()} {time.time():.6f}\n")
+        handle.write(f"{os.getpid()} {time.time():.6f} "
+                     f"{digest or '-'} {instructions}\n")
+
+
+def parse_heartbeat(path: str) -> Optional[Dict]:
+    """Decode a heartbeat body; tolerant of the pre-enrichment format."""
+    try:
+        with open(path) as handle:
+            fields = handle.read().split()
+    except OSError:
+        return None
+    if len(fields) < 2:
+        return None
+    try:
+        beat = {"pid": int(fields[0]), "stamped": float(fields[1]),
+                "digest": "", "instructions": 0}
+    except ValueError:
+        return None
+    if len(fields) >= 3 and fields[2] != "-":
+        beat["digest"] = fields[2]
+    if len(fields) >= 4:
+        try:
+            beat["instructions"] = int(fields[3])
+        except ValueError:
+            pass
+    return beat
 
 
 class _HeartbeatThread(threading.Thread):
-    """Daemon thread stamping a heartbeat file until the process exits."""
+    """Daemon thread stamping a heartbeat file until the process exits.
 
-    def __init__(self, path: str, interval: float) -> None:
+    ``vitals`` (optional) is polled at each stamp for the live
+    ``(digest, instruction_count)`` pair; it must never raise and never
+    block — ours reads two plain attributes off the worker's platform.
+    """
+
+    def __init__(self, path: str, interval: float,
+                 vitals: Optional[Callable[[], Tuple[str, int]]] = None
+                 ) -> None:
         super().__init__(name="farm-heartbeat", daemon=True)
         self.path = path
         self.interval = interval
+        self.vitals = vitals
         self._stop = threading.Event()
 
     def run(self) -> None:
         while not self._stop.wait(self.interval):
+            digest, instructions = "", 0
+            if self.vitals is not None:
+                try:
+                    digest, instructions = self.vitals()
+                except Exception:  # pragma: no cover - vitals must not kill
+                    pass
             try:
-                stamp_heartbeat(self.path)
+                stamp_heartbeat(self.path, digest, instructions)
             except OSError:  # pragma: no cover - hb dir vanished
                 return
 
 
 def run_worker(spec_dict: Dict, budget: Optional[int], hb_path: str,
-               interval: float, commit: Callable[[Dict], None]) -> None:
+               interval: float, commit: Callable[[Dict], None],
+               spool_path: Optional[str] = None, trace_id: str = "",
+               digest: str = "") -> None:
     """Body of a forked farm worker; commits a result, then the caller
     must ``_exit``.
 
     ``execute_job`` is resolved through the module at call time (not
     imported at module load) so tests can monkeypatch it in the parent
-    and have the fork inherit the patch.
+    and have the fork inherit the patch.  With ``spool_path`` set, the
+    worker opens its own post-fork :class:`SpanTracer` spool (no shared
+    descriptors) and traces the job + store commit.
     """
-    stamp_heartbeat(hb_path)
-    beat = _HeartbeatThread(hb_path, interval)
-    beat.start()
     from repro.farm import worker as worker_module
-    result = worker_module.execute_job(spec_dict, budget=budget)
-    commit(result)
+
+    def vitals() -> Tuple[str, int]:
+        platform = worker_module.LIVE.get("platform")
+        instructions = (platform.emu.instruction_count
+                        if platform is not None else 0)
+        return digest, instructions
+
+    stamp_heartbeat(hb_path, digest)
+    beat = _HeartbeatThread(hb_path, interval, vitals=vitals)
+    beat.start()
+    if spool_path is None:
+        # No tracer kwarg on this path: tests monkeypatch execute_job
+        # with narrower signatures, and the fork inherits the patch.
+        result = worker_module.execute_job(spec_dict, budget=budget)
+        commit(result)
+        return
+    from repro.observability.flight import FlightSpool
+    from repro.observability.spans import SpanTracer
+    tracer = SpanTracer(spool=FlightSpool(spool_path), trace_id=trace_id)
+    result = worker_module.execute_job(spec_dict, budget=budget,
+                                       tracer=tracer)
+    with tracer.span("store_commit", cat="worker"):
+        commit(result)
+    tracer.close()
 
 
 @dataclass
@@ -101,6 +170,10 @@ class WorkerHandle:
     def runtime(self, now_monotonic: float) -> float:
         return now_monotonic - self.spawned_monotonic
 
+    def read_vitals(self) -> Optional[Dict]:
+        """The worker's last self-reported digest + instruction count."""
+        return parse_heartbeat(self.hb_path)
+
 
 class WorkerPool:
     """Fork/monitor/reap for farm workers; policy stays in the scheduler."""
@@ -117,16 +190,20 @@ class WorkerPool:
 
     def spawn(self, spec_dict: Dict, budget: Optional[int], index: int,
               digest: str, job_id: str, attempt: int,
-              commit: Callable[[Dict], None]) -> WorkerHandle:
+              commit: Callable[[Dict], None],
+              spool_path: Optional[str] = None,
+              trace_id: str = "") -> WorkerHandle:
         hb_path = os.path.join(self.hb_dir, digest)
         # A stale heartbeat from a previous attempt must not vouch for
         # the new worker.
-        stamp_heartbeat(hb_path)
+        stamp_heartbeat(hb_path, digest)
         pid = os.fork()
         if pid == 0:
             code = 1
             try:
-                run_worker(spec_dict, budget, hb_path, self.interval, commit)
+                run_worker(spec_dict, budget, hb_path, self.interval, commit,
+                           spool_path=spool_path, trace_id=trace_id,
+                           digest=digest)
                 code = 0
             except BaseException:
                 code = 1

@@ -83,14 +83,76 @@ class FarmReport:
         }
 
 
+# Histogram-summary suffixes and how each merges across workers.
+_HIST_MIN = ".min"
+_HIST_MAX = ".max"
+_MEAN_SUFFIXES = (".mean", ".p50", ".p95", ".p99")
+
+
 def merge_metrics(results: List[Dict]) -> Dict:
-    """Sum every numeric metric across the per-job snapshots."""
-    merged: Dict = {}
+    """Type-aware merge of the per-job metric snapshots.
+
+    Metric semantics differ, so one rule per type:
+
+    * **counters** (the default) sum — per-app event tallies add up
+      fleet-wide;
+    * **gauges** take the max — summing "cached blocks right now"
+      across eight workers invents a cache none of them has.  Each
+      worker ships its registry's ``gauge_keys()`` in
+      ``metrics_gauges``, so the merge needs no name heuristics;
+    * **histogram summaries** merge component-wise: ``.count``/``.sum``
+      add, ``.min``/``.max`` take min/max, and ``.mean``/percentiles
+      are count-weighted averages (exact for the mean, the standard
+      mergeable approximation for percentiles).
+    """
+    gauge_names: set = set()
     for result in results:
-        for name, value in result.get("metrics", {}).items():
-            if isinstance(value, (int, float)):
+        gauge_names.update(result.get("metrics_gauges", ()))
+
+    merged: Dict = {}
+    weighted: Dict[str, float] = {}   # sum(value * count) for mean-like keys
+    weights: Dict[str, float] = {}
+    for result in results:
+        metrics = result.get("metrics", {})
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if name in gauge_names:
+                merged[name] = max(merged.get(name, value), value)
+            elif name.endswith(_HIST_MIN):
+                merged[name] = min(merged.get(name, value), value)
+            elif name.endswith(_HIST_MAX):
+                merged[name] = max(merged.get(name, value), value)
+            elif name.endswith(_MEAN_SUFFIXES):
+                stem = name.rsplit(".", 1)[0]
+                count = metrics.get(f"{stem}.count", 1) or 1
+                weighted[name] = weighted.get(name, 0.0) + value * count
+                weights[name] = weights.get(name, 0.0) + count
+            else:
                 merged[name] = merged.get(name, 0) + value
+    for name, total in weighted.items():
+        merged[name] = round(total / weights[name], 6)
     return merged
+
+
+def merge_spans(trace_dir: str) -> Dict:
+    """Aggregate every per-process span spool under ``trace_dir``.
+
+    Returns the fleet timeline (``flight.build_timeline`` shape):
+    scheduler + worker + engine spans from every process, time-sorted
+    and correlated by trace id, with SIGKILL-torn spools replayed to
+    explicit open spans.
+    """
+    from repro.observability.flight import aggregate_trace_dir
+    return aggregate_trace_dir(trace_dir)
+
+
+def write_trace_artifacts(trace_dir: str,
+                          out_dir: Optional[str] = None) -> Dict[str, str]:
+    """Merge spools and write ``trace.json`` (Chrome trace-event JSON,
+    Perfetto-loadable) + ``timeline.txt`` (rendered text timeline)."""
+    from repro.observability import flight
+    return flight.write_trace_artifacts(trace_dir, out_dir)
 
 
 def merge_results(results: List[Dict], workers: int = 1,

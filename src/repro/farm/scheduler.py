@@ -142,7 +142,7 @@ class FarmScheduler:
                  poison_threshold: int = DEFAULT_POISON_THRESHOLD,
                  heartbeat_interval: float = HEARTBEAT_INTERVAL,
                  run_dir: Optional[str] = None, chaos=None,
-                 metrics=None) -> None:
+                 metrics=None, trace_dir: Optional[str] = None) -> None:
         self.manifest = manifest
         self.workers = max(1, workers)
         self.store = store
@@ -154,6 +154,7 @@ class FarmScheduler:
         self.heartbeat_interval = heartbeat_interval
         self.run_dir = run_dir
         self.chaos = chaos
+        self.trace_dir = trace_dir
         self.health = HealthStats()
         if metrics is not None:
             self.health.register_metrics(metrics)
@@ -161,6 +162,10 @@ class FarmScheduler:
         self.wall_seconds = 0.0
         self._strikes: Dict[str, int] = {}
         self._strike_reasons: Dict[str, List[str]] = {}
+        # The scheduler's own span tracer (None when trace_dir is unset)
+        # and the open job spans it correlates, keyed (digest, attempt).
+        self._tracer = None
+        self._job_spans: Dict[Tuple[str, int], int] = {}
 
     # -- dispatch -------------------------------------------------------------
 
@@ -172,6 +177,12 @@ class FarmScheduler:
 
         run_dir = self.run_dir or tempfile.mkdtemp(prefix="repro-farm-run-")
         os.makedirs(run_dir, exist_ok=True)
+        if self.trace_dir is not None:
+            from repro.observability.flight import FlightSpool
+            from repro.observability.spans import SpanTracer
+            os.makedirs(self.trace_dir, exist_ok=True)
+            self._tracer = SpanTracer(spool=FlightSpool(os.path.join(
+                self.trace_dir, f"scheduler-{os.getpid()}.jsonl")))
         journal = RunJournal(os.path.join(run_dir, "journal.jsonl"))
         if self.resume:
             # Strike counts survive scheduler death: a poison job that
@@ -193,8 +204,10 @@ class FarmScheduler:
                 self.cached_jobs += 1
                 journal.record("cached", digest=spec.digest(), id=spec.id,
                                status=cached.get("status"))
+                self._trace_event("cached", spec.digest(), id=spec.id)
             else:
                 pending.append(index)
+                self._trace_event("queued", spec.digest(), id=spec.id)
 
         previous_sigterm = self._install_sigterm()
         try:
@@ -207,6 +220,8 @@ class FarmScheduler:
         finally:
             self._restore_sigterm(previous_sigterm)
             journal.close()
+            if self._tracer is not None:
+                self._tracer.close()
             if self.run_dir is None:
                 shutil.rmtree(run_dir, ignore_errors=True)
 
@@ -237,6 +252,37 @@ class FarmScheduler:
             except (ValueError, OSError):  # pragma: no cover
                 pass
 
+    # -- tracing --------------------------------------------------------------
+    #
+    # The scheduler's spans mirror the journal: every lifecycle edge
+    # (queued/cached/spawned/retry/quarantined/lost/committed) becomes an
+    # instant event, and each dispatch attempt gets a detached "job" span
+    # correlated with the worker's own spool by trace id = digest prefix.
+
+    def _trace_event(self, name: str, digest: str, **args) -> None:
+        if self._tracer is not None:
+            self._tracer.event(name, cat="scheduler", trace=digest[:12],
+                               **args)
+
+    def _trace_begin(self, digest: str, attempt: int, job_id: str) -> None:
+        if self._tracer is not None:
+            self._job_spans[(digest, attempt)] = self._tracer.begin(
+                "job", cat="scheduler", trace=digest[:12], detached=True,
+                id=job_id, attempt=attempt)
+
+    def _trace_end(self, digest: str, attempt: int, **args) -> None:
+        if self._tracer is not None:
+            span = self._job_spans.pop((digest, attempt), None)
+            if span is not None:
+                self._tracer.end(span, **args)
+
+    def _worker_spool(self, digest: str, attempt: int) -> Optional[str]:
+        """Per-attempt spool path (attempts never interleave in one file)."""
+        if self.trace_dir is None:
+            return None
+        return os.path.join(self.trace_dir,
+                            f"worker-{digest[:12]}-a{attempt}.jsonl")
+
     # -- cache ----------------------------------------------------------------
 
     def _from_cache(self, spec: JobSpec) -> Optional[Dict]:
@@ -257,25 +303,46 @@ class FarmScheduler:
     def _run_inline(self, pending: List[int],
                     results: List[Optional[Dict]], journal: RunJournal) -> None:
         jobs = self.manifest.jobs
+        tracer = self._tracer
         for index in pending:
             spec = jobs[index]
             digest = spec.digest()
             journal.record("dispatched", digest=digest, id=spec.id,
                            attempt=1, pid=os.getpid())
+            self._trace_begin(digest, 1, spec.id)
+            if tracer is not None:
+                # Inline mode shares one process (and one tracer) across
+                # scheduler and worker roles; re-point the trace id so
+                # engine spans still correlate per job.
+                tracer.trace_id = digest[:12]
             job_start = time.perf_counter()
             try:
-                result = worker_module.execute_job(spec.to_dict(),
-                                                   budget=self.budget)
+                # tracer kwarg only when tracing: tests monkeypatch
+                # execute_job with narrower signatures.
+                if tracer is None:
+                    result = worker_module.execute_job(spec.to_dict(),
+                                                       budget=self.budget)
+                else:
+                    result = worker_module.execute_job(spec.to_dict(),
+                                                       budget=self.budget,
+                                                       tracer=tracer)
             except KeyboardInterrupt:
                 journal.record("interrupted", digest=digest, id=spec.id,
                                attempt=1)
                 self.health.interrupted_jobs += 1
                 results[index] = _interrupted_result(
                     spec, time.perf_counter() - job_start, attempts=1)
+                self._trace_end(digest, 1, status=STATUS_INTERRUPTED)
                 raise FarmInterrupted([spec.id]) from None
+            finally:
+                if tracer is not None:
+                    tracer.trace_id = ""
             results[index] = self._record(spec, result)
             journal.record("done", digest=digest, id=spec.id, attempt=1,
                            status=result.get("status"))
+            self._trace_event("committed", digest, id=spec.id,
+                              status=result.get("status"))
+            self._trace_end(digest, 1, status=result.get("status"))
 
     # -- pool (fleet mode) ----------------------------------------------------
 
@@ -342,6 +409,8 @@ class FarmScheduler:
                 results[handle.index] = _interrupted_result(
                     jobs[handle.index], handle.runtime(time.monotonic()),
                     attempts=handle.attempt)
+                self._trace_end(handle.digest, handle.attempt,
+                                status=STATUS_INTERRUPTED)
             raise FarmInterrupted(in_flight) from None
         finally:
             pool.kill_all()
@@ -359,9 +428,15 @@ class FarmScheduler:
             path, commit = self._result_sink(run_dir, digest)
             result_paths[digest] = path
             handle = pool.spawn(spec.to_dict(), self.budget, index, digest,
-                                spec.id, attempts[index], commit)
+                                spec.id, attempts[index], commit,
+                                spool_path=self._worker_spool(
+                                    digest, attempts[index]),
+                                trace_id=digest[:12])
             journal.record("dispatched", digest=digest, id=spec.id,
                            attempt=attempts[index], pid=handle.pid)
+            self._trace_begin(digest, attempts[index], spec.id)
+            self._trace_event("spawned", digest, id=spec.id,
+                              attempt=attempts[index], pid=handle.pid)
             if self.chaos is not None:
                 self.chaos.on_spawn(handle)
             progressed = True
@@ -386,6 +461,11 @@ class FarmScheduler:
                 journal.record("done", digest=handle.digest,
                                id=handle.job_id, attempt=handle.attempt,
                                status=result.get("status"))
+                self._trace_event("committed", handle.digest,
+                                  id=handle.job_id,
+                                  status=result.get("status"))
+                self._trace_end(handle.digest, handle.attempt,
+                                status=result.get("status"))
             else:
                 self.health.worker_deaths += 1
                 self.health.record_reclaim(
@@ -427,17 +507,26 @@ class FarmScheduler:
         self._strikes[digest] = strikes
         reasons = self._strike_reasons.setdefault(digest, [])
         reasons.append(reason)
+        # The worker's last self-reported vitals: how far it got before
+        # it died/hung, straight from the heartbeat body.
+        vitals = handle.read_vitals()
+        last_instructions = vitals["instructions"] if vitals else 0
         journal.record("strike", digest=digest, id=handle.job_id,
                        attempt=handle.attempt, reason=reason,
-                       strikes=strikes)
+                       strikes=strikes, instructions=last_instructions)
         elapsed = handle.runtime(time.monotonic())
         if strikes >= self.poison_threshold:
             row = _poison_result(spec, strikes, reasons, elapsed,
                                  attempts=handle.attempt)
+            row["tombstone"]["last_instructions"] = last_instructions
             journal.record("poison", digest=digest, id=handle.job_id,
                            strikes=strikes)
             self.health.poison_quarantined += 1
             results[handle.index] = self._record(spec, row)
+            self._trace_event("quarantined", digest, id=handle.job_id,
+                              strikes=strikes,
+                              instructions=last_instructions)
+            self._trace_end(digest, handle.attempt, status=STATUS_POISON)
         elif handle.attempt >= 1 + self.max_retries:
             row = _lost_result(spec, reason, elapsed,
                                attempts=handle.attempt)
@@ -445,6 +534,9 @@ class FarmScheduler:
                            attempt=handle.attempt, reason=reason)
             self.health.lost_jobs += 1
             results[handle.index] = row       # lost is never cached
+            self._trace_event("lost", digest, id=handle.job_id,
+                              reason=reason)
+            self._trace_end(digest, handle.attempt, status=STATUS_LOST)
         else:
             delay = backoff_delay(handle.attempt, base=RETRY_BACKOFF_BASE,
                                   jitter=RETRY_BACKOFF_JITTER,
@@ -454,6 +546,11 @@ class FarmScheduler:
             self.health.retries += 1
             heapq.heappush(retries, (time.monotonic() + delay,
                                      handle.index))
+            self._trace_event("retry", digest, id=handle.job_id,
+                              next_attempt=handle.attempt + 1,
+                              reason=reason,
+                              instructions=last_instructions)
+            self._trace_end(digest, handle.attempt, status="struck")
 
 
 def run_farm(manifest: Manifest, workers: int = 1,

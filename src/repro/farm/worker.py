@@ -21,6 +21,42 @@ from repro.farm.manifest import JobSpec
 
 DEFAULT_BUDGET = 2_000_000
 
+# The worker's live platform, published for the heartbeat thread's vitals
+# poll (current instruction count) and torn down per job.  A module
+# global on purpose: the heartbeat thread must read it without holding
+# any reference into the job's call stack.
+LIVE: Dict = {"platform": None, "tracer": None}
+
+
+def _boot_platform(spec: JobSpec, ctx):
+    """Build + attach the job's platform, publishing it to ``LIVE``.
+
+    With a span tracer active the boot is wrapped in a ``platform_boot``
+    span, the engines' span hooks are pointed at the tracer, and a
+    µs-per-crossing histogram is registered so JNI latency percentiles
+    land in the job's metrics snapshot.
+    """
+    from repro.bench.harness import make_platform
+
+    tracer = LIVE.get("tracer")
+    if tracer is None:
+        platform = make_platform(spec.config, trace=spec.trace)
+    else:
+        with tracer.span("platform_boot", cat="worker",
+                         config=spec.config):
+            platform = make_platform(spec.config, trace=spec.trace)
+        observability = platform.observability
+        if observability is not None:
+            observability.attach_spans(tracer)
+            platform.jni.crossing_histogram = \
+                observability.metrics.histogram("jni.crossing_us")
+        else:
+            from repro.observability.spans import attach_spans
+            attach_spans(platform, tracer)
+    LIVE["platform"] = platform
+    ctx.attach(platform)
+    return platform
+
 
 def _leak_rows(platform) -> list:
     return [
@@ -42,6 +78,7 @@ def _observe(platform, trace: bool) -> Dict:
     observability = platform.observability
     if observability is not None:
         payload["metrics"] = observability.snapshot()
+        payload["metrics_gauges"] = observability.metrics.gauge_keys()
         if trace and observability.ledger is not None:
             buffer = io.StringIO()
             observability.ledger.to_jsonl(buffer)
@@ -54,14 +91,17 @@ def _observe(platform, trace: bool) -> Dict:
 def _analyze_scenario(spec: JobSpec, ctx) -> Dict:
     from repro.apps import ALL_SCENARIOS
     from repro.apps.base import run_scenario
-    from repro.bench.harness import make_platform
 
     if spec.target not in ALL_SCENARIOS:
         raise ValueError(f"unknown scenario {spec.target!r}")
     scenario = ALL_SCENARIOS[spec.target]()
-    platform = make_platform(spec.config, trace=spec.trace)
-    ctx.attach(platform)
-    run_scenario(scenario, platform)
+    platform = _boot_platform(spec, ctx)
+    tracer = LIVE.get("tracer")
+    if tracer is None:
+        run_scenario(scenario, platform)
+    else:
+        with tracer.span("scenario_run", cat="worker", target=spec.target):
+            run_scenario(scenario, platform)
     payload = _observe(platform, spec.trace)
     if scenario.expected_taint:
         detected = any(r["taint"] & scenario.expected_taint
@@ -76,17 +116,22 @@ def _analyze_scenario(spec: JobSpec, ctx) -> Dict:
 
 def _analyze_market(spec: JobSpec, ctx) -> Dict:
     from repro.apps.market import MARKET_APPS
-    from repro.bench.harness import make_platform
     from repro.framework.monkey import MonkeyRunner
 
     if spec.target not in MARKET_APPS:
         raise ValueError(f"unknown market app {spec.target!r}")
     apk = MARKET_APPS[spec.target]()
-    platform = make_platform(spec.config, trace=spec.trace)
-    ctx.attach(platform)
-    platform.install(apk)
-    session = MonkeyRunner(platform, seed=spec.seed).run(
-        apk, events=spec.events)
+    platform = _boot_platform(spec, ctx)
+    tracer = LIVE.get("tracer")
+    if tracer is None:
+        platform.install(apk)
+        session = MonkeyRunner(platform, seed=spec.seed).run(
+            apk, events=spec.events)
+    else:
+        with tracer.span("scenario_run", cat="worker", target=spec.target):
+            platform.install(apk)
+            session = MonkeyRunner(platform, seed=spec.seed).run(
+                apk, events=spec.events)
     payload = _observe(platform, spec.trace)
     payload["coverage"] = session.coverage
     payload["detected"] = bool(payload["leaks"])
@@ -96,8 +141,26 @@ def _analyze_market(spec: JobSpec, ctx) -> Dict:
 _ANALYSES = {"scenario": _analyze_scenario, "market": _analyze_market}
 
 
-def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
-                ) -> Dict:
+def _emit_cache_counters(tracer) -> None:
+    """Sample the three hot caches into the trace as counter records."""
+    platform = LIVE.get("platform")
+    if platform is None:
+        return
+    emu, jni, tbc = platform.emu, platform.jni, platform.vm.tbc
+    tracer.counter("tb.hits", emu._tb_cache.hits, cat="engine")
+    tracer.counter("tb.misses", emu._tb_cache.misses, cat="engine")
+    tracer.counter("jni.trampoline.hits", jni.trampoline_hits, cat="engine")
+    tracer.counter("jni.trampoline.misses", jni.trampoline_misses,
+                   cat="engine")
+    tracer.counter("jni.crossings_fast", jni.crossings_fast, cat="engine")
+    tracer.counter("jni.crossings_slow", jni.crossings_slow, cat="engine")
+    if tbc is not None:
+        tracer.counter("tbc.hits", tbc.hits, cat="engine")
+        tracer.counter("tbc.misses", tbc.misses, cat="engine")
+
+
+def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET,
+                tracer=None) -> Dict:
     """Run one farm job; always returns a result dict, never raises."""
     from repro.resilience import FaultPlan, Supervisor
     from repro.resilience.report import CrashReport
@@ -105,6 +168,15 @@ def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
     spec = JobSpec.from_dict(spec_dict)
     plan = FaultPlan.parse(spec.faults) if spec.faults else None
     analyze = _ANALYSES[spec.kind]
+
+    LIVE["platform"] = None
+    LIVE["tracer"] = tracer
+    job_span = None
+    if tracer is not None:
+        if not tracer.trace_id:
+            tracer.trace_id = spec.digest()[:12]
+        job_span = tracer.begin("job", cat="worker", id=spec.id,
+                                kind=spec.kind, target=spec.target)
 
     def analysis(ctx):
         return analyze(spec, ctx)
@@ -120,6 +192,10 @@ def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
         raise
     except BaseException as error:  # escaped the supervisor: tombstone it
         report = CrashReport.capture(label=spec.id, error=error)
+        if tracer is not None:
+            tracer.end(job_span, status="crashed")
+            LIVE["platform"] = None
+            LIVE["tracer"] = None
         return {
             "job": spec.to_dict(),
             "digest": spec.digest(),
@@ -155,7 +231,13 @@ def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET
         "leaks": payload.get("leaks", []),
     }
     for key in ("detected", "coverage", "expected_taint",
-                "expected_destination", "trace", "trace_dropped"):
+                "expected_destination", "trace", "trace_dropped",
+                "metrics_gauges"):
         if key in payload:
             row[key] = payload[key]
+    if tracer is not None:
+        _emit_cache_counters(tracer)
+        tracer.end(job_span, status=result.status)
+        LIVE["platform"] = None
+        LIVE["tracer"] = None
     return row

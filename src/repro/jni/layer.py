@@ -93,6 +93,16 @@ class JniLayer:
         # UnregisterNatives rebinding (the closures also re-read
         # ``native_address`` per call, so a stale entry is never wrong).
         self._trampolines: Dict[Method, _Trampoline] = {}
+        # Cache introspection + crossing-path counters (observability).
+        self.trampoline_hits = 0
+        self.trampoline_misses = 0
+        self.trampoline_invalidations = 0
+        self.crossings_fast = 0
+        self.crossings_slow = 0
+        # Optional span tracer and µs-per-crossing histogram; both stay
+        # None/absent unless a farm job attaches them.
+        self.span_tracer = None
+        self.crossing_histogram = None
 
         self._register_internals()
         self._register_env_table()
@@ -208,6 +218,7 @@ class JniLayer:
 
     def _compile_trampoline(self, method: Method) -> _Trampoline:
         """Build and cache the per-method call plan (first crossing only)."""
+        self.trampoline_misses += 1
         arg_refs = tuple(ch == "L" for ch in method.param_types())
         returns_ref = method.return_type == "L"
         if method.is_static:
@@ -275,10 +286,24 @@ class JniLayer:
         trampoline = self._trampolines.get(method)
         if trampoline is None:
             trampoline = self._compile_trampoline(method)
+        else:
+            self.trampoline_hits += 1
         emu = self.emu
+        tracer = self.span_tracer
         if emu.use_tb and not vm.event_log.enabled \
                 and emu.instrumentation_free():
-            return trampoline.fast(args)
+            self.crossings_fast += 1
+            if tracer is None:
+                return trampoline.fast(args)
+            start = tracer.now()
+            result = trampoline.fast(args)
+            tracer.complete("jni_crossing", start, cat="engine",
+                            method=method.full_name, path="fast")
+            if self.crossing_histogram is not None:
+                self.crossing_histogram.record(tracer.now() - start)
+            return result
+        self.crossings_slow += 1
+        start = tracer.now() if tracer is not None else 0.0
         values = [slot.value for slot in args]
         taints = [slot.taint for slot in args]
         args_ptr = vm.stack.write_native_args(values, taints)
@@ -289,6 +314,11 @@ class JniLayer:
         taint = emu.memory.read_u32(
             DvmStack.native_return_taint_address(args_ptr, len(values)))
         self.chars_heap.free(result_ptr)
+        if tracer is not None:
+            tracer.complete("jni_crossing", start, cat="engine",
+                            method=method.full_name, path="slow")
+            if self.crossing_histogram is not None:
+                self.crossing_histogram.record(tracer.now() - start)
         if self.pending_exception is not None:
             address, exc_taint, class_name = self.pending_exception
             self.pending_exception = None
@@ -302,6 +332,8 @@ class JniLayer:
         trampoline = self._trampolines.get(method)
         if trampoline is None:
             trampoline = self._compile_trampoline(method)
+        else:
+            self.trampoline_hits += 1
         memory = self.emu.memory
         count = method.ins_size
         values, taints = [], []
@@ -917,7 +949,8 @@ class JniLayer:
             method.native_address = function
             # Rebinding invalidates the compiled call plan (belt and
             # braces: the closure re-reads native_address anyway).
-            self._trampolines.pop(method, None)
+            if self._trampolines.pop(method, None) is not None:
+                self.trampoline_invalidations += 1
             bound += 1
             self.vm.event_log.emit(
                 "jni", "RegisterNatives",
@@ -933,5 +966,6 @@ class JniLayer:
         for method in class_def.methods.values():
             if method.is_native:
                 method.native_address = 0
-                self._trampolines.pop(method, None)
+                if self._trampolines.pop(method, None) is not None:
+                    self.trampoline_invalidations += 1
         return 0

@@ -44,6 +44,10 @@ from repro.observability.schema import (  # noqa: F401
     TRACE_SCHEMA,
     validate_trace,
 )
+from repro.observability.spans import (  # noqa: F401
+    SpanTracer,
+    attach_spans,
+)
 
 
 class Observability:
@@ -54,6 +58,7 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.ledger: Optional[ProvenanceLedger] = None
         self.profiler: Optional[SamplingProfiler] = None
+        self.spans: Optional[SpanTracer] = None
         self._ledger_capacity = ledger_capacity
         self._profile_interval = profile_interval
         self._platform = None
@@ -74,7 +79,7 @@ class Observability:
             self.metrics.register_source("ledger", lambda: {
                 "edges": len(ledger),
                 "dropped": ledger.dropped,
-            })
+            }, gauges=("edges",))
             self._propagate()
         return self.ledger
 
@@ -92,6 +97,7 @@ class Observability:
         """Register pull sources over the platform engines' counters."""
         self._platform = platform
         emu, kernel, vm = platform.emu, platform.kernel, platform.vm
+        jni = platform.jni
         self.metrics.register_source("emulator", lambda: {
             "instructions": emu.instruction_count,
             "host_calls": emu.host_call_count,
@@ -101,7 +107,7 @@ class Observability:
             "tb.invalidations": emu.translation_stats()["invalidations"],
             "tb.hits": emu._tb_cache.hits,
             "tb.misses": emu._tb_cache.misses,
-        })
+        }, gauges=("tb.blocks",))
 
         def kernel_source():
             values = {"traps": kernel.syscall_count}
@@ -114,6 +120,31 @@ class Observability:
             "instructions": vm.interpreter.instructions_executed,
             "gc_count": vm.heap.gc_count,
         })
+
+        def tbc_source():
+            tbc = vm.tbc
+            if tbc is None:
+                return {}
+            return {
+                "hits": tbc.hits,
+                "misses": tbc.misses,
+                "invalidations": tbc.invalidations,
+                "escalations": tbc.escalations,
+                "blocks_compiled": tbc.blocks_compiled,
+                "flushes": tbc.flushes,
+                "cached_blocks": tbc.cached_blocks,
+            }
+
+        self.metrics.register_source("dalvik.tbc", tbc_source,
+                                     gauges=("cached_blocks",))
+        self.metrics.register_source("jni", lambda: {
+            "trampoline.hits": jni.trampoline_hits,
+            "trampoline.misses": jni.trampoline_misses,
+            "trampoline.invalidations": jni.trampoline_invalidations,
+            "trampoline.cached": len(jni._trampolines),
+            "crossings_fast": jni.crossings_fast,
+            "crossings_slow": jni.crossings_slow,
+        }, gauges=("trampoline.cached",))
         self._propagate()
 
     def wire_ndroid(self, ndroid) -> None:
@@ -156,6 +187,12 @@ class Observability:
             ndroid.syslib_hooks.ledger = self.ledger
 
     # -- convenience -----------------------------------------------------------
+
+    def attach_spans(self, tracer: Optional[SpanTracer]) -> None:
+        """Point the wired engines' span hooks at ``tracer`` (None detaches)."""
+        self.spans = tracer
+        if self._platform is not None:
+            attach_spans(self._platform, tracer)
 
     def snapshot(self):
         return self.metrics.snapshot()

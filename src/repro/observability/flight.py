@@ -1,0 +1,358 @@
+"""Flight-recorder spools and the fleet timeline aggregator.
+
+The write side (:class:`FlightSpool`) is a per-process append-only JSONL
+file, one span record per line, flushed per record so a SIGKILL loses at
+most the line being written.  The read side is torn-tail tolerant in the
+same way ``farm/journal.iter_events`` is: a truncated or garbled final
+line is skipped, never raised, because a killed worker *will* leave one.
+
+The aggregator stitches every spool under a trace directory into one
+fleet timeline:
+
+* :func:`build_timeline` pairs ``B``/``E`` records into finished spans
+  and renders unmatched begins as **open spans** (``"open": True``) whose
+  duration runs to the last timestamp that process ever wrote — the
+  honest answer for a worker that died mid-span;
+* :func:`to_chrome_trace` exports Chrome trace-event JSON
+  (Perfetto-loadable): ``X`` complete events, ``i`` instants, ``C``
+  counters, plus ``M`` process-name metadata so each farm process gets a
+  labelled track;
+* :func:`render_timeline` prints a text timeline for terminals and CI
+  logs;
+* :func:`validate_chrome_trace` is the no-dependency schema check CI
+  runs against the exported file.
+
+Timestamps are wall-clock µs from :func:`repro.observability.spans.now_us`
+and are rebased so the earliest record across the fleet sits at t=0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+SPOOL_SUFFIX = ".jsonl"
+
+# Chrome trace-event phases this exporter produces / the validator admits.
+CHROME_PHASES = ("X", "i", "C", "M")
+
+
+class FlightSpool:
+    """Append-only JSONL span spool, flushed per record.
+
+    Unlike the run journal there is no fsync: spools are diagnostics,
+    not the source of truth for job state, so losing the OS buffer on a
+    power cut is acceptable — but a plain SIGKILL (the common chaos
+    case) loses nothing beyond a possibly-torn final line.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a", encoding="utf-8")
+        self.records_written = 0
+
+    def write(self, record: Dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "FlightSpool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_spool(path: str) -> Iterator[Dict]:
+    """Yield records from a spool, skipping a torn or garbled tail.
+
+    A record must parse as a JSON object with ``ph`` and ``ts`` to be
+    yielded; anything else (half-written line, empty line, stray text)
+    is dropped silently — the whole point is to read spools that a
+    SIGKILL interrupted.
+    """
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "ph" in record and "ts" in record:
+                yield record
+
+
+def collect_spools(trace_dir: str) -> List[Dict]:
+    """Read every ``*.jsonl`` spool under ``trace_dir``, merged and
+    time-sorted.  Missing directory -> empty list."""
+    records: List[Dict] = []
+    try:
+        names = sorted(os.listdir(trace_dir))
+    except OSError:
+        return records
+    for name in names:
+        if not name.endswith(SPOOL_SUFFIX):
+            continue
+        records.extend(read_spool(os.path.join(trace_dir, name)))
+    records.sort(key=lambda r: (r.get("ts", 0.0), r.get("pid", 0)))
+    return records
+
+
+def build_timeline(records: Iterable[Dict]) -> Dict:
+    """Pair begin/end records into spans; surface instants and counters.
+
+    Returns ``{"spans": [...], "events": [...], "counters": [...],
+    "open_spans": int, "base_ts": float}``.  Span dicts carry ``name``,
+    ``cat``, ``trace``, ``pid``, ``ts`` (µs, rebased), ``dur`` (µs),
+    ``args``, and ``"open": True`` when the end record never arrived —
+    its duration then runs to the last timestamp its process wrote, so
+    a killed worker's final act is visible rather than invented.
+    """
+    records = list(records)
+    base_ts = min((r["ts"] for r in records), default=0.0)
+    last_ts_by_pid: Dict[int, float] = {}
+    for record in records:
+        pid = record.get("pid", 0)
+        ts = record["ts"]
+        if ts > last_ts_by_pid.get(pid, 0.0):
+            last_ts_by_pid[pid] = ts
+
+    spans: List[Dict] = []
+    events: List[Dict] = []
+    counters: List[Dict] = []
+    # Begun-but-not-ended spans keyed per process: span ids are only
+    # unique within the tracer (= process) that minted them.
+    pending: Dict[Tuple[int, int], Dict] = {}
+
+    for record in records:
+        ph = record["ph"]
+        pid = record.get("pid", 0)
+        if ph == "B":
+            span = {
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "worker"),
+                "trace": record.get("trace", ""),
+                "pid": pid,
+                "ts": record["ts"] - base_ts,
+                "args": dict(record.get("args", ())),
+            }
+            if "parent" in record:
+                span["parent"] = record["parent"]
+            pending[(pid, record.get("span", 0))] = span
+            spans.append(span)
+        elif ph == "E":
+            span = pending.pop((pid, record.get("span", 0)), None)
+            if span is None:
+                continue  # end without a begin: its spool head rolled off
+            span["dur"] = max(0.0, (record["ts"] - base_ts) - span["ts"])
+            if record.get("args"):
+                span["args"].update(record["args"])
+        elif ph == "X":
+            spans.append({
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "engine"),
+                "trace": record.get("trace", ""),
+                "pid": pid,
+                "ts": record["ts"] - base_ts,
+                "dur": record.get("dur", 0.0),
+                "args": dict(record.get("args", ())),
+            })
+        elif ph == "i":
+            events.append({
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "worker"),
+                "trace": record.get("trace", ""),
+                "pid": pid,
+                "ts": record["ts"] - base_ts,
+                "args": dict(record.get("args", ())),
+            })
+        elif ph == "C":
+            counters.append({
+                "name": record.get("name", "?"),
+                "cat": record.get("cat", "worker"),
+                "trace": record.get("trace", ""),
+                "pid": pid,
+                "ts": record["ts"] - base_ts,
+                "value": record.get("value", 0),
+            })
+
+    open_spans = 0
+    for (pid, _), span in pending.items():
+        span["open"] = True
+        tail = last_ts_by_pid.get(pid, base_ts) - base_ts
+        span["dur"] = max(0.0, tail - span["ts"])
+        open_spans += 1
+
+    spans.sort(key=lambda s: (s["ts"], s["pid"]))
+    return {
+        "spans": spans,
+        "events": events,
+        "counters": counters,
+        "open_spans": open_spans,
+        "base_ts": base_ts,
+    }
+
+
+def _process_label(pid: int, spans: Iterable[Dict]) -> str:
+    cats = {s["cat"] for s in spans if s["pid"] == pid}
+    if "scheduler" in cats:
+        return f"scheduler [{pid}]"
+    if cats & {"worker", "engine"}:
+        return f"worker [{pid}]"
+    return f"process [{pid}]"
+
+
+def to_chrome_trace(timeline: Dict) -> Dict:
+    """Render a :func:`build_timeline` result as Chrome trace-event JSON.
+
+    Open spans are exported as complete (``X``) events flagged with
+    ``args.open`` so they stay visible in Perfetto rather than
+    vanishing as unbalanced begins.
+    """
+    trace_events: List[Dict] = []
+    pids = sorted({s["pid"] for s in timeline["spans"]}
+                  | {e["pid"] for e in timeline["events"]}
+                  | {c["pid"] for c in timeline["counters"]})
+    for pid in pids:
+        trace_events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": _process_label(pid, timeline["spans"])},
+        })
+    for span in timeline["spans"]:
+        args = dict(span["args"])
+        if span.get("trace"):
+            args["trace"] = span["trace"]
+        if span.get("open"):
+            args["open"] = True
+        trace_events.append({
+            "ph": "X", "name": span["name"], "cat": span["cat"],
+            "pid": span["pid"], "tid": 0,
+            "ts": span["ts"], "dur": span.get("dur", 0.0),
+            "args": args,
+        })
+    for event in timeline["events"]:
+        args = dict(event["args"])
+        if event.get("trace"):
+            args["trace"] = event["trace"]
+        trace_events.append({
+            "ph": "i", "name": event["name"], "cat": event["cat"],
+            "pid": event["pid"], "tid": 0, "ts": event["ts"],
+            "s": "p", "args": args,
+        })
+    for counter in timeline["counters"]:
+        trace_events.append({
+            "ph": "C", "name": counter["name"], "cat": counter["cat"],
+            "pid": counter["pid"], "tid": 0, "ts": counter["ts"],
+            "args": {"value": counter["value"]},
+        })
+    return {"traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": "ndroid_spans/v1"}}
+
+
+def render_timeline(timeline: Dict, width: int = 72) -> str:
+    """A text timeline: one bar per span, grouped by process."""
+    spans = timeline["spans"]
+    lines = ["== fleet timeline =="]
+    if not spans:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    horizon = max(s["ts"] + s.get("dur", 0.0) for s in spans)
+    horizon = max(horizon, 1.0)
+    scale = width / horizon
+    by_pid: Dict[int, List[Dict]] = {}
+    for span in spans:
+        by_pid.setdefault(span["pid"], []).append(span)
+    lines.append(f"{len(spans)} spans over {horizon / 1e3:.1f} ms, "
+                 f"{timeline['open_spans']} left open")
+    for pid in sorted(by_pid):
+        lines.append(f"-- {_process_label(pid, spans)} --")
+        for span in by_pid[pid]:
+            start = int(span["ts"] * scale)
+            length = max(1, int(span.get("dur", 0.0) * scale))
+            length = min(length, width - start) or 1
+            bar = " " * start + "#" * length
+            marker = " OPEN" if span.get("open") else ""
+            trace = f" [{span['trace']}]" if span.get("trace") else ""
+            lines.append(f"  {bar:<{width}}  {span['cat']}:{span['name']}"
+                         f"{trace} {span.get('dur', 0.0) / 1e3:.2f}ms"
+                         f"{marker}")
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(trace: Dict) -> List[str]:
+    """Schema check for the exported Chrome trace.  Returns problems.
+
+    Hand-rolled on purpose (no jsonschema dependency in the image),
+    mirroring ``observability/schema.validate_trace``.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace is not an object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in CHROME_PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: missing pid")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad dur {dur!r}")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or "value" not in args:
+                errors.append(f"{where}: counter without value")
+    return errors
+
+
+def aggregate_trace_dir(trace_dir: str) -> Dict:
+    """collect_spools + build_timeline in one call (the common path)."""
+    return build_timeline(collect_spools(trace_dir))
+
+
+def write_trace_artifacts(trace_dir: str,
+                          out_dir: Optional[str] = None) -> Dict[str, str]:
+    """Aggregate a trace directory into ``trace.json`` (Chrome) and
+    ``timeline.txt`` (text), returning the artifact paths."""
+    out_dir = out_dir or trace_dir
+    os.makedirs(out_dir, exist_ok=True)
+    timeline = aggregate_trace_dir(trace_dir)
+    chrome = to_chrome_trace(timeline)
+    trace_path = os.path.join(out_dir, "trace.json")
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        json.dump(chrome, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    text_path = os.path.join(out_dir, "timeline.txt")
+    with open(text_path, "w", encoding="utf-8") as fh:
+        fh.write(render_timeline(timeline) + "\n")
+    return {"trace": trace_path, "timeline": text_path}

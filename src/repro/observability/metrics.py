@@ -19,6 +19,7 @@ produces the Table IV/V-style two-run comparison rows.
 from __future__ import annotations
 
 import json
+import math
 from typing import Callable, Dict, IO, List, Optional, Tuple, Union
 
 Number = Union[int, float]
@@ -52,9 +53,18 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics over recorded observations."""
+    """Summary statistics plus percentiles over recorded observations.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Percentiles come from a bounded reservoir of retained samples
+    (``SAMPLE_CAP``): the first ``SAMPLE_CAP`` observations are kept
+    verbatim, after which each new one deterministically overwrites a
+    slot keyed by the running count (Knuth multiplicative hash) — no
+    RNG, so two identical runs summarise identically.
+    """
+
+    SAMPLE_CAP = 512
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_samples")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -62,6 +72,7 @@ class Histogram:
         self.total: Number = 0
         self.minimum: Optional[Number] = None
         self.maximum: Optional[Number] = None
+        self._samples: List[Number] = []
 
     def record(self, value: Number) -> None:
         self.count += 1
@@ -70,15 +81,30 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if len(self._samples) < self.SAMPLE_CAP:
+            self._samples.append(value)
+        else:
+            self._samples[(self.count * 2654435761) % self.SAMPLE_CAP] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Number:
+        """Nearest-rank percentile over the retained samples."""
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        rank = math.ceil(q / 100.0 * len(ordered)) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
+
     def summary(self) -> Dict[str, Number]:
         return {"count": self.count, "sum": self.total,
                 "min": self.minimum or 0, "max": self.maximum or 0,
-                "mean": round(self.mean, 6)}
+                "mean": round(self.mean, 6),
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99)}
 
 
 class MetricsRegistry:
@@ -89,6 +115,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._sources: List[Tuple[str, Source]] = []
+        self._source_gauges: Dict[str, Tuple[str, ...]] = {}
 
     # -- instruments -------------------------------------------------------
 
@@ -112,12 +139,34 @@ class MetricsRegistry:
 
     # -- pull sources ------------------------------------------------------
 
-    def register_source(self, prefix: str, source: Source) -> None:
-        """Attach a snapshot-time closure; its keys land under ``prefix.``."""
+    def register_source(self, prefix: str, source: Source,
+                        gauges: Tuple[str, ...] = ()) -> None:
+        """Attach a snapshot-time closure; its keys land under ``prefix.``.
+
+        ``gauges`` names the source keys that are point-in-time values
+        rather than monotonic counters — fleet merging must not sum
+        those across workers (see ``farm/merge.merge_metrics``).
+        """
         self._sources.append((prefix, source))
+        if gauges:
+            self._source_gauges[prefix] = tuple(gauges)
 
     def unregister_source(self, prefix: str) -> None:
         self._sources = [(p, s) for p, s in self._sources if p != prefix]
+        self._source_gauges.pop(prefix, None)
+
+    def gauge_keys(self) -> List[str]:
+        """Fully-qualified names of every gauge-typed metric.
+
+        Covers push :class:`Gauge` instruments and the source keys
+        declared via ``register_source(..., gauges=...)``; shipped with
+        each worker's snapshot so the merge layer knows what not to sum.
+        """
+        names = set(self._gauges)
+        for prefix, keys in self._source_gauges.items():
+            for key in keys:
+                names.add(f"{prefix}.{key}")
+        return sorted(names)
 
     # -- flattening --------------------------------------------------------
 

@@ -1,0 +1,239 @@
+"""Structured span/event tracing: the fleet's flight recorder.
+
+A :class:`SpanTracer` records *where time goes* — the temporal half of
+the paper's evaluation that the provenance ledger (what flowed where)
+cannot answer.  Three record shapes, one stream:
+
+``B``/``E`` (span begin/end)
+    A duration with a name, a category (``scheduler`` / ``worker`` /
+    ``engine``), and a **trace id** correlating every record that serves
+    the same farm job across process boundaries.  Begin records are
+    written to the spool *at begin time*, so a SIGKILLed worker leaves
+    evidence of what it was doing — the aggregator renders the
+    unmatched begin as an explicit open-span marker, never an error.
+
+``i`` (instant event)
+    A point in time (a retry decision, a variant escalation, a cache
+    flush).
+
+``C`` (counter sample)
+    A named value at a point in time (cache hit totals at job end),
+    rendered by Chrome's trace viewer as a counter track.
+
+Two sinks, both bounded in cost:
+
+* the **flight recorder** — an in-memory ``deque(maxlen=capacity)`` of
+  the most recent records with a ``dropped`` tally, cheap enough to
+  keep during any run and read by the live farm console;
+* an optional **spool** (:class:`repro.observability.flight.FlightSpool`)
+  — an append-only, flush-per-record JSONL file whose reader tolerates
+  the torn tail a SIGKILL leaves, exactly like ``farm/journal.py``.
+
+Zero-cost discipline (PR 3): engines hold a ``span_tracer`` attribute
+that stays ``None`` when tracing is off; every hot-path emit sits behind
+one ``is not None`` check, and the <3% disabled-overhead CI gate covers
+the layer.  Timestamps are wall-clock microseconds (``time.time()``),
+the only clock comparable across forked processes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+SPAN_SCHEMA = "ndroid_spans/v1"
+
+# Record categories (the span taxonomy's top level).
+CATEGORIES = ("scheduler", "worker", "engine", "farm")
+
+
+def now_us() -> float:
+    """Wall-clock microseconds — comparable across forked processes."""
+    return time.time() * 1e6
+
+
+class SpanTracer:
+    """Bounded in-memory flight recorder plus an optional JSONL spool.
+
+    One tracer per process (the scheduler owns one; each forked worker
+    opens its own after the fork, so no file descriptor is shared).
+    ``trace_id`` is mutable: the inline (serial) scheduler re-points it
+    at each job's id so engine records still correlate.
+    """
+
+    def __init__(self, spool=None, capacity: int = 4096,
+                 trace_id: str = "") -> None:
+        self.spool = spool
+        self.capacity = capacity
+        self.records: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.trace_id = trace_id
+        self.pid = os.getpid()
+        self._seq = 0
+        self._lock = threading.Lock()
+        # Open-span stack per thread, for parent attribution.
+        self._stacks: Dict[int, List[int]] = {}
+        self.spans_begun = 0
+        self.spans_ended = 0
+        self.events_emitted = 0
+        self.counters_emitted = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    @staticmethod
+    def now() -> float:
+        return now_us()
+
+    def _emit(self, record: Dict) -> None:
+        if len(self.records) == self.capacity:
+            self.dropped += 1
+        self.records.append(record)
+        spool = self.spool
+        if spool is not None:
+            spool.write(record)
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _stack(self) -> List[int]:
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = self._stacks[ident] = []
+        return stack
+
+    # -- spans ------------------------------------------------------------
+
+    def begin(self, name: str, cat: str = "worker",
+              trace: Optional[str] = None, detached: bool = False,
+              **args) -> int:
+        """Open a span; returns its id for :meth:`end`.
+
+        The begin record hits the spool immediately — that is the crash
+        evidence an aggregated timeline replays as an open span.
+        ``detached`` spans skip the per-thread nesting stack: use it for
+        spans that overlap arbitrarily (the scheduler's concurrent job
+        spans) rather than nest.
+        """
+        span_id = self._next_id()
+        record = {
+            "ph": "B", "ts": now_us(), "pid": self.pid, "span": span_id,
+            "name": name, "cat": cat,
+            "trace": self.trace_id if trace is None else trace,
+        }
+        if not detached:
+            stack = self._stack()
+            if stack:
+                record["parent"] = stack[-1]
+            stack.append(span_id)
+        if args:
+            record["args"] = args
+        self.spans_begun += 1
+        self._emit(record)
+        return span_id
+
+    def end(self, span_id: int, **args) -> None:
+        record = {"ph": "E", "ts": now_us(), "pid": self.pid,
+                  "span": span_id}
+        if args:
+            record["args"] = args
+        stack = self._stack()
+        if span_id in stack:
+            del stack[stack.index(span_id):]
+        self.spans_ended += 1
+        self._emit(record)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "worker",
+             trace: Optional[str] = None, **args) -> Iterator[int]:
+        span_id = self.begin(name, cat=cat, trace=trace, **args)
+        try:
+            yield span_id
+        finally:
+            self.end(span_id)
+
+    def complete(self, name: str, start_us: float, cat: str = "engine",
+                 trace: Optional[str] = None, **args) -> None:
+        """One finished span as a single record (engine hot paths).
+
+        Cheaper than begin+end — one record, no stack work — for spans
+        that cannot be torn (they complete before control returns).
+        """
+        record = {
+            "ph": "X", "ts": start_us, "dur": max(0.0, now_us() - start_us),
+            "pid": self.pid, "name": name, "cat": cat,
+            "trace": self.trace_id if trace is None else trace,
+        }
+        if args:
+            record["args"] = args
+        self.spans_begun += 1
+        self.spans_ended += 1
+        self._emit(record)
+
+    # -- instants / counters ----------------------------------------------
+
+    def event(self, name: str, cat: str = "worker",
+              trace: Optional[str] = None, **args) -> None:
+        record = {
+            "ph": "i", "ts": now_us(), "pid": self.pid, "name": name,
+            "cat": cat,
+            "trace": self.trace_id if trace is None else trace,
+        }
+        if args:
+            record["args"] = args
+        self.events_emitted += 1
+        self._emit(record)
+
+    def counter(self, name: str, value, cat: str = "worker",
+                trace: Optional[str] = None) -> None:
+        record = {
+            "ph": "C", "ts": now_us(), "pid": self.pid, "name": name,
+            "cat": cat, "value": value,
+            "trace": self.trace_id if trace is None else trace,
+        }
+        self.counters_emitted += 1
+        self._emit(record)
+
+    # -- introspection -----------------------------------------------------
+
+    def in_flight(self) -> List[int]:
+        """Span ids currently open across every thread."""
+        return [span_id for stack in self._stacks.values()
+                for span_id in stack]
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "spans_begun": self.spans_begun,
+            "spans_ended": self.spans_ended,
+            "events": self.events_emitted,
+            "counters": self.counters_emitted,
+            "recorded": len(self.records),
+            "dropped": self.dropped,
+        }
+
+    def close(self) -> None:
+        if self.spool is not None:
+            self.spool.close()
+
+
+def attach_spans(platform, tracer: Optional[SpanTracer]) -> None:
+    """Point every engine's ``span_tracer`` attribute at ``tracer``.
+
+    Passing ``None`` detaches.  The engines only ever do one
+    ``is not None`` check per emit site, so a detached platform pays
+    a single attribute read on the cold paths and nothing per
+    instruction.
+    """
+    platform.emu.span_tracer = tracer
+    platform.jni.span_tracer = tracer
+    if platform.vm.tbc is not None:
+        platform.vm.tbc.span_tracer = tracer
+    observability = getattr(platform, "observability", None)
+    if observability is not None:
+        observability.spans = tracer

@@ -58,3 +58,48 @@ def test_diff_snapshots_ratio():
     assert by_name["a"] == (10, 20, 2.0)
     assert by_name["b"][2] is None  # zero baseline -> no ratio
     assert by_name["only_current"][0] is None
+
+
+def test_histogram_percentiles_exact_under_cap():
+    from repro.observability.metrics import Histogram
+    histogram = Histogram("latency")
+    for value in range(1, 101):           # 1..100, well under SAMPLE_CAP
+        histogram.record(value)
+    summary = histogram.summary()
+    assert summary["p50"] == 50
+    assert summary["p95"] == 95
+    assert summary["p99"] == 99
+    assert summary["min"] == 1 and summary["max"] == 100
+    assert summary["mean"] == 50.5
+
+
+def test_histogram_reservoir_is_bounded_and_deterministic():
+    from repro.observability.metrics import Histogram
+    first, second = Histogram("a"), Histogram("b")
+    for value in range(Histogram.SAMPLE_CAP * 4):
+        first.record(value)
+        second.record(value)
+    assert len(first._samples) == Histogram.SAMPLE_CAP
+    # No RNG in the replacement policy: identical runs summarise
+    # identically (the farm's determinism discipline).
+    assert first.summary() == second.summary()
+    # Count/total stay exact even though the reservoir subsamples.
+    assert first.count == Histogram.SAMPLE_CAP * 4
+    assert first.summary()["max"] == Histogram.SAMPLE_CAP * 4 - 1
+
+
+def test_empty_histogram_percentiles_are_zero():
+    from repro.observability.metrics import Histogram
+    summary = Histogram("empty").summary()
+    assert summary["p50"] == summary["p95"] == summary["p99"] == 0
+
+
+def test_gauge_keys_cover_push_gauges_and_declared_source_gauges():
+    registry = MetricsRegistry()
+    registry.gauge("pool.live_workers").set(3)
+    registry.counter("pool.spawns").inc()
+    registry.register_source("cache", lambda: {"blocks": 7, "hits": 9},
+                             gauges=("blocks",))
+    assert registry.gauge_keys() == ["cache.blocks", "pool.live_workers"]
+    registry.unregister_source("cache")
+    assert registry.gauge_keys() == ["pool.live_workers"]

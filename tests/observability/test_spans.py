@@ -1,0 +1,183 @@
+"""Unit tests for the span tracer (the flight recorder's write side)."""
+
+import threading
+
+from repro.observability.flight import FlightSpool, read_spool
+from repro.observability.spans import SpanTracer, attach_spans, now_us
+
+
+class TestRecordShapes:
+    def test_begin_end_records(self):
+        tracer = SpanTracer(trace_id="abc123")
+        span = tracer.begin("job", cat="scheduler", attempt=1)
+        tracer.end(span, status="done")
+        begin, end = tracer.records
+        assert begin["ph"] == "B" and end["ph"] == "E"
+        assert begin["name"] == "job"
+        assert begin["cat"] == "scheduler"
+        assert begin["trace"] == "abc123"
+        assert begin["args"] == {"attempt": 1}
+        assert end["span"] == begin["span"] == span
+        assert end["args"] == {"status": "done"}
+        assert end["ts"] >= begin["ts"]
+
+    def test_complete_is_one_record(self):
+        tracer = SpanTracer()
+        tracer.complete("tb_translate", now_us(), cat="engine", pc=0x1000)
+        (record,) = tracer.records
+        assert record["ph"] == "X"
+        assert record["dur"] >= 0.0
+        assert record["args"]["pc"] == 0x1000
+
+    def test_event_and_counter(self):
+        tracer = SpanTracer(trace_id="t1")
+        tracer.event("retry", cat="scheduler", attempt=2)
+        tracer.counter("tb.hits", 7)
+        event, counter = tracer.records
+        assert event["ph"] == "i" and event["args"]["attempt"] == 2
+        assert counter["ph"] == "C" and counter["value"] == 7
+        assert counter["trace"] == "t1"
+
+    def test_explicit_trace_overrides_tracer_default(self):
+        tracer = SpanTracer(trace_id="default")
+        tracer.event("queued", trace="override")
+        assert tracer.records[0]["trace"] == "override"
+
+
+class TestNesting:
+    def test_nested_spans_attribute_parents(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("job")
+        inner = tracer.begin("platform_boot")
+        tracer.end(inner)
+        tracer.end(outer)
+        records = {r["span"]: r for r in tracer.records if r["ph"] == "B"}
+        assert "parent" not in records[outer]
+        assert records[inner]["parent"] == outer
+
+    def test_detached_spans_skip_the_stack(self):
+        tracer = SpanTracer()
+        first = tracer.begin("job", detached=True)
+        second = tracer.begin("job", detached=True)
+        begins = [r for r in tracer.records if r["ph"] == "B"]
+        assert all("parent" not in r for r in begins)
+        assert tracer.in_flight() == []
+        tracer.end(second)
+        tracer.end(first)
+
+    def test_end_prunes_abandoned_children(self):
+        # Ending an outer span whose inner never ended (a crashed
+        # sub-phase) must not leave the inner id haunting the stack.
+        tracer = SpanTracer()
+        outer = tracer.begin("job")
+        tracer.begin("scenario_run")
+        tracer.end(outer)
+        assert tracer.in_flight() == []
+
+    def test_span_context_manager_closes_on_error(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("scenario_run"):
+                raise RuntimeError("scenario crashed")
+        except RuntimeError:
+            pass
+        assert tracer.in_flight() == []
+        assert tracer.statistics()["spans_ended"] == 1
+
+    def test_threads_get_independent_stacks(self):
+        tracer = SpanTracer()
+        main_span = tracer.begin("job")
+        seen = {}
+
+        def worker():
+            span = tracer.begin("platform_boot")
+            record = [r for r in tracer.records
+                      if r["ph"] == "B" and r["span"] == span][0]
+            seen["parent"] = record.get("parent")
+            tracer.end(span)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # The other thread's span must not claim main's span as parent.
+        assert seen["parent"] is None
+        tracer.end(main_span)
+
+
+class TestBounds:
+    def test_flight_recorder_is_bounded_with_drop_tally(self):
+        tracer = SpanTracer(capacity=4)
+        for index in range(10):
+            tracer.event(f"e{index}")
+        assert len(tracer.records) == 4
+        assert tracer.dropped == 6
+        # The *newest* records survive: it is a flight recorder.
+        assert [r["name"] for r in tracer.records] == \
+            ["e6", "e7", "e8", "e9"]
+
+    def test_statistics(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        tracer.complete("b", now_us())
+        tracer.event("c")
+        tracer.counter("d", 1)
+        stats = tracer.statistics()
+        assert stats["spans_begun"] == 2
+        assert stats["spans_ended"] == 2
+        assert stats["events"] == 1
+        assert stats["counters"] == 1
+        assert stats["dropped"] == 0
+
+
+class TestSpoolIntegration:
+    def test_begin_hits_the_spool_before_end(self, tmp_path):
+        # The crash-evidence property: a spool abandoned mid-span still
+        # holds the begin record.
+        path = str(tmp_path / "spool.jsonl")
+        tracer = SpanTracer(spool=FlightSpool(path))
+        tracer.begin("job", cat="worker")
+        # No end, no close: simulate the state a SIGKILL would freeze.
+        records = list(read_spool(path))
+        assert [r["ph"] for r in records] == ["B"]
+        tracer.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = SpanTracer(spool=FlightSpool(str(tmp_path / "s.jsonl")))
+        tracer.close()
+        tracer.close()
+        no_spool = SpanTracer()
+        no_spool.close()  # no spool: also fine
+
+
+class TestAttach:
+    class _Engine:
+        span_tracer = None
+
+    class _VM:
+        def __init__(self, tbc):
+            self.tbc = tbc
+
+    class _Platform:
+        def __init__(self, tbc):
+            self.emu = TestAttach._Engine()
+            self.jni = TestAttach._Engine()
+            self.vm = TestAttach._VM(tbc)
+            self.observability = None
+
+    def test_attach_and_detach_all_engines(self):
+        tbc = self._Engine()
+        platform = self._Platform(tbc)
+        tracer = SpanTracer()
+        attach_spans(platform, tracer)
+        assert platform.emu.span_tracer is tracer
+        assert platform.jni.span_tracer is tracer
+        assert tbc.span_tracer is tracer
+        attach_spans(platform, None)
+        assert platform.emu.span_tracer is None
+        assert tbc.span_tracer is None
+
+    def test_attach_tolerates_absent_tbc(self):
+        platform = self._Platform(None)
+        attach_spans(platform, SpanTracer())
+        assert platform.jni.span_tracer is not None
