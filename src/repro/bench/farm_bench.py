@@ -20,6 +20,15 @@ scenario slice of the manifest and records the verdict: the recovery
 invariants (no lost jobs, no duplicates, store verifies, poison
 quarantined exactly once, parity with the clean serial baseline) become
 regression-checkable numbers alongside the speedups.
+
+Schema 3 adds the **paper-scale scaling curve** (:class:`ScalingBench`):
+a streamed synthetic corpus — 10k chunk-classification jobs covering
+100k records by default — run through the streaming farm at 1/2/4/8
+workers, recording per-count wall clock, jobs/sec, and speedup vs the
+serial baseline, plus the stratum-marginals check against the
+apportionment plan and the peak RSS that certifies the bounded-memory
+property.  On a single-core host the parallel≥serial verdict is
+recorded as ``null`` with a skip notice instead of a dishonest number.
 """
 
 from __future__ import annotations
@@ -27,14 +36,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.farm.manifest import Manifest
 from repro.farm.merge import merge_results, sink_counts
 from repro.farm.scheduler import FarmScheduler
 from repro.farm.store import ResultStore
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 # Fixed drill seed: the injected fault schedule is part of the recorded
 # result, so two bench runs disagree only if recovery itself changed.
@@ -140,6 +149,135 @@ class FarmBench:
             "health": stats.get("health", {}),
             "outcomes": stats.get("outcomes", {}),
             "resumed_from_cache": stats.get("resumed_from_cache", 0),
+        }
+
+
+# Scaling-curve defaults: 10k jobs x 10 records = a 100k-record streamed
+# corpus, far past anything a materialized pipeline should attempt.
+SCALING_WORKER_COUNTS = (1, 2, 4, 8)
+DEFAULT_SCALING_JOBS = 10_000
+SCALING_CHUNK = 10
+SCALING_SEED = 2014
+SCALING_SHARD_SIZE = 256
+
+# Stratum marginal name -> the worker counter that measures it.
+_MARGINAL_METRICS = {
+    "total": "corpus.records",
+    "type1": "corpus.type1",
+    "type1_without_libs": "corpus.type1_without_libs",
+    "type1_admob": "corpus.type1_admob",
+    "type2": "corpus.type2",
+    "type2_loadable": "corpus.type2_loadable",
+    "type3": "corpus.type3",
+    "type3_games": "corpus.type3_games",
+    "plain": "corpus.plain",
+}
+
+
+class ScalingBench:
+    """The 1/2/4/8-worker scaling curve over a streamed synthetic corpus.
+
+    One sharded manifest is written once, then run cold at each worker
+    count through the streaming farm.  Every run classifies the same
+    records, so besides the timings the bench checks two invariants:
+
+    * **parity** — each worker count merges to the identical corpus
+      counters (the stream split can't change what was counted);
+    * **marginals** — the merged counters equal the apportionment
+      plan's stratum sizes exactly (the corpus the farm analysed *is*
+      the calibrated corpus).
+    """
+
+    def __init__(self, jobs: int = DEFAULT_SCALING_JOBS,
+                 chunk: int = SCALING_CHUNK, seed: int = SCALING_SEED,
+                 worker_counts: Sequence[int] = SCALING_WORKER_COUNTS,
+                 shard_size: int = SCALING_SHARD_SIZE) -> None:
+        from repro.corpus.generator import PAPER_PARAMETERS
+
+        self.jobs = max(1, jobs)
+        self.chunk = max(1, chunk)
+        self.seed = seed
+        self.worker_counts = tuple(worker_counts)
+        if not self.worker_counts or self.worker_counts[0] != 1:
+            raise ValueError("worker_counts must start with the serial "
+                             "baseline (1)")
+        self.shard_size = max(1, shard_size)
+        self.records = self.jobs * self.chunk
+        self.scale = self.records / PAPER_PARAMETERS.total_apps
+
+    def run(self) -> Dict:
+        import resource
+
+        from repro.corpus.generator import CorpusGenerator
+        from repro.farm.manifest import ShardedManifest, iter_corpus_jobs
+        from repro.farm.scheduler import StreamFarm
+
+        plan = CorpusGenerator(seed=self.seed, scale=self.scale).plan
+        curve = []
+        serial_wall = 0.0
+        reference: Optional[Dict] = None
+        with tempfile.TemporaryDirectory() as scratch:
+            manifest = ShardedManifest.write(
+                os.path.join(scratch, "manifest"),
+                iter_corpus_jobs(scale=self.scale, seed=self.seed,
+                                 chunk=self.chunk),
+                shard_size=self.shard_size)
+            for workers in self.worker_counts:
+                report = StreamFarm(manifest, workers=workers).run()
+                wall = report.wall_seconds
+                if workers == 1:
+                    serial_wall = wall
+                corpus_metrics = {
+                    name: value
+                    for name, value in report.merged_metrics.items()
+                    if name.startswith("corpus.")}
+                if reference is None:
+                    reference = corpus_metrics
+                curve.append({
+                    "workers": workers,
+                    "wall_seconds": round(wall, 4),
+                    "jobs": report.jobs,
+                    "jobs_per_second": (round(report.jobs / wall, 2)
+                                        if wall else 0.0),
+                    "speedup_vs_serial": (round(serial_wall / wall, 3)
+                                          if wall else 0.0),
+                    "outcomes": dict(report.outcomes),
+                    "parity_with_serial": corpus_metrics == reference,
+                })
+
+        measured = {name: int(reference.get(metric, 0))
+                    for name, metric in _MARGINAL_METRICS.items()}
+        planned = plan.marginals()
+        cpus = os.cpu_count() or 1
+        multi = [point for point in curve if point["workers"] > 1]
+        if cpus <= 1 or not multi:
+            verdict = None       # recorded-as-skipped, not as a failure
+            notice = (f"single-core host (cpus={cpus}): "
+                      "parallel>=serial gate skipped")
+        else:
+            best = min(point["wall_seconds"] for point in multi)
+            verdict = best <= serial_wall
+            notice = None
+        rss_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_children = resource.getrusage(
+            resource.RUSAGE_CHILDREN).ru_maxrss
+        return {
+            "jobs": self.jobs,
+            "chunk": self.chunk,
+            "records": self.records,
+            "scale": round(self.scale, 6),
+            "seed": self.seed,
+            "shard_size": self.shard_size,
+            "curve": curve,
+            "parallel_beats_serial": verdict,
+            "skip_notice": notice,
+            "marginals": {
+                "planned": planned,
+                "measured": measured,
+                "exact": measured == planned,
+            },
+            "max_rss_kib": {"scheduler": rss_self,
+                            "workers": rss_children},
         }
 
 

@@ -68,6 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(serial vs -j N vs resumed) instead")
     bench.add_argument("--workers", type=int, default=4,
                        help="parallel worker count for --farm (default 4)")
+    bench.add_argument("--scaling", action="store_true",
+                       help="with --farm: also run the paper-scale "
+                            "streamed-corpus scaling curve "
+                            "(1/2/4/8 workers over the streaming farm)")
+    bench.add_argument("--scaling-jobs", type=int, default=10_000,
+                       help="corpus chunk jobs in the scaling curve "
+                            "(default 10000 = 100k records)")
     bench.add_argument("--json", metavar="PATH", default=None,
                        help="write emulator benchmark results to PATH")
     bench.add_argument("--baseline", metavar="PATH", default=None,
@@ -76,6 +83,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.30,
                        help="allowed speedup regression vs baseline "
                             "(default 0.30)")
+
+    shard = subparsers.add_parser(
+        "shard", help="write a sharded streamed-corpus manifest directory")
+    shard.add_argument("directory",
+                       help="output directory (gets shard-*.jsonl + "
+                            "index.json); pass it to `repro farm`")
+    shard.add_argument("--scale", type=float, default=0.1,
+                       help="corpus scale factor (1.0 = 227,911 apps; "
+                            "default 0.1)")
+    shard.add_argument("--seed", type=int, default=2014)
+    shard.add_argument("--chunk", type=int, default=16,
+                       help="corpus records per job (default 16)")
+    shard.add_argument("--shard-size", type=int, default=1024,
+                       help="jobs per shard file (default 1024)")
 
     supervise = subparsers.add_parser(
         "supervise",
@@ -235,8 +256,10 @@ def _command_matrix() -> int:
 
 def _command_corpus(scale: float, seed: int) -> int:
     from repro.corpus import CorpusGenerator, analyze_corpus
-    records = CorpusGenerator(seed=seed, scale=scale).generate()
-    report = analyze_corpus(records)
+    # Stream, never materialize: the study holds one record at a time
+    # whatever the scale.
+    generator = CorpusGenerator(seed=seed, scale=scale)
+    report = analyze_corpus(generator.stream())
     print(report.format_summary())
     return 0
 
@@ -276,8 +299,10 @@ def _command_bench_emulator(json_path, baseline_path, tolerance) -> int:
     return 0 if parity["identical"] else 1
 
 
-def _command_bench_farm(workers: int, json_path) -> int:
-    from repro.bench.farm_bench import FarmBench, write_results
+def _command_bench_farm(workers: int, json_path, scaling: bool = False,
+                        scaling_jobs: int = 10_000) -> int:
+    from repro.bench.farm_bench import (FarmBench, ScalingBench,
+                                        write_results)
     results = FarmBench(workers=workers).run()
     rows = results["runs"]
     for name in ("serial", "parallel", "resumed"):
@@ -292,10 +317,37 @@ def _command_bench_farm(workers: int, json_path) -> int:
     print(f"per-app count parity: "
           f"{'identical' if parity['identical'] else 'BROKEN'} "
           f"over {len(parity['apps'])} jobs")
+
+    scaling_ok = True
+    if scaling:
+        curve = ScalingBench(jobs=scaling_jobs).run()
+        results["scaling"] = curve
+        print(f"\nscaling curve: {curve['jobs']} corpus jobs "
+              f"({curve['records']:,} records, "
+              f"scale {curve['scale']:.4f})")
+        for point in curve["curve"]:
+            print(f"  workers={point['workers']:<3} "
+                  f"wall={point['wall_seconds']:.2f}s "
+                  f"{point['jobs_per_second']:>9,.0f} jobs/s "
+                  f"speedup={point['speedup_vs_serial']:.2f}x "
+                  f"parity={'ok' if point['parity_with_serial'] else 'BROKEN'}")
+        marginals = curve["marginals"]
+        print(f"  marginals vs plan: "
+              f"{'exact' if marginals['exact'] else 'DRIFTED'}")
+        if curve["parallel_beats_serial"] is None:
+            print(f"  {curve['skip_notice']}")
+        else:
+            print(f"  parallel beats serial: "
+                  f"{curve['parallel_beats_serial']}")
+        scaling_ok = (marginals["exact"]
+                      and all(p["parity_with_serial"]
+                              for p in curve["curve"])
+                      and curve["parallel_beats_serial"] is not False)
+
     if json_path:
         write_results(results, json_path)
         print(f"wrote {json_path}")
-    return 0 if parity["identical"] else 1
+    return 0 if parity["identical"] and scaling_ok else 1
 
 
 def _command_supervise(args) -> int:
@@ -351,12 +403,50 @@ def _command_supervise(args) -> int:
     return 0
 
 
+def _command_shard(args) -> int:
+    from repro.farm.manifest import ShardedManifest, iter_corpus_jobs
+    manifest = ShardedManifest.write(
+        args.directory,
+        iter_corpus_jobs(scale=args.scale, seed=args.seed,
+                         chunk=args.chunk),
+        shard_size=args.shard_size)
+    print(f"wrote {args.directory}: {len(manifest):,} jobs across "
+          f"{manifest.shard_count} shard(s) "
+          f"(~{args.chunk} records/job, seed {args.seed}, "
+          f"scale {args.scale})")
+    print(f"run it with: repro farm {args.directory} -j N")
+    return 0
+
+
+def _command_farm_stream(args, manifest) -> int:
+    """A sharded manifest routes to the streaming farm."""
+    import os
+    from repro.farm import (FarmInterrupted, render_farm_report,
+                            write_farm_artifacts)
+    from repro.farm.scheduler import StreamFarm
+
+    farm = StreamFarm(manifest, workers=args.workers,
+                      run_dir=os.path.join(args.out, "runstate"),
+                      resume=args.resume, budget=args.budget)
+    try:
+        report = farm.run()
+    except FarmInterrupted as drained:
+        print(f"interrupted: {drained} — journaled, workers reaped; "
+              f"re-run with --resume to finish", file=sys.stderr)
+        return 130
+    write_farm_artifacts(report, args.out)
+    print(render_farm_report(report), end="")
+    print(f"wrote {args.out}/{{farm.json, report.txt, merged/}}")
+    return 1 if report.outcomes.get("lost", 0) else 0
+
+
 def _command_farm(args) -> int:
     import os
     from repro.farm import (ChaosMonkey, FarmConsole, FarmInterrupted,
                             FarmScheduler, Manifest, ResultStore,
                             merge_results, render_farm_report,
                             write_farm_artifacts, write_trace_artifacts)
+    from repro.farm.manifest import ShardedManifest
     try:
         manifest = Manifest.load(args.manifest, trace=args.trace) \
             if args.manifest == "builtin" else Manifest.load(args.manifest)
@@ -366,6 +456,8 @@ def _command_farm(args) -> int:
     if not len(manifest):
         print("manifest holds no jobs", file=sys.stderr)
         return 2
+    if isinstance(manifest, ShardedManifest):
+        return _command_farm_stream(args, manifest)
     if args.chaos is not None:
         return _command_farm_chaos(args, manifest)
     store = ResultStore(os.path.join(args.out, "cache"))
@@ -541,8 +633,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_bench_emulator(args.json, args.baseline,
                                            args.tolerance)
         if args.farm:
-            return _command_bench_farm(args.workers, args.json)
+            return _command_bench_farm(args.workers, args.json,
+                                       scaling=args.scaling,
+                                       scaling_jobs=args.scaling_jobs)
         return _command_bench(args.iterations, args.repeats)
+    if args.command == "shard":
+        return _command_shard(args)
     if args.command == "supervise":
         return _command_supervise(args)
     if args.command == "farm":

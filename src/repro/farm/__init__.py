@@ -18,10 +18,19 @@ power-loss-safe writes — SIGKILL the scheduler itself and ``--resume``
 completes the run with no lost jobs, no duplicates, no corrupt store.
 ``repro farm --chaos SEED`` proves all of that on demand.
 
+Paper-scale corpus runs stream instead of materializing: a
+:class:`ShardedManifest` spools chunk-classification jobs into
+digest-stable JSONL shards, :class:`StreamFarm` serves whole shards
+from long-lived forked workers with atomic shard commits and
+shard-level resume, and :class:`~repro.farm.merge.MergeFold` folds the
+results in bounded memory (see DESIGN.md "Paper-scale pipeline").
+
 Layers::
 
     Manifest (manifest.py)   what to run, digest-keyed JobSpecs
+    ShardedManifest (manifest.py) streamed JSONL shards + index
     FarmScheduler (scheduler.py)  dispatch -> retry/quarantine -> collect
+    StreamFarm (scheduler.py)  shard workers, bounded-memory corpus runs
     execute_job (worker.py)  one supervised job, JSON-able result
     WorkerPool (health.py)   fork, heartbeat, hung-vs-dead, reclaim
     RunJournal (journal.py)  crash-consistent WAL of job transitions
@@ -35,9 +44,16 @@ from repro.farm.chaos import ChaosMonkey, ChaosReport, run_chaos_harness
 from repro.farm.console import FarmConsole
 from repro.farm.health import HealthStats, WorkerPool, parse_heartbeat
 from repro.farm.journal import RunJournal, replay, verify_journal
-from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
+from repro.farm.manifest import (
+    FARM_SCHEMA_VERSION,
+    JobSpec,
+    Manifest,
+    ShardedManifest,
+    iter_corpus_jobs,
+)
 from repro.farm.merge import (
     FarmReport,
+    MergeFold,
     merge_results,
     merge_spans,
     render_farm_report,
@@ -45,7 +61,12 @@ from repro.farm.merge import (
     write_farm_artifacts,
     write_trace_artifacts,
 )
-from repro.farm.scheduler import FarmInterrupted, FarmScheduler, run_farm
+from repro.farm.scheduler import (
+    FarmInterrupted,
+    FarmScheduler,
+    StreamFarm,
+    run_farm,
+)
 from repro.farm.store import ResultStore
 from repro.farm.worker import execute_job
 
@@ -60,10 +81,14 @@ __all__ = [
     "HealthStats",
     "JobSpec",
     "Manifest",
+    "MergeFold",
     "ResultStore",
     "RunJournal",
+    "ShardedManifest",
+    "StreamFarm",
     "WorkerPool",
     "execute_job",
+    "iter_corpus_jobs",
     "merge_results",
     "merge_spans",
     "parse_heartbeat",

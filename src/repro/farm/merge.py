@@ -7,6 +7,14 @@ collected tombstones — so a 4-worker run and a serial run of the same
 manifest merge to identical per-app counts (the parity property the
 scheduler tests pin).  Rendering reuses the PR 3 report machinery
 (:func:`render_analysis_table`) for the merged analysis-work section.
+
+The merge is a **bounded-memory streaming fold**: :class:`MergeFold`
+accepts one result row at a time, accumulates the type-aware metric
+merge and the outcome/tombstone bookkeeping incrementally, and spools
+compact display rows to disk instead of retaining result dicts.  A
+100k-job corpus run therefore merges in O(metric names) memory; the
+list-based :func:`merge_results`/:func:`merge_metrics` API survives as
+a thin wrapper over the same fold.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.observability.report import render_analysis_table
 
@@ -22,17 +30,45 @@ from repro.observability.report import render_analysis_table
 # kernel's syscall tally in each job's metrics snapshot.
 SINK_SYSCALLS = ("write", "send", "sendto")
 
+# render_farm_report prints at most this many per-job rows; a
+# paper-scale corpus summarises the remainder in one line.
+MAX_RENDERED_ROWS = 48
+
 
 def sink_counts(metrics: Dict) -> Dict[str, int]:
     return {name: int(metrics.get(f"kernel.syscall.{name}", 0))
             for name in SINK_SYSCALLS}
 
 
+def compact_row(result: Dict) -> Dict:
+    """The per-job display/parity row for one result dict."""
+    job = result["job"]
+    return {
+        "id": job["id"],
+        "kind": job["kind"],
+        "status": result["status"],
+        "cached": bool(result.get("cached")),
+        "leaks": len(result.get("leaks", [])),
+        "destinations": sorted({leak["destination"]
+                                for leak in result.get("leaks", [])
+                                if leak.get("destination")}),
+        "sinks": sink_counts(result.get("metrics", {})),
+        "degraded_events": result.get("degraded_events", 0),
+        "elapsed_seconds": result.get("elapsed_seconds", 0.0),
+    }
+
+
 @dataclass
 class FarmReport:
-    """Everything a farm run produced, merged."""
+    """Everything a farm run produced, merged.
 
-    results: List[Dict]
+    Two shapes share this type: small runs keep their ``results`` list
+    (every caller can still index into full result dicts), streaming
+    runs carry only the folded aggregates plus ``rows_path`` — a JSONL
+    spool of compact display rows — and leave ``results`` empty.
+    """
+
+    results: List[Dict] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
     cached_jobs: int = 0
@@ -42,51 +78,174 @@ class FarmReport:
     # Scheduler fault-tolerance summary (HealthStats.summary()):
     # reclaims, retries, quarantines, mean time to reclaim.
     health: Dict = field(default_factory=dict)
+    # Streaming-mode fields (results stays empty).
+    job_count: int = 0
+    completed_count: int = 0
+    rows_path: Optional[str] = None
+
+    @property
+    def streamed(self) -> bool:
+        return not self.results and self.job_count > 0
+
+    @property
+    def jobs(self) -> int:
+        return len(self.results) if self.results else self.job_count
 
     @property
     def completed(self) -> int:
-        return sum(1 for row in self.results
-                   if row["status"] in ("ok", "degraded"))
+        if self.results:
+            return sum(1 for row in self.results
+                       if row["status"] in ("ok", "degraded"))
+        return self.completed_count
 
-    def rows(self) -> List[Dict]:
-        """The per-job display/parity rows."""
-        rows = []
-        for result in self.results:
-            job = result["job"]
-            rows.append({
-                "id": job["id"],
-                "kind": job["kind"],
-                "status": result["status"],
-                "cached": bool(result.get("cached")),
-                "leaks": len(result.get("leaks", [])),
-                "destinations": sorted({leak["destination"]
-                                        for leak in result.get("leaks", [])
-                                        if leak.get("destination")}),
-                "sinks": sink_counts(result.get("metrics", {})),
-                "degraded_events": result.get("degraded_events", 0),
-                "elapsed_seconds": result.get("elapsed_seconds", 0.0),
-            })
-        return rows
+    def rows(self) -> Iterable[Dict]:
+        """The per-job display/parity rows.
+
+        Materialized reports return a list; streamed reports return a
+        generator over the on-disk row spool — callers iterate either
+        way without holding 100k dicts.
+        """
+        if self.results or not self.rows_path:
+            return [compact_row(result) for result in self.results]
+        return self._iter_spooled_rows()
+
+    def _iter_spooled_rows(self) -> Iterator[Dict]:
+        try:
+            handle = open(self.rows_path)
+        except OSError:
+            return
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
-            "jobs": len(self.results),
+            "jobs": self.jobs,
             "cached_jobs": self.cached_jobs,
             "outcomes": dict(self.outcomes),
-            "rows": self.rows(),
             "merged_metrics": dict(self.merged_metrics),
             "tombstones": [{"job": job_id, **tombstone}
                            for job_id, tombstone in self.tombstones],
             "health": dict(self.health),
         }
+        if self.streamed:
+            # 100k rows do not belong inline in farm.json; point at
+            # the spool instead.
+            payload["rows"] = None
+            payload["rows_path"] = self.rows_path
+        else:
+            payload["rows"] = list(self.rows())
+        return payload
 
 
 # Histogram-summary suffixes and how each merges across workers.
 _HIST_MIN = ".min"
 _HIST_MAX = ".max"
 _MEAN_SUFFIXES = (".mean", ".p50", ".p95", ".p99")
+
+
+class _MetricsFold:
+    """Incremental type-aware metric merge (one result at a time)."""
+
+    def __init__(self) -> None:
+        self.gauge_names: set = set()
+        self.merged: Dict = {}
+        self._weighted: Dict[str, float] = {}   # sum(value * count)
+        self._weights: Dict[str, float] = {}
+
+    def declare_gauges(self, names: Iterable[str]) -> None:
+        self.gauge_names.update(names)
+
+    def add(self, result: Dict) -> None:
+        # A result's own gauge declarations land before its metrics, so
+        # within one result (and for the uniform declarations workers
+        # actually ship) the gauge rule always wins over the counter
+        # default.
+        self.declare_gauges(result.get("metrics_gauges", ()))
+        metrics = result.get("metrics", {})
+        merged = self.merged
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if name in self.gauge_names:
+                merged[name] = max(merged.get(name, value), value)
+            elif name.endswith(_HIST_MIN):
+                merged[name] = min(merged.get(name, value), value)
+            elif name.endswith(_HIST_MAX):
+                merged[name] = max(merged.get(name, value), value)
+            elif name.endswith(_MEAN_SUFFIXES):
+                stem = name.rsplit(".", 1)[0]
+                count = metrics.get(f"{stem}.count", 1) or 1
+                self._weighted[name] = \
+                    self._weighted.get(name, 0.0) + value * count
+                self._weights[name] = self._weights.get(name, 0.0) + count
+            else:
+                merged[name] = merged.get(name, 0) + value
+
+    def finish(self) -> Dict:
+        for name, total in self._weighted.items():
+            self.merged[name] = round(total / self._weights[name], 6)
+        return self.merged
+
+
+class MergeFold:
+    """Bounded-memory streaming merge: fold result rows one at a time.
+
+    Holds only the aggregates — outcome counts, the metric fold, the
+    (rare) tombstones — plus an open spool where each result's compact
+    display row is appended, so memory stays O(metric names), not
+    O(jobs).  ``finish()`` yields the same :class:`FarmReport` a
+    materialized merge would, minus the retained result dicts.
+    """
+
+    def __init__(self, rows_path: Optional[str] = None) -> None:
+        self.rows_path = rows_path
+        self.jobs = 0
+        self.cached_jobs_seen = 0
+        self.completed = 0
+        self.outcomes: Dict[str, int] = {}
+        self.tombstones: List[Tuple[str, Dict]] = []
+        self._metrics = _MetricsFold()
+        self._rows_handle = None
+        if rows_path is not None:
+            parent = os.path.dirname(rows_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._rows_handle = open(rows_path, "w")
+
+    def add(self, result: Dict) -> None:
+        self.jobs += 1
+        status = result.get("status", "lost")
+        self.outcomes[status] = self.outcomes.get(status, 0) + 1
+        if status in ("ok", "degraded"):
+            self.completed += 1
+        if result.get("cached"):
+            self.cached_jobs_seen += 1
+        if result.get("tombstone"):
+            self.tombstones.append((result["job"]["id"],
+                                    result["tombstone"]))
+        self._metrics.add(result)
+        if self._rows_handle is not None:
+            self._rows_handle.write(json.dumps(compact_row(result)) + "\n")
+
+    def finish(self, workers: int = 1, wall_seconds: float = 0.0,
+               cached_jobs: Optional[int] = None,
+               health: Optional[Dict] = None) -> FarmReport:
+        if self._rows_handle is not None:
+            self._rows_handle.close()
+            self._rows_handle = None
+        return FarmReport(
+            results=[], workers=workers, wall_seconds=wall_seconds,
+            cached_jobs=(self.cached_jobs_seen if cached_jobs is None
+                         else cached_jobs),
+            merged_metrics=self._metrics.finish(),
+            outcomes=self.outcomes, tombstones=self.tombstones,
+            health=dict(health or {}), job_count=self.jobs,
+            completed_count=self.completed, rows_path=self.rows_path)
 
 
 def merge_metrics(results: List[Dict]) -> Dict:
@@ -104,35 +263,18 @@ def merge_metrics(results: List[Dict]) -> Dict:
       add, ``.min``/``.max`` take min/max, and ``.mean``/percentiles
       are count-weighted averages (exact for the mean, the standard
       mergeable approximation for percentiles).
-    """
-    gauge_names: set = set()
-    for result in results:
-        gauge_names.update(result.get("metrics_gauges", ()))
 
-    merged: Dict = {}
-    weighted: Dict[str, float] = {}   # sum(value * count) for mean-like keys
-    weights: Dict[str, float] = {}
+    With the whole list in hand, gauge declarations are collected in a
+    pre-pass so a gauge name is never mistaken for a counter whatever
+    the result order; the streaming fold gets the same guarantee from
+    workers declaring their gauges on every result.
+    """
+    fold = _MetricsFold()
     for result in results:
-        metrics = result.get("metrics", {})
-        for name, value in metrics.items():
-            if not isinstance(value, (int, float)):
-                continue
-            if name in gauge_names:
-                merged[name] = max(merged.get(name, value), value)
-            elif name.endswith(_HIST_MIN):
-                merged[name] = min(merged.get(name, value), value)
-            elif name.endswith(_HIST_MAX):
-                merged[name] = max(merged.get(name, value), value)
-            elif name.endswith(_MEAN_SUFFIXES):
-                stem = name.rsplit(".", 1)[0]
-                count = metrics.get(f"{stem}.count", 1) or 1
-                weighted[name] = weighted.get(name, 0.0) + value * count
-                weights[name] = weights.get(name, 0.0) + count
-            else:
-                merged[name] = merged.get(name, 0) + value
-    for name, total in weighted.items():
-        merged[name] = round(total / weights[name], 6)
-    return merged
+        fold.declare_gauges(result.get("metrics_gauges", ()))
+    for result in results:
+        fold.add(result)
+    return fold.finish()
 
 
 def merge_spans(trace_dir: str) -> Dict:
@@ -159,22 +301,22 @@ def merge_results(results: List[Dict], workers: int = 1,
                   wall_seconds: float = 0.0,
                   cached_jobs: int = 0,
                   health: Optional[Dict] = None) -> FarmReport:
-    outcomes: Dict[str, int] = {}
-    tombstones: List[Tuple[str, Dict]] = []
+    """Materialized merge: the list-shaped wrapper over the same fold."""
+    fold = MergeFold()
     for result in results:
-        outcomes[result["status"]] = outcomes.get(result["status"], 0) + 1
-        if result.get("tombstone"):
-            tombstones.append((result["job"]["id"], result["tombstone"]))
-    return FarmReport(results=results, workers=workers,
-                      wall_seconds=wall_seconds, cached_jobs=cached_jobs,
-                      merged_metrics=merge_metrics(results),
-                      outcomes=outcomes, tombstones=tombstones,
-                      health=dict(health or {}))
+        fold.add(result)
+    report = fold.finish(workers=workers, wall_seconds=wall_seconds,
+                         cached_jobs=cached_jobs, health=health)
+    report.merged_metrics = merge_metrics(results)  # order-proof gauges
+    report.results = results
+    report.job_count = 0
+    report.completed_count = 0
+    return report
 
 
 def render_farm_report(report: FarmReport) -> str:
     lines = ["== farm ==",
-             f"  jobs:    {len(report.results)} "
+             f"  jobs:    {report.jobs} "
              f"({report.cached_jobs} from cache)",
              f"  workers: {report.workers}",
              f"  wall:    {report.wall_seconds:.2f}s",
@@ -194,7 +336,12 @@ def render_farm_report(report: FarmReport) -> str:
              f"  {'job':<30} {'status':<9} {'leaks':>5} "
              f"{'write':>6} {'send':>5} {'sendto':>7} "
              f"{'degraded':>9}  destinations"]
+    rendered = 0
     for row in report.rows():
+        if rendered >= MAX_RENDERED_ROWS:
+            lines.append(f"  ... ({report.jobs - rendered} more jobs; "
+                         f"see rows spool)")
+            break
         sinks = row["sinks"]
         cached = "*" if row["cached"] else ""
         destinations = ", ".join(row["destinations"]) or "-"
@@ -203,6 +350,7 @@ def render_farm_report(report: FarmReport) -> str:
             f"{row['leaks']:>5} {sinks['write']:>6} {sinks['send']:>5} "
             f"{sinks['sendto']:>7} {row['degraded_events']:>9}  "
             f"{destinations}")
+        rendered += 1
     lines.append("")
     if report.tombstones:
         lines.append("== tombstones ==")

@@ -35,6 +35,7 @@ Every job ends in exactly one of ``cached`` / a worker-classified result
 from __future__ import annotations
 
 import heapq
+import json
 import os
 import shutil
 import signal
@@ -50,9 +51,10 @@ from repro.farm.health import (
     HealthStats,
     WorkerHandle,
     WorkerPool,
+    stamp_heartbeat,
 )
 from repro.farm.journal import RunJournal, replay
-from repro.farm.manifest import JobSpec, Manifest
+from repro.farm.manifest import JobSpec, Manifest, ShardedManifest
 from repro.farm.store import ResultStore, atomic_write_json, read_verified_json
 from repro.farm.worker import DEFAULT_BUDGET
 from repro.resilience.backoff import backoff_delay, jitter_rng
@@ -553,11 +555,258 @@ class FarmScheduler:
             self._trace_end(digest, handle.attempt, status="struck")
 
 
-def run_farm(manifest: Manifest, workers: int = 1,
+# Streaming (sharded) farm: how often the batched journal fsyncs, and
+# how often a shard worker stamps its heartbeat (in jobs).
+STREAM_JOURNAL_CHECKPOINT = 64
+STREAM_HEARTBEAT_JOBS = 200
+
+
+class StreamFarm:
+    """Runs a :class:`ShardedManifest` with long-lived shard workers.
+
+    The per-job scheduler forks one worker per job — right for minutes-
+    long emulation jobs, hopeless for a 100k-job corpus where each job
+    is sub-millisecond static analysis.  The streaming farm flips the
+    unit of work to the **shard**:
+
+    * workers are forked once and pull whole shards from the manifest's
+      shard iterators (static stride assignment: worker ``w`` of ``W``
+      serves pending shards ``w, w+W, ...``), streaming specs from disk
+      one at a time;
+    * each shard's results spool to a JSONL file committed by atomic
+      rename — crash anywhere and the shard either exists completely
+      (digest-addressed: the file name carries the shard's content
+      digest) or re-runs on ``resume``;
+    * the journal batches its fsync barrier
+      (``checkpoint_interval`` records) instead of paying one per job:
+      all ``shard_dispatched`` records are checkpointed *before* any
+      worker forks, so the write-ahead property holds at shard
+      granularity;
+    * a worker that dies takes only its unfinished shards with it — the
+      parent re-runs exactly the shards whose result files are missing,
+      inline, after the pool drains;
+    * the merge never materializes the result set: rows stream straight
+      from the shard files through a :class:`~repro.farm.merge.MergeFold`.
+    """
+
+    def __init__(self, manifest: ShardedManifest, workers: int = 1,
+                 run_dir: Optional[str] = None, resume: bool = False,
+                 budget: Optional[int] = DEFAULT_BUDGET,
+                 checkpoint_interval: int = STREAM_JOURNAL_CHECKPOINT
+                 ) -> None:
+        self.manifest = manifest
+        self.workers = max(1, workers)
+        self.run_dir = run_dir
+        self.resume = resume
+        self.budget = budget
+        self.checkpoint_interval = max(1, checkpoint_interval)
+        self.health = HealthStats()
+        self.cached_jobs = 0
+        self.wall_seconds = 0.0
+
+    # -- layout ---------------------------------------------------------------
+
+    def _result_name(self, index: int) -> str:
+        shard = self.manifest.shards[index]
+        return f"{shard.name}.{shard.digest[:12]}.results.jsonl"
+
+    def _result_path(self, results_dir: str, index: int) -> str:
+        return os.path.join(results_dir, self._result_name(index))
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self):
+        from repro.farm.merge import MergeFold
+
+        start = time.perf_counter()
+        run_dir = self.run_dir or tempfile.mkdtemp(prefix="repro-stream-")
+        results_dir = os.path.join(run_dir, "results")
+        hb_dir = os.path.join(run_dir, "hb")
+        os.makedirs(results_dir, exist_ok=True)
+        os.makedirs(hb_dir, exist_ok=True)
+        for stale in os.listdir(results_dir):
+            if ".tmp." in stale:        # torn spool from a dead worker
+                try:
+                    os.unlink(os.path.join(results_dir, stale))
+                except OSError:
+                    pass
+
+        journal = RunJournal(os.path.join(run_dir, "journal.jsonl"),
+                             checkpoint_interval=self.checkpoint_interval)
+        shard_count = self.manifest.shard_count
+        journal.record("run_start", mode="stream", resume=self.resume,
+                       workers=self.workers, shards=shard_count,
+                       jobs=len(self.manifest), pid=os.getpid())
+
+        pending: List[int] = []
+        self.cached_jobs = 0
+        for index in range(shard_count):
+            if self.resume and \
+                    os.path.exists(self._result_path(results_dir, index)):
+                self.cached_jobs += self.manifest.shards[index].jobs
+                journal.record("shard_cached",
+                               shard=self.manifest.shards[index].name)
+            else:
+                pending.append(index)
+                journal.record("shard_dispatched",
+                               shard=self.manifest.shards[index].name,
+                               jobs=self.manifest.shards[index].jobs)
+        # Write-ahead at shard granularity: every dispatch record is
+        # durable before any worker starts.
+        journal.checkpoint()
+
+        try:
+            if pending:
+                if self.workers == 1:
+                    self._run_inline(pending, results_dir, journal)
+                else:
+                    self._run_pool(pending, results_dir, hb_dir, journal)
+            journal.record("run_end", shards=shard_count)
+        finally:
+            journal.close()
+
+        fold = MergeFold(rows_path=os.path.join(run_dir, "rows.jsonl"))
+        for index in range(shard_count):
+            for result in _iter_jsonl(self._result_path(results_dir, index)):
+                result.setdefault("cached", False)
+                fold.add(result)
+        self.wall_seconds = time.perf_counter() - start
+        report = fold.finish(workers=self.workers,
+                             wall_seconds=self.wall_seconds,
+                             cached_jobs=self.cached_jobs,
+                             health=self.health.summary())
+        if self.run_dir is None:
+            shutil.rmtree(run_dir, ignore_errors=True)
+            report.rows_path = None
+        return report
+
+    # -- serial ---------------------------------------------------------------
+
+    def _run_inline(self, pending: List[int], results_dir: str,
+                    journal: RunJournal) -> None:
+        for index in pending:
+            summary = worker_module.execute_shard(
+                (spec.to_dict() for spec in self.manifest.iter_shard(index)),
+                self._result_path(results_dir, index), budget=self.budget)
+            journal.record("shard_done",
+                           shard=self.manifest.shards[index].name,
+                           jobs=summary["jobs"])
+
+    # -- pool -----------------------------------------------------------------
+
+    def _shard_worker(self, worker_index: int, pending: List[int],
+                      results_dir: str, hb_dir: str) -> None:
+        """Body of one long-lived forked shard worker."""
+        hb_path = os.path.join(hb_dir, f"stream-worker-{worker_index}")
+        for position, index in enumerate(pending):
+            if position % self.workers != worker_index:
+                continue
+            shard = self.manifest.shards[index]
+            stamp_heartbeat(hb_path, shard.name)
+
+            def progress(jobs_done: int, name=shard.name) -> None:
+                if jobs_done % STREAM_HEARTBEAT_JOBS == 0:
+                    stamp_heartbeat(hb_path, name, jobs_done)
+
+            worker_module.execute_shard(
+                (spec.to_dict() for spec in self.manifest.iter_shard(index)),
+                self._result_path(results_dir, index),
+                budget=self.budget, progress=progress)
+
+    def _run_pool(self, pending: List[int], results_dir: str,
+                  hb_dir: str, journal: RunJournal) -> None:
+        pids: List[int] = []
+        try:
+            for worker_index in range(self.workers):
+                pid = os.fork()
+                if pid == 0:
+                    code = 1
+                    try:
+                        self._shard_worker(worker_index, pending,
+                                           results_dir, hb_dir)
+                        code = 0
+                    except BaseException:
+                        code = 1
+                    finally:
+                        os._exit(code)
+                pids.append(pid)
+            for pid in pids:
+                try:
+                    __, raw = os.waitpid(pid, 0)
+                except ChildProcessError:  # pragma: no cover
+                    raw = 1 << 8
+                if raw != 0:
+                    self.health.worker_deaths += 1
+        except KeyboardInterrupt:
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    os.waitpid(pid, 0)
+                except (ProcessLookupError, ChildProcessError):
+                    pass
+            missing = [self.manifest.shards[i].name for i in pending
+                       if not os.path.exists(
+                           self._result_path(results_dir, i))]
+            for name in missing:
+                journal.record("interrupted", shard=name)
+            raise FarmInterrupted(missing) from None
+        # Reclaim: any shard whose result never committed (its worker
+        # died mid-shard) re-runs inline — the atomic rename guarantees
+        # nothing partial survived.
+        for index in pending:
+            path = self._result_path(results_dir, index)
+            if os.path.exists(path):
+                journal.record("shard_done",
+                               shard=self.manifest.shards[index].name,
+                               jobs=self.manifest.shards[index].jobs)
+                continue
+            self.health.retries += 1
+            summary = worker_module.execute_shard(
+                (spec.to_dict() for spec in self.manifest.iter_shard(index)),
+                path, budget=self.budget)
+            journal.record("shard_reclaimed",
+                           shard=self.manifest.shards[index].name,
+                           jobs=summary["jobs"])
+
+
+def _iter_jsonl(path: str):
+    """Yield result dicts from one shard spool, tolerating a torn line."""
+    try:
+        handle = open(path)
+    except FileNotFoundError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:  # pragma: no cover - files commit whole
+                continue
+            if isinstance(row, dict):
+                yield row
+
+
+def run_farm(manifest, workers: int = 1,
              store: Optional[ResultStore] = None, resume: bool = False,
              budget: Optional[int] = DEFAULT_BUDGET, **scheduler_options):
-    """Convenience wrapper: schedule, run, merge; returns a FarmReport."""
+    """Convenience wrapper: schedule, run, merge; returns a FarmReport.
+
+    A :class:`ShardedManifest` routes to the streaming farm (the store
+    is unused there — shard result files are the cache); a list-shaped
+    :class:`Manifest` takes the per-job fault-tolerant path.
+    """
     from repro.farm.merge import merge_results
+
+    if isinstance(manifest, ShardedManifest):
+        run_dir = scheduler_options.pop("run_dir", None)
+        checkpoint = scheduler_options.pop("checkpoint_interval",
+                                           STREAM_JOURNAL_CHECKPOINT)
+        farm = StreamFarm(manifest, workers=workers, run_dir=run_dir,
+                          resume=resume, budget=budget,
+                          checkpoint_interval=checkpoint)
+        return farm.run()
 
     scheduler = FarmScheduler(manifest, workers=workers, store=store,
                               resume=resume, budget=budget,

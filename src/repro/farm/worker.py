@@ -138,7 +138,55 @@ def _analyze_market(spec: JobSpec, ctx) -> Dict:
     return payload
 
 
-_ANALYSES = {"scenario": _analyze_scenario, "market": _analyze_market}
+def _analyze_corpus_chunk(spec: JobSpec, ctx) -> Dict:
+    """Classify one chunk of the synthetic Section III corpus.
+
+    Pure static analysis: the worker rebuilds the addressable generator
+    from ``(seed, scale)``, streams exactly ``[target, target+chunk)``
+    — never the prefix — and folds the classification into counters.
+    No platform is booted, so a 100k-record corpus costs no emulator
+    state; the counts merge fleet-wide as plain summed metrics.
+    """
+    from repro.corpus.generator import CorpusGenerator
+    from repro.corpus.study import classify
+
+    generator = CorpusGenerator(seed=spec.seed, scale=spec.scale)
+    start = int(spec.target)
+    counts = {"corpus.records": 0, "corpus.type1": 0, "corpus.type2": 0,
+              "corpus.type3": 0, "corpus.plain": 0,
+              "corpus.type1_without_libs": 0, "corpus.type1_admob": 0,
+              "corpus.type2_loadable": 0, "corpus.type3_games": 0}
+    categories: Dict[str, int] = {}
+    for record in generator.stream(start, start + spec.chunk):
+        counts["corpus.records"] += 1
+        kind = classify(record)
+        if kind == "I":
+            counts["corpus.type1"] += 1
+            categories[record.category] = \
+                categories.get(record.category, 0) + 1
+            if not record.has_native_libraries():
+                counts["corpus.type1_without_libs"] += 1
+                if record.uses_admob_native_classes():
+                    counts["corpus.type1_admob"] += 1
+        elif kind == "II":
+            counts["corpus.type2"] += 1
+            if record.has_loadable_embedded_dex():
+                counts["corpus.type2_loadable"] += 1
+        elif kind == "III":
+            counts["corpus.type3"] += 1
+            if record.category == "Game":
+                counts["corpus.type3_games"] += 1
+        else:
+            counts["corpus.plain"] += 1
+    for name, count in categories.items():
+        counts[f"corpus.category.{name}"] = count
+    return {"metrics": counts, "leaks": [],
+            "detected": counts["corpus.type1"] + counts["corpus.type2"] +
+            counts["corpus.type3"] > 0}
+
+
+_ANALYSES = {"scenario": _analyze_scenario, "market": _analyze_market,
+             "corpus": _analyze_corpus_chunk}
 
 
 def _emit_cache_counters(tracer) -> None:
@@ -157,6 +205,43 @@ def _emit_cache_counters(tracer) -> None:
     if tbc is not None:
         tracer.counter("tbc.hits", tbc.hits, cat="engine")
         tracer.counter("tbc.misses", tbc.misses, cat="engine")
+
+
+def execute_shard(spec_dicts, out_path: str,
+                  budget: Optional[int] = DEFAULT_BUDGET,
+                  progress=None) -> Dict:
+    """Run a shard's jobs, spooling one result line per job to disk.
+
+    The shard is the streaming farm's unit of commitment: results append
+    to a temp JSONL file as they finish (one dict in memory at a time)
+    and the whole file is fsync'd and renamed into place at the end —
+    either the shard's results exist completely or the shard re-runs.
+    Returns a small summary (never the results themselves).
+
+    ``progress``, if given, is called with the running job count after
+    every job — the heartbeat hook for long shards.
+    """
+    import json as json_module
+
+    from repro.farm.store import fsync_directory
+
+    temp = f"{out_path}.tmp.{os.getpid()}"
+    outcomes: Dict[str, int] = {}
+    jobs = 0
+    with open(temp, "w") as handle:
+        for spec_dict in spec_dicts:
+            result = execute_job(spec_dict, budget=budget)
+            handle.write(json_module.dumps(result) + "\n")
+            status = result.get("status", "lost")
+            outcomes[status] = outcomes.get(status, 0) + 1
+            jobs += 1
+            if progress is not None:
+                progress(jobs)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, out_path)
+    fsync_directory(os.path.dirname(out_path) or ".")
+    return {"jobs": jobs, "outcomes": outcomes}
 
 
 def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET,

@@ -9,6 +9,7 @@ from repro.corpus import (
     analyze_corpus,
 )
 from repro.corpus.appmodel import EmbeddedDexInfo
+from repro.corpus.generator import largest_remainder, plan_corpus
 from repro.corpus.study import classify
 
 
@@ -101,6 +102,92 @@ class TestGeneratorCalibration:
         text = report.format_summary()
         assert "type I" in text
         assert "Game" in text
+
+
+class TestApportionment:
+    """Largest-remainder planning: exact sums, no rounding drift."""
+
+    def test_largest_remainder_sums_exactly(self):
+        for total in (0, 1, 7, 100, 227_911):
+            counts = largest_remainder(total, (37_506, 1_738, 16, 188_651))
+            assert sum(counts) == total
+            assert all(count >= 0 for count in counts)
+
+    def test_scale_one_reproduces_the_paper(self):
+        plan = plan_corpus(PAPER_PARAMETERS, 1.0)
+        assert plan.total == 227_911
+        assert plan.type1 == 37_506
+        assert plan.type1_without_libs == 4_034
+        assert plan.type2 == 1_738
+        assert plan.type2_loadable == 394
+        assert plan.type3 == 16
+        assert plan.type3_games == 11
+
+    @pytest.mark.parametrize("scale", [0.1, 1.0, 50.0])
+    def test_marginals_within_tolerance_at_any_scale(self, scale):
+        plan = plan_corpus(PAPER_PARAMETERS, scale)
+        assert plan.total == round(PAPER_PARAMETERS.total_apps * scale)
+        assert plan.type1 + plan.type2 + plan.type3 + plan.plain == \
+            plan.total
+        # Each stratum's share of the total stays within one count of
+        # the published marginal's share — no drift however far the
+        # scale is from 1.
+        published = {
+            "type1": PAPER_PARAMETERS.type1_count,
+            "type2": PAPER_PARAMETERS.type2_count,
+            "type3": PAPER_PARAMETERS.type3_count,
+        }
+        for name, count in published.items():
+            expected = count * scale
+            assert abs(getattr(plan, name) - expected) <= 1, name
+
+    def test_category_table_is_normalized(self):
+        generator = CorpusGenerator(seed=1, scale=0.001)
+        cumulative = generator._category_cumulative
+        assert cumulative[-1] == 1.0
+        assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+
+
+class TestStreaming:
+    """The generator is addressable: stream == materialize, any slice."""
+
+    def test_stream_equals_generate(self):
+        generator = CorpusGenerator(seed=2014, scale=0.01)
+        streamed = [record.package for record in generator.stream()]
+        materialized = [record.package
+                        for record in
+                        CorpusGenerator(seed=2014, scale=0.01).generate()]
+        assert streamed == materialized
+        assert len(streamed) == len(generator)
+
+    def test_slices_are_position_addressable(self):
+        generator = CorpusGenerator(seed=3, scale=0.005)
+        full = [record.package for record in generator.stream()]
+        middle = [record.package for record in generator.stream(100, 150)]
+        assert middle == full[100:150]
+        assert generator.record_at(117).package == full[117]
+        with pytest.raises(IndexError):
+            generator.record_at(len(generator))
+
+    def test_chunks_reassemble_the_whole_corpus(self):
+        generator = CorpusGenerator(seed=2014, scale=0.002)
+        total = len(generator)
+        chunked = []
+        for start in range(0, total, 37):
+            chunked += [record.package
+                        for record in
+                        generator.stream(start, min(start + 37, total))]
+        assert chunked == [record.package
+                           for record in generator.stream()]
+
+    def test_library_picks_are_bounded_and_deterministic(self):
+        generator = CorpusGenerator(seed=5, scale=0.01)
+        rng_a = generator._rng("probe", 1)
+        rng_b = generator._rng("probe", 1)
+        libs_a = generator._pick_libraries(rng_a, "Game")
+        libs_b = generator._pick_libraries(rng_b, "Game")
+        assert libs_a == libs_b
+        assert len(libs_a) == len(set(libs_a))
 
 
 class TestLibraryKinds:

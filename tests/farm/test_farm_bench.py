@@ -1,6 +1,10 @@
 """The farm scaling benchmark harness."""
 
-from repro.bench.farm_bench import FarmBench, load_results, write_results
+import pytest
+
+from repro.bench.farm_bench import (BENCH_SCHEMA_VERSION, FarmBench,
+                                    ScalingBench, load_results,
+                                    write_results)
 from repro.farm import JobSpec, Manifest
 
 TINY = Manifest(jobs=[
@@ -60,3 +64,37 @@ def test_bench_skips_drill_when_manifest_too_small():
     results = FarmBench(workers=2, manifest=manifest).run()
     assert results["chaos"] is None   # one job cannot elect a poison
                                       # target and keep a survivor
+
+
+def test_schema_version_is_three():
+    # v3: the streamed-corpus scaling curve rides along in "scaling".
+    assert BENCH_SCHEMA_VERSION == 3
+
+
+def test_scaling_bench_curve_and_marginals():
+    import os
+
+    curve = ScalingBench(jobs=60, chunk=10, worker_counts=(1, 2)).run()
+    assert curve["records"] == 600
+    points = curve["curve"]
+    assert [point["workers"] for point in points] == [1, 2]
+    for point in points:
+        assert point["jobs"] == 60
+        assert point["outcomes"] == {"ok": 60}
+        assert point["parity_with_serial"]
+        assert point["jobs_per_second"] > 0
+    assert points[0]["speedup_vs_serial"] == 1.0
+    marginals = curve["marginals"]
+    assert marginals["exact"]
+    assert marginals["measured"]["total"] == 600
+    if (os.cpu_count() or 1) <= 1:
+        assert curve["parallel_beats_serial"] is None
+        assert "skipped" in curve["skip_notice"]
+    else:
+        assert curve["parallel_beats_serial"] in (True, False)
+    assert curve["max_rss_kib"]["scheduler"] > 0
+
+
+def test_scaling_bench_requires_serial_baseline():
+    with pytest.raises(ValueError):
+        ScalingBench(worker_counts=(2, 4))

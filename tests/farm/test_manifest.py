@@ -1,10 +1,12 @@
 """Farm manifests: digest stability and corpus construction."""
 
 import json
+import os
 
 import pytest
 
-from repro.farm.manifest import FARM_SCHEMA_VERSION, JobSpec, Manifest
+from repro.farm.manifest import (FARM_SCHEMA_VERSION, JobSpec, Manifest,
+                                 ShardedManifest, iter_corpus_jobs)
 
 
 def test_digest_is_stable_across_instances():
@@ -31,7 +33,8 @@ def test_digest_covers_the_schema_version():
     spec = JobSpec(id="x", kind="scenario", target="ephone")
     canonical = json.dumps({"schema": FARM_SCHEMA_VERSION, **spec.to_dict()},
                            sort_keys=True, separators=(",", ":"))
-    assert FARM_SCHEMA_VERSION == 1
+    # v2: corpus-kind jobs plus the scale/chunk spec fields.
+    assert FARM_SCHEMA_VERSION == 2
     assert str(FARM_SCHEMA_VERSION) in canonical
 
 
@@ -72,3 +75,63 @@ def test_shard_round_robin():
     assert [len(s) for s in shards] == [3, 2]
     assert [job.id for job in shards[0]] == \
         ["scenario:0", "scenario:2", "scenario:4"]
+
+
+# -- sharded streamed manifests ----------------------------------------------
+
+def _specs(count):
+    return (JobSpec(id=f"corpus:{i}", kind="corpus", target=str(i),
+                    seed=2014, scale=0.5, chunk=4) for i in range(count))
+
+
+def test_sharded_manifest_round_trip(tmp_path):
+    directory = str(tmp_path / "manifest")
+    written = ShardedManifest.write(directory, _specs(25), shard_size=10)
+    assert len(written) == 25
+    assert written.shard_count == 3
+    assert [s.jobs for s in written.shards] == [10, 10, 5]
+
+    loaded = ShardedManifest.load(directory)
+    assert len(loaded) == 25
+    assert [spec.digest() for spec in loaded] == \
+        [spec.digest() for spec in _specs(25)]
+    # The generic loader routes a directory to the sharded loader.
+    via_manifest = Manifest.load(directory)
+    assert isinstance(via_manifest, ShardedManifest)
+    assert len(via_manifest) == 25
+
+
+def test_shard_digests_stable_across_writes(tmp_path):
+    a = ShardedManifest.write(str(tmp_path / "a"), _specs(23),
+                              shard_size=8)
+    b = ShardedManifest.write(str(tmp_path / "b"), _specs(23),
+                              shard_size=8)
+    assert [s.digest for s in a.shards] == [s.digest for s in b.shards]
+    assert all(a.verify_shard(i) for i in range(a.shard_count))
+    # Corruption is detected by the recorded digest.
+    with open(a.shard_path(0), "a") as handle:
+        handle.write("{}\n")
+    assert not a.verify_shard(0)
+
+
+def test_shard_iteration_is_lazy(tmp_path):
+    manifest = ShardedManifest.write(str(tmp_path / "m"), _specs(12),
+                                     shard_size=5)
+    first = next(iter(manifest.iter_shard(1)))
+    assert first.id == "corpus:5"
+    # len() comes from the index alone, no shard reads.
+    os.unlink(manifest.shard_path(2))
+    assert len(manifest) == 12
+
+
+def test_iter_corpus_jobs_covers_the_corpus_exactly():
+    from repro.corpus.generator import CorpusGenerator
+    total = len(CorpusGenerator(seed=2014, scale=0.003))
+    jobs = list(iter_corpus_jobs(scale=0.003, seed=2014, chunk=16))
+    assert sum(job.chunk for job in jobs) == total
+    assert jobs[0].target == "0"
+    starts = [int(job.target) for job in jobs]
+    assert starts == sorted(starts)
+    assert all(job.kind == "corpus" for job in jobs)
+    # The last chunk is clipped, never padded past the corpus.
+    assert int(jobs[-1].target) + jobs[-1].chunk == total
