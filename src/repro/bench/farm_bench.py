@@ -29,6 +29,16 @@ serial baseline, plus the stratum-marginals check against the
 apportionment plan and the peak RSS that certifies the bounded-memory
 property.  On a single-core host the parallel≥serial verdict is
 recorded as ``null`` with a skip notice instead of a dishonest number.
+
+Schema 4 adds the **warm-vs-cold drill** (:class:`WarmBench`): a
+repeated-library manifest (every scenario, twice) executed three ways —
+cold (a full platform per job), warm (one booted template reset per job
+via ``Platform.reset_for_job()``), and rehydrated (cold platforms over a
+shared persistent translation cache).  Per job it records boot wall
+clock plus in-run translation seconds; the gate requires warm boot +
+translate per job to beat cold by at least
+:data:`WARM_SPEEDUP_GATE` (2x), with taint parity identical across all
+three modes for every scenario.
 """
 
 from __future__ import annotations
@@ -36,14 +46,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
 
 from repro.farm.manifest import Manifest
 from repro.farm.merge import merge_results, sink_counts
 from repro.farm.scheduler import FarmScheduler
 from repro.farm.store import ResultStore
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 # Fixed drill seed: the injected fault schedule is part of the recorded
 # result, so two bench runs disagree only if recovery itself changed.
@@ -122,6 +133,7 @@ class FarmBench:
                                if resumed["wall_seconds"] else 0.0),
             "parity": {"identical": identical, "apps": apps},
             "chaos": self._chaos_drill(),
+            "warm": WarmBench().run(),
         }
 
     def _chaos_drill(self) -> Optional[Dict]:
@@ -150,6 +162,187 @@ class FarmBench:
             "outcomes": stats.get("outcomes", {}),
             "resumed_from_cache": stats.get("resumed_from_cache", 0),
         }
+
+
+# Warm-drill defaults: every scenario twice makes a repeated-library
+# manifest — exactly the workload the warm fork and persistent cache
+# exist for — and 2x is the gate the per-job boot+translate cost must
+# clear against the cold baseline.
+WARM_REPEATS = 2
+WARM_SPEEDUP_GATE = 2.0
+
+
+class WarmBench:
+    """Cold boot vs warm template reset vs persistent-cache rehydration.
+
+    Every mode runs the identical job list (each scenario,
+    ``repeats`` times) on the same analysis config and must produce
+    engine-identical leak rows, work counters, and detection verdicts;
+    the drill then compares what each mode paid *per job* in platform
+    boot wall clock plus in-run translation seconds.
+    """
+
+    def __init__(self, repeats: int = WARM_REPEATS,
+                 config: str = "ndroid") -> None:
+        self.repeats = max(1, repeats)
+        self.config = config
+
+    @staticmethod
+    def _observe(platform, scenario) -> Dict:
+        records = platform.leaks.records
+        if scenario.expected_taint:
+            detected = any(record.taint & scenario.expected_taint
+                           for record in records)
+        else:
+            detected = bool(records)
+        return {
+            "leaks": [[record.detector, record.sink, record.taint,
+                       record.destination, record.payload.hex(),
+                       record.context] for record in records],
+            "counters": platform.work_counters(),
+            "detected": detected,
+        }
+
+    def _drive(self, boot) -> Dict:
+        """Run the job list; ``boot`` yields a (platform, seconds) pair."""
+        from repro.apps import ALL_SCENARIOS
+        from repro.apps.base import run_scenario
+
+        names = sorted(ALL_SCENARIOS)
+        boot_seconds = 0.0
+        translate_seconds = 0.0
+        samples: List[float] = []
+        observations: Dict[str, Dict] = {}
+        consistent = True
+        for __ in range(self.repeats):
+            for name in names:
+                platform, booted = boot(name)
+                boot_seconds += booted
+                scenario = ALL_SCENARIOS[name]()
+                run_scenario(scenario, platform)
+                translate_seconds += platform.emu.translate_seconds
+                samples.append(booted + platform.emu.translate_seconds)
+                observed = self._observe(platform, scenario)
+                previous = observations.setdefault(name, observed)
+                consistent = consistent and previous == observed
+        jobs = len(names) * self.repeats
+        samples.sort()
+        return {
+            "jobs": jobs,
+            "boot_seconds": round(boot_seconds, 4),
+            "translate_seconds": round(translate_seconds, 4),
+            "per_job_seconds": round(
+                (boot_seconds + translate_seconds) / jobs, 6),
+            # The gate statistic: one GC pause or scheduler hiccup in a
+            # millisecond-scale job skews a mean, not a median.
+            "median_job_seconds": round(
+                samples[len(samples) // 2], 6),
+            "observations": observations,
+            "consistent_across_repeats": consistent,
+        }
+
+    def _cold(self) -> Dict:
+        from repro.bench.harness import make_platform
+
+        def boot(name):
+            started = time.perf_counter()
+            platform = make_platform(self.config)
+            return platform, time.perf_counter() - started
+
+        return self._drive(boot)
+
+    def _warm(self) -> Dict:
+        from repro.bench.harness import make_platform
+
+        template = make_platform(self.config)
+        template.prepare_template()
+
+        def boot(name):
+            started = time.perf_counter()
+            template.reset_for_job()
+            return template, time.perf_counter() - started
+
+        return self._drive(boot)
+
+    def _rehydrated(self, cache_dir: str) -> Dict:
+        from repro.apps import ALL_SCENARIOS
+        from repro.apps.base import run_scenario
+        from repro.bench.harness import make_platform
+        from repro.emulator.persist import TranslationPersistence
+
+        # Seed pass (uncharged): populate the cache once, cold.
+        for name in sorted(ALL_SCENARIOS):
+            platform = make_platform(self.config)
+            platform.attach_persistence(TranslationPersistence(cache_dir))
+            run_scenario(ALL_SCENARIOS[name](), platform)
+            platform.persist_translations()
+
+        def boot(name):
+            started = time.perf_counter()
+            platform = make_platform(self.config)
+            platform.attach_persistence(TranslationPersistence(cache_dir))
+            return platform, time.perf_counter() - started
+
+        return self._drive(boot)
+
+    def run(self) -> Dict:
+        cold = self._cold()
+        warm = self._warm()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            rehydrated = self._rehydrated(cache_dir)
+            persistence_probe = self._probe_persist_hits(cache_dir)
+
+        parity = {}
+        identical = True
+        for name, observed in cold["observations"].items():
+            match = (observed == warm["observations"][name]
+                     and observed == rehydrated["observations"][name])
+            parity[name] = match
+            identical = identical and match
+        identical = (identical
+                     and cold["consistent_across_repeats"]
+                     and warm["consistent_across_repeats"]
+                     and rehydrated["consistent_across_repeats"])
+
+        def strip(mode: Dict) -> Dict:
+            return {key: value for key, value in mode.items()
+                    if key != "observations"}
+
+        speedup = (cold["median_job_seconds"] / warm["median_job_seconds"]
+                   if warm["median_job_seconds"] else 0.0)
+        rehydrated_speedup = (
+            cold["median_job_seconds"] / rehydrated["median_job_seconds"]
+            if rehydrated["median_job_seconds"] else 0.0)
+        return {
+            "repeats": self.repeats,
+            "config": self.config,
+            "cold": strip(cold),
+            "warm": strip(warm),
+            "rehydrated": strip(rehydrated),
+            "persist_hits": persistence_probe,
+            "speedup_warm_vs_cold": round(speedup, 2),
+            "speedup_rehydrated_vs_cold": round(rehydrated_speedup, 2),
+            "gate": {
+                "threshold": WARM_SPEEDUP_GATE,
+                "passed": speedup >= WARM_SPEEDUP_GATE,
+            },
+            "parity": {"identical": identical, "scenarios": parity},
+        }
+
+    def _probe_persist_hits(self, cache_dir: str) -> Dict[str, int]:
+        """One extra rehydrated job proves the cache actually hits."""
+        from repro.apps import ALL_SCENARIOS
+        from repro.apps.base import run_scenario
+        from repro.bench.harness import make_platform
+        from repro.emulator.persist import TranslationPersistence
+
+        name = sorted(ALL_SCENARIOS)[0]
+        platform = make_platform(self.config)
+        persistence = TranslationPersistence(cache_dir)
+        platform.attach_persistence(persistence)
+        run_scenario(ALL_SCENARIOS[name](), platform)
+        return {layer: counters["hits"]
+                for layer, counters in persistence.counters.items()}
 
 
 # Scaling-curve defaults: 10k jobs x 10 records = a 100k-record streamed

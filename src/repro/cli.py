@@ -162,6 +162,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            "and merge them into DIR/trace.json (Chrome "
                            "trace-event JSON, Perfetto-loadable) + "
                            "DIR/timeline.txt after the run")
+    farm.add_argument("--warm", action="store_true",
+                      help="warm workers: boot each analysis config once "
+                           "in the scheduler, fork jobs from the booted "
+                           "snapshot and pay only a per-job reset")
+    farm.add_argument("--tb-cache", default=None, metavar="DIR",
+                      help="persistent cross-job translation cache: "
+                           "decoded translation blocks, Dalvik block "
+                           "layouts and JNI trampoline plans persist "
+                           "content-addressed under DIR and rehydrate "
+                           "in later runs")
     farm.add_argument("--watch", action="store_true",
                       help="live farm console on stderr while the run "
                            "is in flight: per-worker busy/hung/dead, "
@@ -318,6 +328,25 @@ def _command_bench_farm(workers: int, json_path, scaling: bool = False,
           f"{'identical' if parity['identical'] else 'BROKEN'} "
           f"over {len(parity['apps'])} jobs")
 
+    warm = results["warm"]
+    print(f"\nwarm drill ({warm['cold']['jobs']} jobs/mode):")
+    for mode in ("cold", "warm", "rehydrated"):
+        row = warm[mode]
+        print(f"  {mode:<11} boot={row['boot_seconds']:.2f}s "
+              f"translate={row['translate_seconds']:.2f}s "
+              f"per-job={row['per_job_seconds'] * 1000:.2f}ms")
+    print(f"  warm vs cold:       {warm['speedup_warm_vs_cold']:.2f}x "
+          f"(gate >= {warm['gate']['threshold']:.1f}x: "
+          f"{'passed' if warm['gate']['passed'] else 'FAILED'})")
+    print(f"  rehydrated vs cold: "
+          f"{warm['speedup_rehydrated_vs_cold']:.2f}x "
+          f"(persist hits {warm['persist_hits']})")
+    warm_parity = warm["parity"]
+    print(f"  taint parity: "
+          f"{'identical' if warm_parity['identical'] else 'BROKEN'} "
+          f"over {len(warm_parity['scenarios'])} scenarios x 3 modes")
+    warm_ok = warm["gate"]["passed"] and warm_parity["identical"]
+
     scaling_ok = True
     if scaling:
         curve = ScalingBench(jobs=scaling_jobs).run()
@@ -347,7 +376,7 @@ def _command_bench_farm(workers: int, json_path, scaling: bool = False,
     if json_path:
         write_results(results, json_path)
         print(f"wrote {json_path}")
-    return 0 if parity["identical"] and scaling_ok else 1
+    return 0 if parity["identical"] and warm_ok and scaling_ok else 1
 
 
 def _command_supervise(args) -> int:
@@ -427,7 +456,8 @@ def _command_farm_stream(args, manifest) -> int:
 
     farm = StreamFarm(manifest, workers=args.workers,
                       run_dir=os.path.join(args.out, "runstate"),
-                      resume=args.resume, budget=args.budget)
+                      resume=args.resume, budget=args.budget,
+                      warm=args.warm, tb_cache=args.tb_cache)
     try:
         report = farm.run()
     except FarmInterrupted as drained:
@@ -469,7 +499,8 @@ def _command_farm(args) -> int:
         manifest, workers=args.workers, store=store, resume=args.resume,
         budget=args.budget, deadline=args.deadline or None,
         max_retries=args.max_retries, chaos=chaos,
-        run_dir=run_dir, trace_dir=args.trace_dir)
+        run_dir=run_dir, trace_dir=args.trace_dir,
+        warm=args.warm, tb_cache=args.tb_cache)
     console = None
     if args.watch:
         console = FarmConsole(run_dir, trace_dir=args.trace_dir)

@@ -56,6 +56,9 @@ class NDroid:
                                        guard=self.guard_hook)
         self.syslib_hooks = SysLibHookEngine(platform, self.taint_engine,
                                              guard=self.guard_hook)
+        # Third-party extents at the last refresh_view(); an unchanged set
+        # (a warm worker re-hitting a resident library) skips the flush.
+        self._third_party_extents: frozenset = frozenset()
 
     # -- attachment ------------------------------------------------------------
 
@@ -186,7 +189,21 @@ class NDroid:
         return self.view_reconstructor.is_third_party(address)
 
     def refresh_view(self) -> None:
-        """Re-introspect after the memory map changed (library load)."""
+        """Re-introspect after the memory map changed (library load).
+
+        Only an actual change to the third-party region set invalidates:
+        a warm worker re-hitting a still-resident library emits the same
+        ``loadLibrary`` event a cold load would, but its region was never
+        unmapped, so the reconstructed view — and with it the tracer's
+        region cache and the warm translation blocks it guards — stays.
+        """
+        extents = frozenset(
+            (region.start, region.end)
+            for region in self.platform.emu.memory_map
+            if region.third_party)
+        if extents == self._third_party_extents:
+            return
+        self._third_party_extents = extents
         self.view_reconstructor.invalidate()
         self.view_reconstructor.reconstruct()
         self.instruction_tracer.invalidate_region_cache()

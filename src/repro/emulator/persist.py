@@ -1,0 +1,310 @@
+"""Persistent cross-job translation-artifact cache.
+
+Translation blocks are Python closures and cannot be pickled, so the
+farm persists the *serializable intermediate* instead: decoded op
+descriptors (the ISA dataclasses the translator and the single-step
+engine both consume), Dalvik superinstruction block starts, and JNI
+trampoline call plans.  Each artifact is keyed by a content digest —
+``sha256(code bytes, taint-variant)`` for native regions, a canonical
+serialization of the bytecode for Dalvik methods, the signature shape
+for trampolines — so a library shared by thousands of apps is decoded
+and planned once per fleet; every process only *rebinds* closures from
+the descriptors on load (cheap) instead of re-translating (expensive).
+
+Cache files live in a content-addressed tree::
+
+    <root>/tb/<d2>/<digest>.json       decode descriptors per code region
+    <root>/dalvik/<d2>/<digest>.json   compiled block starts per method
+    <root>/jni/<d2>/<digest>.json      trampoline call plan per signature
+
+Writes use the same fsync+rename discipline as ``farm/store.py``
+(:func:`atomic_write_json`), so a SIGKILL mid-write leaves either the
+old file, no file, or the new complete file — never a torn one — and
+loads are tolerant: a missing, truncated, or wrong-digest file reads as
+a miss, never an error.  Concurrent writers are safe by construction:
+temp names carry the writer's pid and the final rename is atomic, so
+the last complete payload wins and both are valid (content-addressed
+entries for one digest are interchangeable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from hashlib import sha256
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cpu import isa
+from repro.farm.store import atomic_write_json, read_verified_json
+
+PERSIST_FORMAT = 1
+
+LAYERS = ("tb", "tbc", "jni")
+
+# Directory per artifact kind; the tbc counters live under "tbc" but the
+# method files land in "dalvik" (the artifact is per-method, not per-TB).
+_LAYER_DIRS = {"tb": "tb", "tbc": "dalvik", "jni": "jni"}
+
+_IR_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        isa.Instruction, isa.DataProcessing, isa.Multiply,
+        isa.MultiplyLong, isa.MoveWide, isa.CountLeadingZeros,
+        isa.LoadStore, isa.LoadStoreMultiple, isa.Branch,
+        isa.BranchExchange, isa.SoftwareInterrupt, isa.Breakpoint,
+        isa.Nop,
+    )
+}
+
+# Fields holding IntEnum values; everything else round-trips as-is.
+_ENUM_FIELDS = {"cond": isa.Cond, "op": isa.Op, "shift_type": isa.ShiftType}
+
+
+def encode_instruction(ir: isa.Instruction) -> List:
+    """One decoded instruction -> ``[class_name, {field: value}]``."""
+    values: Dict[str, Any] = {}
+    for field in dataclasses.fields(ir):
+        value = getattr(ir, field.name)
+        if isinstance(value, isa.Operand2):
+            value = {"imm": value.imm, "rm": value.rm,
+                     "shift_type": int(value.shift_type),
+                     "shift_imm": value.shift_imm,
+                     "shift_reg": value.shift_reg}
+        elif field.name in _ENUM_FIELDS:
+            value = int(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        values[field.name] = value
+    return [type(ir).__name__, values]
+
+
+def decode_instruction(payload: List) -> isa.Instruction:
+    """Inverse of :func:`encode_instruction` (raises on malformed data)."""
+    name, values = payload
+    cls = _IR_CLASSES[name]
+    kwargs: Dict[str, Any] = {}
+    for key, value in values.items():
+        if key == "operand2":
+            value = isa.Operand2(
+                imm=value["imm"], rm=value["rm"],
+                shift_type=isa.ShiftType(value["shift_type"]),
+                shift_imm=value["shift_imm"],
+                shift_reg=value["shift_reg"])
+        elif key in _ENUM_FIELDS:
+            value = _ENUM_FIELDS[key](value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def content_digest(data: bytes, variant: str = "") -> str:
+    """Digest of a code region's bytes plus its taint-variant tag."""
+    hasher = sha256(bytes(data))
+    if variant:
+        hasher.update(b"\x00")
+        hasher.update(variant.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def method_digest(method) -> str:
+    """Content digest of a Dalvik method's bytecode.
+
+    Canonical per-instruction serialization plus the frame shape — two
+    methods with identical code share block starts regardless of which
+    app (or which ``Method`` object) carries them, and two methods that
+    differ anywhere can never alias.
+    """
+    hasher = sha256()
+    hasher.update(f"{method.shorty}|{method.registers_size}".encode())
+    for ins in method.code:
+        hasher.update(repr((ins.op.name, ins.a, ins.b, ins.c,
+                            repr(ins.literal), ins.target_index,
+                            ins.symbol, tuple(ins.args))).encode())
+    return hasher.hexdigest()
+
+
+def trampoline_digest(method) -> str:
+    """Digest of the signature shape a JNI call plan derives from."""
+    return content_digest(
+        f"{method.shorty}|{int(method.is_static)}".encode())
+
+
+class TranslationPersistence:
+    """The process-wide handle on one on-disk translation cache.
+
+    Holds a per-digest in-memory tier (descriptors decode from JSON once
+    per process; re-seeding after an ``invalidate_cache`` is a dict
+    walk), dirty sets flushed with atomic writes at job boundaries, and
+    the ``{hits, misses, stores, rebind_us}`` counters per layer that
+    observability exports as ``emulator.tb.persist.*`` and friends.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        for subdir in set(_LAYER_DIRS.values()):
+            os.makedirs(os.path.join(root, subdir), exist_ok=True)
+        self.counters: Dict[str, Dict[str, int]] = {
+            layer: {"hits": 0, "misses": 0, "stores": 0, "rebind_us": 0}
+            for layer in LAYERS}
+        # digest -> [(offset, thumb, Instruction), ...]
+        self._regions: Dict[str, List[Tuple[int, bool, isa.Instruction]]] = {}
+        self._region_keys: Dict[str, Set[Tuple[int, bool]]] = {}
+        self._region_dirty: Set[str] = set()
+        # digest -> {block start, ...}
+        self._methods: Dict[str, Set[int]] = {}
+        self._method_dirty: Set[str] = set()
+        # digest -> {"arg_refs": [...], "returns_ref": bool}
+        self._trampolines: Dict[str, Dict] = {}
+        self._trampoline_dirty: Set[str] = set()
+
+    # -- digests (so the engines need no persist import of their own) ------
+
+    region_digest = staticmethod(content_digest)
+    method_digest = staticmethod(method_digest)
+    trampoline_digest = staticmethod(trampoline_digest)
+
+    def _path(self, layer: str, digest: str) -> str:
+        return os.path.join(self.root, _LAYER_DIRS[layer], digest[:2],
+                            f"{digest}.json")
+
+    def _write(self, layer: str, digest: str, payload: Dict) -> None:
+        path = self._path(layer, digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write_json(path, payload)
+
+    # -- native decode descriptors (tb layer) ------------------------------
+
+    def load_region(self, digest: str
+                    ) -> Optional[List[Tuple[int, bool, isa.Instruction]]]:
+        """Descriptors for a region digest, or None on a cache miss."""
+        cached = self._regions.get(digest)
+        if cached is not None:
+            return cached
+        data = read_verified_json(self._path("tb", digest), digest)
+        if data is None:
+            return None
+        try:
+            entries = [(int(offset), bool(thumb), decode_instruction(ir))
+                       for offset, thumb, ir in data.get("entries", [])]
+        except (KeyError, TypeError, ValueError):
+            return None    # damaged payload reads as a miss
+        self._regions[digest] = entries
+        self._region_keys[digest] = {(offset, thumb)
+                                     for offset, thumb, _ in entries}
+        return entries
+
+    def update_region(self, digest: str,
+                      entries: List[Tuple[int, bool, isa.Instruction]]
+                      ) -> int:
+        """Merge freshly decoded descriptors; returns how many were new."""
+        self.load_region(digest)    # merge with the on-disk set, if any
+        known = self._region_keys.setdefault(digest, set())
+        stored = self._regions.setdefault(digest, [])
+        fresh = 0
+        for offset, thumb, ir in entries:
+            key = (offset, thumb)
+            if key in known:
+                continue
+            known.add(key)
+            stored.append((offset, thumb, ir))
+            fresh += 1
+        if fresh:
+            self._region_dirty.add(digest)
+            self.counters["tb"]["stores"] += fresh
+        return fresh
+
+    # -- Dalvik block starts (tbc layer) -----------------------------------
+
+    def load_method_starts(self, digest: str) -> Optional[Set[int]]:
+        starts = self._methods.get(digest)
+        if starts is not None:
+            return starts
+        data = read_verified_json(self._path("tbc", digest), digest)
+        if data is None:
+            return None
+        try:
+            starts = {int(start) for start in data.get("starts", [])}
+        except (TypeError, ValueError):
+            return None
+        self._methods[digest] = starts
+        return starts
+
+    def update_method_starts(self, digest: str, starts) -> int:
+        self.load_method_starts(digest)
+        known = self._methods.setdefault(digest, set())
+        fresh = {int(start) for start in starts} - known
+        if fresh:
+            known.update(fresh)
+            self._method_dirty.add(digest)
+            self.counters["tbc"]["stores"] += len(fresh)
+        return len(fresh)
+
+    # -- JNI trampoline plans (jni layer) ----------------------------------
+
+    def load_trampoline(self, digest: str) -> Optional[Dict]:
+        plan = self._trampolines.get(digest)
+        if plan is not None:
+            return plan
+        data = read_verified_json(self._path("jni", digest), digest)
+        if data is None:
+            return None
+        plan = data.get("plan")
+        if not isinstance(plan, dict) or "arg_refs" not in plan:
+            return None
+        self._trampolines[digest] = plan
+        return plan
+
+    def record_trampoline(self, digest: str, plan: Dict) -> None:
+        if digest in self._trampolines:
+            return
+        self._trampolines[digest] = plan
+        self._trampoline_dirty.add(digest)
+        self.counters["jni"]["stores"] += 1
+
+    # -- commit ------------------------------------------------------------
+
+    def flush(self) -> Dict[str, int]:
+        """Write every dirty artifact with the fsync+rename discipline."""
+        written = {layer: 0 for layer in LAYERS}
+        for digest in sorted(self._region_dirty):
+            entries = self._regions.get(digest, [])
+            self._write("tb", digest, {
+                "digest": digest, "format": PERSIST_FORMAT,
+                "entries": [[offset, thumb, encode_instruction(ir)]
+                            for offset, thumb, ir in entries]})
+            written["tb"] += 1
+        self._region_dirty.clear()
+        for digest in sorted(self._method_dirty):
+            self._write("tbc", digest, {
+                "digest": digest, "format": PERSIST_FORMAT,
+                "starts": sorted(self._methods.get(digest, ()))})
+            written["tbc"] += 1
+        self._method_dirty.clear()
+        for digest in sorted(self._trampoline_dirty):
+            self._write("jni", digest, {
+                "digest": digest, "format": PERSIST_FORMAT,
+                "plan": self._trampolines[digest]})
+            written["jni"] += 1
+        self._trampoline_dirty.clear()
+        return written
+
+    # -- accounting --------------------------------------------------------
+
+    def hit(self, layer: str, count: int = 1) -> None:
+        self.counters[layer]["hits"] += count
+
+    def miss(self, layer: str, count: int = 1) -> None:
+        self.counters[layer]["misses"] += count
+
+    def rebound(self, layer: str, started: float) -> None:
+        """Credit rebind wall time (µs) since ``started`` to ``layer``."""
+        elapsed = time.perf_counter() - started
+        self.counters[layer]["rebind_us"] += int(elapsed * 1_000_000)
+
+    def counter_items(self):
+        """``(name, value)`` pairs, named for the metrics registry."""
+        for layer in LAYERS:
+            for key, value in self.counters[layer].items():
+                yield f"{layer}.persist.{key}", value

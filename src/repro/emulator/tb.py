@@ -147,3 +147,10 @@ class TranslationCache:
         self.invalidations += len(self._blocks)
         self._blocks.clear()
         self._by_page.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the per-job counters (warm-worker job boundary)."""
+        self.translations = 0
+        self.invalidations = 0
+        self.hits = 0
+        self.misses = 0

@@ -144,9 +144,13 @@ class FarmScheduler:
                  poison_threshold: int = DEFAULT_POISON_THRESHOLD,
                  heartbeat_interval: float = HEARTBEAT_INTERVAL,
                  run_dir: Optional[str] = None, chaos=None,
-                 metrics=None, trace_dir: Optional[str] = None) -> None:
+                 metrics=None, trace_dir: Optional[str] = None,
+                 warm: bool = False,
+                 tb_cache: Optional[str] = None) -> None:
         self.manifest = manifest
         self.workers = max(1, workers)
+        self.warm = warm
+        self.tb_cache = tb_cache
         self.store = store
         self.resume = resume and store is not None
         self.budget = budget
@@ -173,6 +177,9 @@ class FarmScheduler:
 
     def run(self) -> List[Dict]:
         start = time.perf_counter()
+        # Warm policy is process-wide: inline workers read it directly,
+        # forked workers inherit it (and the booted templates) via COW.
+        worker_module.configure_warm(self.warm, self.tb_cache)
         results: List[Optional[Dict]] = [None] * len(self.manifest)
         pending: List[int] = []
         self.cached_jobs = 0
@@ -379,6 +386,13 @@ class FarmScheduler:
     def _run_pool(self, pending: List[int], results: List[Optional[Dict]],
                   journal: RunJournal, run_dir: str) -> None:
         jobs = self.manifest.jobs
+        if self.warm:
+            # Boot one template per config in the parent *before* any
+            # fork: every per-job child then inherits the booted
+            # platform — warm TB/block/trampoline caches included —
+            # copy-on-write, and pays only reset_for_job().
+            worker_module.warm_boot_templates(
+                jobs[index].config for index in pending)
         pool = WorkerPool(hb_dir=os.path.join(run_dir, "hb"),
                           interval=self.heartbeat_interval)
         queue = deque(pending)
@@ -592,13 +606,16 @@ class StreamFarm:
     def __init__(self, manifest: ShardedManifest, workers: int = 1,
                  run_dir: Optional[str] = None, resume: bool = False,
                  budget: Optional[int] = DEFAULT_BUDGET,
-                 checkpoint_interval: int = STREAM_JOURNAL_CHECKPOINT
-                 ) -> None:
+                 checkpoint_interval: int = STREAM_JOURNAL_CHECKPOINT,
+                 warm: bool = False,
+                 tb_cache: Optional[str] = None) -> None:
         self.manifest = manifest
         self.workers = max(1, workers)
         self.run_dir = run_dir
         self.resume = resume
         self.budget = budget
+        self.warm = warm
+        self.tb_cache = tb_cache
         self.checkpoint_interval = max(1, checkpoint_interval)
         self.health = HealthStats()
         self.cached_jobs = 0
@@ -619,6 +636,10 @@ class StreamFarm:
         from repro.farm.merge import MergeFold
 
         start = time.perf_counter()
+        # Configured before the pool forks: each long-lived shard worker
+        # boots its template lazily, once, and keeps it warm across
+        # every job it streams.
+        worker_module.configure_warm(self.warm, self.tb_cache)
         run_dir = self.run_dir or tempfile.mkdtemp(prefix="repro-stream-")
         results_dir = os.path.join(run_dir, "results")
         hb_dir = os.path.join(run_dir, "hb")
@@ -803,9 +824,12 @@ def run_farm(manifest, workers: int = 1,
         run_dir = scheduler_options.pop("run_dir", None)
         checkpoint = scheduler_options.pop("checkpoint_interval",
                                            STREAM_JOURNAL_CHECKPOINT)
+        warm = scheduler_options.pop("warm", False)
+        tb_cache = scheduler_options.pop("tb_cache", None)
         farm = StreamFarm(manifest, workers=workers, run_dir=run_dir,
                           resume=resume, budget=budget,
-                          checkpoint_interval=checkpoint)
+                          checkpoint_interval=checkpoint,
+                          warm=warm, tb_cache=tb_cache)
         return farm.run()
 
     scheduler = FarmScheduler(manifest, workers=workers, store=store,

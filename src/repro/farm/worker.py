@@ -27,6 +27,52 @@ DEFAULT_BUDGET = 2_000_000
 # any reference into the job's call stack.
 LIVE: Dict = {"platform": None, "tracer": None}
 
+# Warm-worker state, configured once per process by the scheduler (before
+# forking, so children inherit booted templates copy-on-write) via
+# :func:`configure_warm`.  ``templates`` maps config name -> a booted
+# platform that ``reset_for_job()`` returns to pristine between jobs;
+# ``persistence`` is the process-wide on-disk translation cache handle.
+WARM: Dict = {"enabled": False, "tb_cache": None, "persistence": None,
+              "templates": {}}
+
+
+def configure_warm(enabled: bool = False,
+                   tb_cache: Optional[str] = None) -> None:
+    """Set this process's warm-worker policy (scheduler entry point)."""
+    WARM["enabled"] = bool(enabled)
+    WARM["tb_cache"] = tb_cache
+    WARM["persistence"] = None
+    WARM["templates"] = {}
+
+
+def _persistence():
+    if WARM["tb_cache"] is None:
+        return None
+    persistence = WARM.get("persistence")
+    if persistence is None:
+        from repro.emulator.persist import TranslationPersistence
+
+        persistence = TranslationPersistence(WARM["tb_cache"])
+        WARM["persistence"] = persistence
+    return persistence
+
+
+def warm_boot_templates(configs) -> None:
+    """Boot one template platform per config (call before forking)."""
+    if not WARM["enabled"]:
+        return
+    from repro.bench.harness import make_platform
+
+    for config in sorted(set(configs)):
+        if config in WARM["templates"]:
+            continue
+        platform = make_platform(config)
+        persistence = _persistence()
+        if persistence is not None:
+            platform.attach_persistence(persistence)
+        platform.prepare_template()
+        WARM["templates"][config] = platform
+
 
 def _boot_platform(spec: JobSpec, ctx):
     """Build + attach the job's platform, publishing it to ``LIVE``.
@@ -35,12 +81,32 @@ def _boot_platform(spec: JobSpec, ctx):
     span, the engines' span hooks are pointed at the tracer, and a
     µs-per-crossing histogram is registered so JNI latency percentiles
     land in the job's metrics snapshot.
+
+    Warm mode reuses the per-config template platform instead: the job
+    pays ``reset_for_job()`` (a state wipe), not a full boot, and keeps
+    every warm translation cache.  Traced jobs always cold-boot — the
+    ledger/profiler wiring is per-platform and jobs must not share it.
     """
     from repro.bench.harness import make_platform
 
     tracer = LIVE.get("tracer")
+    if tracer is None and not spec.trace and WARM["enabled"]:
+        platform = WARM["templates"].get(spec.config)
+        if platform is None:
+            # A long-lived forked worker boots its template lazily (the
+            # pool scheduler pre-boots before forking; this is the
+            # fallback for workers forked before configure_warm ran jobs).
+            warm_boot_templates([spec.config])
+            platform = WARM["templates"][spec.config]
+        platform.reset_for_job()
+        LIVE["platform"] = platform
+        ctx.attach(platform)
+        return platform
     if tracer is None:
         platform = make_platform(spec.config, trace=spec.trace)
+        persistence = _persistence()
+        if persistence is not None and not spec.trace:
+            platform.attach_persistence(persistence)
     else:
         with tracer.span("platform_boot", cat="worker",
                          config=spec.config):
@@ -205,6 +271,10 @@ def _emit_cache_counters(tracer) -> None:
     if tbc is not None:
         tracer.counter("tbc.hits", tbc.hits, cat="engine")
         tracer.counter("tbc.misses", tbc.misses, cat="engine")
+    persistence = getattr(platform, "persistence", None)
+    if persistence is not None:
+        for name, value in persistence.counter_items():
+            tracer.counter(name, value, cat="engine")
 
 
 def execute_shard(spec_dicts, out_path: str,
@@ -297,6 +367,17 @@ def execute_job(spec_dict: Dict, budget: Optional[int] = DEFAULT_BUDGET,
             "leaks": [],
         }
     elapsed = time.perf_counter() - start
+
+    # Commit this job's translation artifacts to the cross-job cache.
+    # Best-effort by design: a failed flush costs future warm hits, never
+    # the job's result.
+    platform = LIVE.get("platform")
+    if platform is not None and \
+            getattr(platform, "persistence", None) is not None:
+        try:
+            platform.persist_translations()
+        except Exception:
+            pass
 
     payload = result.value if isinstance(result.value, dict) else {}
     row = {

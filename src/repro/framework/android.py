@@ -17,7 +17,8 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import dataclasses
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import DalvikError
 from repro.common.events import EventLog
@@ -29,10 +30,12 @@ from repro.framework.apk import Apk
 from repro.framework.api import FrameworkApi
 from repro.framework.device import DeviceProfile
 from repro.framework.leaks import LeakRegistry
-from repro.jni.layer import JniLayer
+from repro.jni.layer import JNI_CHARS_BASE, JNI_CHARS_SIZE, JniLayer
+from repro.kernel.filesystem import RegularFile
 from repro.kernel.kernel import Kernel
-from repro.libc.libc import CLibrary
+from repro.libc.libc import CLibrary, LIBC_HEAP_BASE, LIBC_HEAP_SIZE
 from repro.libc.libm import MathLibrary
+from repro.memory.allocator import FreeListAllocator
 from repro.memory.memory import Memory
 from repro.observability import Observability
 
@@ -104,6 +107,14 @@ class AndroidPlatform:
         # the vanilla configuration disables the bookkeeping entirely.
         self.vm.taint_tracking = False
 
+        # Warm-worker machinery: the cross-job translation persistence
+        # (emulator/persist.py, injected via attach_persistence), libraries
+        # kept mapped + translated across jobs, and the boot-state snapshot
+        # reset_for_job() restores (captured by prepare_template()).
+        self.persistence = None
+        self._resident_libraries: Dict[str, Tuple[Program, int, str]] = {}
+        self._template: Optional[Dict] = None
+
     # -- app management -------------------------------------------------------------
 
     def install(self, apk: Apk) -> None:
@@ -124,7 +135,16 @@ class AndroidPlatform:
     # -- native library loading --------------------------------------------------------
 
     def load_library(self, name: str) -> Program:
-        """System.loadLibrary: assemble, map (third-party) and bind."""
+        """System.loadLibrary: assemble, map (third-party) and bind.
+
+        In a warm worker a library loaded by a previous job stays
+        *resident*: mapped, decoded, translated.  When the same name
+        resolves to the same source, the load skips assembly, mapping and
+        cache invalidation entirely and only re-binds methods and replays
+        the observable events; a different source evicts the stale
+        resident first (the content digests can never alias regardless —
+        this is a latency matter, not a correctness one).
+        """
         if name in self._loaded_libraries:
             return self._loaded_libraries[name]
         source = None
@@ -134,16 +154,32 @@ class AndroidPlatform:
                 break
         if source is None:
             raise DalvikError(f"UnsatisfiedLinkError: no library {name!r}")
+        resident = self._resident_libraries.get(name)
+        if resident is not None:
+            program, base, resident_source = resident
+            if resident_source == source:
+                return self._finish_load(name, program, base)
+            self._evict_resident(name)
         base = self._next_library_base
         self._next_library_base += APP_LIBRARY_STRIDE
         externs = dict(self.libc.symbols)
         externs.update(self.libm.symbols)
         program = assemble(source, base=base, externs=externs)
         self.emu.load(base, program.code)
+        # load() dropped every cached translation, including entries
+        # seeded for other resident libraries — re-seed them, then
+        # announce (and seed) the new region.
+        self.emu.reseed_code_regions()
+        self.emu.register_code_region(base, bytes(program.code))
         size = max((len(program.code) + 0xFFF) & ~0xFFF, 0x1000)
         self.emu.memory_map.map(base, size, name, perms="r-x",
                                 third_party=True)
         self.kernel.sync_tasks_to_guest()
+        self._resident_libraries[name] = (program, base, source)
+        return self._finish_load(name, program, base)
+
+    def _finish_load(self, name: str, program: Program, base: int) -> Program:
+        """The source-independent tail of a load: bind, announce, OnLoad."""
         self._loaded_libraries[name] = program
         self._library_handles.append(name)
         self._bind_native_methods(program)
@@ -160,6 +196,23 @@ class AndroidPlatform:
                           args=(self.jni.env_pointer(), 0))
             self.event_log.emit("framework", "JNI_OnLoad", name, name=name)
         return program
+
+    def _evict_resident(self, name: str) -> None:
+        """Unmap a resident library whose source no longer matches."""
+        program, base, _ = self._resident_libraries.pop(name)
+        size = max((len(program.code) + 0xFFF) & ~0xFFF, 0x1000)
+        for page in range(base >> 12, ((base + size - 1) >> 12) + 1):
+            self.emu.invalidate_page(page)
+        self.emu.drop_code_region(base)
+        self.emu.memory_map.unmap(base)
+        self.kernel.sync_tasks_to_guest()
+
+    def _resident_pages(self) -> set:
+        pages = set()
+        for program, base, _ in self._resident_libraries.values():
+            size = max((len(program.code) + 0xFFF) & ~0xFFF, 0x1000)
+            pages.update(range(base >> 12, ((base + size - 1) >> 12) + 1))
+        return pages
 
     def _bind_native_methods(self, program: Program) -> None:
         """Bind ``Java_pkg_Class_method`` symbols to native methods."""
@@ -189,6 +242,263 @@ class AndroidPlatform:
         if symbol not in program.symbols:
             return 0
         return program.entry(symbol)
+
+    # -- warm workers: persistence + template/reset contract ---------------------------
+
+    def attach_persistence(self, persistence) -> None:
+        """Inject the cross-job translation cache into all three layers."""
+        self.persistence = persistence
+        self.emu.persistence = persistence
+        if self.vm.tbc is not None:
+            self.vm.tbc.persistence = persistence
+        self.jni.persistence = persistence
+
+    def persist_translations(self) -> Dict[str, int]:
+        """Record this job's translation artifacts and flush them to disk."""
+        if self.persistence is None:
+            return {}
+        self.emu.persist_code_regions()
+        if self.vm.tbc is not None:
+            self.vm.tbc.persist_blocks()
+        return self.persistence.flush()
+
+    def prepare_template(self) -> None:
+        """Snapshot the booted state ``reset_for_job()`` restores.
+
+        Call once, after boot and detector attachment but before the
+        first job touches the platform.  The snapshot is pure Python
+        data (page bytes, class tables, fd tables, allocator cursors) —
+        cheap to hold, and inherited copy-on-write across ``fork``.
+        """
+        memory = self.memory
+        vm = self.vm
+        kernel = self.kernel
+        self._template = {
+            "pages": {index: bytes(page)
+                      for index, page in memory._pages.items()},
+            "tracers": list(self.emu._tracers),
+            "branch_listeners": list(self.emu._branch_listeners),
+            "classes": dict(vm.classes),
+            "statics": {
+                name: ({field: list(value)
+                        for field, value in class_def.static_values.items()},
+                       dict(class_def.static_ref_flags))
+                for name, class_def in vm.classes.items()},
+            "dvm_sp": vm.stack._stack_pointer,
+            "jni_tables": (len(self.jni._methods), len(self.jni._classes),
+                           len(self.jni._fields)),
+            "files": {path: (bytes(file.data), list(file.taints))
+                      for path, file in kernel.filesystem._files.items()},
+            "directories": set(kernel.filesystem._directories),
+            "responses": {host: list(queue) for host, queue
+                          in kernel.network._responses.items()},
+            "processes": {
+                pid: {"name": process.name,
+                      "fds": {fd: dataclasses.replace(descriptor)
+                              for fd, descriptor in process.fds.items()},
+                      "next_fd": process._next_fd}
+                for pid, process in kernel.processes.items()},
+            "current_pid": kernel.current.pid,
+            "next_pid": kernel._next_pid,
+            "alloc_next": kernel._kernel_allocator._next,
+            "events_enabled": self.event_log.enabled,
+        }
+
+    def reset_for_job(self) -> None:
+        """Return a used (possibly forked) platform to its booted state.
+
+        Everything a job can dirty is restored from the template; the
+        things worth keeping warm — the decode/TB caches, Dalvik blocks'
+        region scopes, resident library mappings, the tracers' region
+        and handler caches — survive.  Engines are mutated in place,
+        never replaced: observability sources and hook closures hold
+        their identities.
+        """
+        if self._template is None:
+            raise DalvikError("prepare_template() was never called")
+        template = self._template
+        emu = self.emu
+        vm = self.vm
+        kernel = self.kernel
+
+        # 1. Shed per-job instrumentation (supervisor tracers, injectors).
+        for tracer in list(emu._tracers):
+            if tracer not in template["tracers"]:
+                emu.remove_tracer(tracer)
+        emu.fault_injector = None
+        kernel.syscall_fault_hook = None
+        emu._branch_listeners[:] = list(template["branch_listeners"])
+
+        # 2. Memory: drop pages the job created (resident library code
+        # excepted), rewrite boot pages the job changed.  Writing through
+        # write_bytes lets the write-watch invalidate stale translations
+        # exactly as self-modifying code would.
+        boot_pages = template["pages"]
+        resident_pages = self._resident_pages()
+        for index in list(memory_pages := self.memory._pages):
+            if index not in boot_pages and index not in resident_pages:
+                emu.invalidate_page(index)
+                memory_pages.pop(index, None)
+        for index, data in boot_pages.items():
+            live = memory_pages.get(index)
+            if live is None or bytes(live) != data:
+                self.memory.write_bytes(index << 12, data)
+        for name, (program, base, _) in self._resident_libraries.items():
+            code = bytes(program.code)
+            if self.memory.read_bytes(base, len(code)) != code:
+                self.memory.write_bytes(base, code)   # undo job SMC
+
+        # 3. Dalvik VM.
+        vm.classes.clear()
+        vm.classes.update(template["classes"])
+        for name, (values, flags) in template["statics"].items():
+            class_def = vm.classes.get(name)
+            if class_def is None:
+                continue
+            class_def.static_values.clear()
+            class_def.static_values.update(
+                {field: list(value) for field, value in values.items()})
+            class_def.static_ref_flags.clear()
+            class_def.static_ref_flags.update(flags)
+        vm._interned.clear()
+        vm.interp_save_state = Slot()
+        vm.caught_exception = None
+        vm.interpreter.instructions_executed = 0
+        vm._root_frame_slots = []
+        heap = vm.heap
+        heap._objects.clear()
+        heap._class_ids.clear()
+        heap._active = 0
+        heap._bump = heap._spaces[0]
+        heap.gc_count = 0
+        vm.stack.frames.clear()
+        vm.stack._stack_pointer = template["dvm_sp"]
+        for table in vm.irt._tables.values():
+            table.clear()
+        vm.irt._serial = 0
+        if vm.tbc is not None:
+            vm.tbc.flush()
+            vm.tbc.reset_counters()
+
+        # 4. Emulator: counters and control state.  The decode cache and
+        # translation blocks are exactly what stays warm.
+        emu.instruction_count = 0
+        emu.host_call_count = 0
+        emu.decode_count = 0
+        emu.translate_seconds = 0.0
+        emu._pending_exits.clear()
+        emu._call_depth = 0
+        emu._stop_requested = False
+        emu._tb_cache.reset_counters()
+        cpu = emu.cpu
+        cpu.regs[:] = [0] * len(cpu.regs)
+        cpu.flag_n = cpu.flag_z = cpu.flag_c = cpu.flag_v = False
+        cpu.thumb = False
+        cpu.sp = NATIVE_STACK_TOP
+
+        # 5. JNI layer: per-job tables and pending state; trampolines are
+        # keyed by Method objects that die with the job's classes.
+        jni = self.jni
+        jni._trampolines.clear()
+        jni.pending_exception = None
+        jni.pending_interpret = None
+        jni.current_native_call = None
+        jni.trampoline_hits = 0
+        jni.trampoline_misses = 0
+        jni.trampoline_invalidations = 0
+        jni.crossings_fast = 0
+        jni.crossings_slow = 0
+        if jni.crossing_histogram is not None:
+            jni.crossing_histogram.clear()
+        jni.chars_heap = FreeListAllocator(JNI_CHARS_BASE, JNI_CHARS_SIZE)
+        methods_len, classes_len, fields_len = template["jni_tables"]
+        del jni._methods[methods_len:]
+        del jni._classes[classes_len:]
+        del jni._fields[fields_len:]
+
+        # 6. libc: fresh native heap, no open FILE objects.
+        self.libc.heap = FreeListAllocator(LIBC_HEAP_BASE, LIBC_HEAP_SIZE)
+        self.libc._file_objects.clear()
+
+        # 7. Kernel: filesystem, network, process table, counters.
+        filesystem = kernel.filesystem
+        filesystem._files = {
+            path: RegularFile(data=bytearray(data), taints=list(taints))
+            for path, (data, taints) in template["files"].items()}
+        filesystem._directories = set(template["directories"])
+        network = kernel.network
+        network._sockets.clear()
+        network.transmissions.clear()
+        network._responses = {host: list(queue) for host, queue
+                              in template["responses"].items()}
+        for pid in [pid for pid in kernel.processes
+                    if pid not in template["processes"]]:
+            del kernel.processes[pid]
+        for pid, saved in template["processes"].items():
+            process = kernel.processes.get(pid)
+            if process is None:
+                continue
+            process.fds = {}
+            for fd, descriptor in saved["fds"].items():
+                restored = dataclasses.replace(descriptor)
+                if restored.path is not None:
+                    restored.file = filesystem._files.get(restored.path)
+                process.fds[fd] = restored
+            process._next_fd = saved["next_fd"]
+        kernel._next_pid = template["next_pid"]
+        kernel.set_current(kernel.processes[template["current_pid"]])
+        kernel.syscall_count = 0
+        kernel.syscalls_by_name.clear()
+        kernel._kernel_allocator._next = template["alloc_next"]
+        kernel.sync_tasks_to_guest()
+
+        # 8. Platform-level job state.
+        self.event_log.clear()
+        self.event_log.enabled = template["events_enabled"]
+        self.leaks.clear()
+        self._installed.clear()
+        self._loaded_libraries.clear()
+        self._library_handles.clear()
+        # _next_library_base stays monotonic: resident bases must never
+        # be reissued to a different library.
+
+        # 9. Re-register the write-watch and syscall callbacks on *this*
+        # process's objects — a forked child must invalidate its own
+        # caches on self-modifying code, never the template's.
+        self.memory.set_write_watcher(emu._on_code_page_write)
+        emu.syscall_handler = kernel.handle_svc
+
+        # 10. Attached detectors.
+        ndroid = self.ndroid
+        if ndroid is not None:
+            ndroid.taint_engine.reset()
+            ndroid.taint_engine.rearm_fast_path()
+            ndroid.degraded_events = 0
+            ndroid.quarantined_hooks.clear()
+            ndroid.hook_invocations.clear()
+            tracer = ndroid.instruction_tracer
+            tracer.traced_instructions = 0
+            tracer.cache_hits = 0
+            ndroid.multilevel.checks = 0
+            ndroid.multilevel.fires = 0
+            ndroid.multilevel._armed.clear()
+            for chain in ndroid.multilevel._chains:
+                chain.reset()
+            ndroid.view_reconstructor.invalidate()
+            ndroid.view_reconstructor.reconstruct()
+            ndroid.view_reconstructor.reconstructions = 0
+            ndroid.syslib_hooks.modelled_calls = 0
+            ndroid.syslib_hooks.sink_checks = 0
+            ndroid.dvm_hooks.tainted_deliveries.clear()
+        droidscope = self.droidscope
+        if droidscope is not None:
+            droidscope.taint_engine.reset()
+            droidscope.taint_engine.rearm_fast_path()
+            droidscope.tracer.traced_instructions = 0
+            droidscope.tracer.cache_hits = 0
+            droidscope.dalvik_reconstructions = 0
+            droidscope.library_walk_bytes = 0
+            droidscope.context_lookups = 0
 
     # -- measurement helpers -----------------------------------------------------------
 

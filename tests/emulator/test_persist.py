@@ -1,0 +1,282 @@
+"""Persistent translation cache: round-trips, digest guards, tolerance.
+
+The persistence layer stores decoded op descriptors (not closures), so
+these tests pin the three properties cross-job reuse depends on:
+
+* the IR serialization is lossless for every ISA dataclass (enums,
+  Operand2, register lists);
+* rehydration is guarded by a content digest of the *live* bytes, on
+  both the read side (seeding) and the write side (flushing), so two
+  apps mapping different code at the same addresses never alias;
+* a missing, corrupt, or torn cache file reads as a miss, never an
+  error.
+"""
+
+import json
+import os
+
+from repro.cpu import isa
+from repro.cpu.assembler import assemble
+from repro.emulator import Emulator
+from repro.emulator.persist import (
+    TranslationPersistence,
+    content_digest,
+    decode_instruction,
+    encode_instruction,
+)
+
+CODE_BASE = 0x4000_0000
+
+# Exercises every descriptor shape: data processing with shifted
+# register operands, multiplies, load/store (immediate and multiple,
+# with register lists), branches, interworking, and a software interrupt
+# target that never executes (decode coverage comes from the run).
+VARIETY = """
+main:
+    push {r4, r5, lr}
+    mov r0, #3
+    mov r1, #5
+    add r2, r0, r1, lsl #2
+    mul r3, r0, r1
+    umull r4, r5, r0, r1
+    clz r5, r0
+    movw r4, #0x1234
+    ldr r5, =data
+    str r2, [r5]
+    ldr r0, [r5]
+    ldm r5, {r1}
+    cmp r0, #0
+    beq skip
+    add r0, r0, #1
+skip:
+    pop {r4, r5, pc}
+
+data:
+    .word 0
+"""
+
+SUM_LOOP = """
+main:
+    mov r0, #0
+    mov r1, #0
+loop:
+    cmp r1, #10
+    bge done
+    add r0, r0, r1
+    add r1, r1, #1
+    b loop
+done:
+    bx lr
+"""
+
+
+def run_with_persistence(persistence, source=SUM_LOOP, base=CODE_BASE):
+    emu = Emulator(use_tb=True)
+    emu.persistence = persistence
+    program = assemble(source, base=base)
+    emu.load(base, program.code)
+    emu.register_code_region(base, bytes(program.code))
+    emu.cpu.sp = 0x0800_0000
+    result = emu.call(program.entry("main"))
+    return emu, program, result
+
+
+class TestInstructionRoundTrip:
+    def test_every_decoded_instruction_round_trips(self):
+        emu = Emulator(use_tb=False)
+        program = assemble(VARIETY, base=CODE_BASE)
+        emu.load(CODE_BASE, program.code)
+        emu.cpu.sp = 0x0800_0000
+        emu.call(program.entry("main"))
+        assert emu._decode_cache, "run decoded nothing"
+        seen = set()
+        for ir in emu._decode_cache.values():
+            seen.add(type(ir).__name__)
+            payload = json.loads(json.dumps(encode_instruction(ir)))
+            assert decode_instruction(payload) == ir
+        # The variety program must actually cover the interesting shapes.
+        assert {"DataProcessing", "Multiply", "MultiplyLong",
+                "CountLeadingZeros", "MoveWide", "LoadStore",
+                "LoadStoreMultiple", "Branch"} <= seen
+
+    def test_operand2_and_reglist_survive_json(self):
+        ir = isa.DataProcessing(
+            cond=isa.Cond.NE, width=4, op=isa.Op.ADD, rd=2, rn=0,
+            operand2=isa.Operand2(rm=1, shift_type=isa.ShiftType.LSL,
+                                  shift_imm=2), set_flags=True)
+        assert decode_instruction(
+            json.loads(json.dumps(encode_instruction(ir)))) == ir
+        ldm = isa.LoadStoreMultiple(
+            cond=isa.Cond.AL, width=4, load=True, rn=13,
+            reglist=(0, 1, 4, 15), writeback=True)
+        decoded = decode_instruction(
+            json.loads(json.dumps(encode_instruction(ldm))))
+        assert decoded == ldm
+        assert isinstance(decoded.reglist, tuple)
+
+
+class TestRegionPersistence:
+    def test_store_then_seed_fresh_process(self, tmp_path):
+        root = str(tmp_path)
+        first = TranslationPersistence(root)
+        emu, program, result = run_with_persistence(first)
+        assert result == 45
+        assert emu.persist_code_regions() > 0
+        assert first.flush()["tb"] == 1
+
+        # A "new process": fresh persistence handle over the same root.
+        second = TranslationPersistence(root)
+        emu2 = Emulator(use_tb=True)
+        emu2.persistence = second
+        emu2.load(CODE_BASE, program.code)
+        emu2.register_code_region(CODE_BASE, bytes(program.code))
+        assert second.counters["tb"]["hits"] > 0
+        assert second.counters["tb"]["misses"] == 0
+        # Seeding replaces decoding: the run decodes nothing new.
+        emu2.cpu.sp = 0x0800_0000
+        assert emu2.call(program.entry("main")) == 45
+        assert emu2.decode_count == 0
+        assert emu2.instruction_count == emu.instruction_count
+
+    def test_seed_survives_invalidate_cache_via_reseed(self, tmp_path):
+        persistence = TranslationPersistence(str(tmp_path))
+        emu, program, __ = run_with_persistence(persistence)
+        emu.persist_code_regions()
+        emu.invalidate_cache()
+        assert not emu._decode_cache
+        assert emu.reseed_code_regions() > 0
+        emu.cpu.sp = 0x0800_0000
+        decodes_before = emu.decode_count
+        assert emu.call(program.entry("main")) == 45
+        assert emu.decode_count == decodes_before
+
+    def test_different_code_at_same_pc_never_aliases(self, tmp_path):
+        root = str(tmp_path)
+        first = TranslationPersistence(root)
+        emu, program, __ = run_with_persistence(first)
+        emu.persist_code_regions()
+        first.flush()
+
+        # A second app maps *different* code at the identical base; its
+        # digest differs, so nothing rehydrates from app one's entries.
+        other = assemble(VARIETY, base=CODE_BASE)
+        second = TranslationPersistence(root)
+        emu2 = Emulator(use_tb=True)
+        emu2.persistence = second
+        emu2.load(CODE_BASE, other.code)
+        emu2.register_code_region(CODE_BASE, bytes(other.code))
+        assert not emu2._decode_cache
+        assert second.counters["tb"]["hits"] == 0
+        assert second.counters["tb"]["misses"] == 1
+
+    def test_live_bytes_guard_blocks_stale_seed(self, tmp_path):
+        persistence = TranslationPersistence(str(tmp_path))
+        emu, program, __ = run_with_persistence(persistence)
+        emu.persist_code_regions()
+        digest, size, variant = emu._code_regions[CODE_BASE]
+        # The region is overwritten in place (loader reuse of the slot):
+        # the recorded digest no longer matches the live bytes, so the
+        # read-side guard refuses to seed.
+        emu.memory.write_bytes(CODE_BASE, b"\x2a\x00\xa0\xe3")  # mov r0, #42
+        assert emu._seed_region(CODE_BASE, digest, size, variant) == 0
+
+    def test_smc_region_is_never_flushed_under_stale_digest(self, tmp_path):
+        persistence = TranslationPersistence(str(tmp_path))
+        emu, program, __ = run_with_persistence(persistence)
+        emu.memory.write_bytes(CODE_BASE + 4, b"\x01\x10\xa0\xe3")
+        # Write-side guard: the live bytes diverged from the registered
+        # digest, so this region's descriptors are not persisted.
+        assert emu.persist_code_regions() == 0
+        assert persistence.flush()["tb"] == 0
+
+
+class TestDamageTolerance:
+    def _cache_file(self, root):
+        paths = []
+        for dirpath, __, names in os.walk(os.path.join(root, "tb")):
+            paths += [os.path.join(dirpath, name) for name in names]
+        assert len(paths) == 1
+        return paths[0]
+
+    def _seeded(self, root, program):
+        persistence = TranslationPersistence(root)
+        emu = Emulator(use_tb=True)
+        emu.persistence = persistence
+        emu.load(CODE_BASE, program.code)
+        emu.register_code_region(CODE_BASE, bytes(program.code))
+        return len(emu._decode_cache), persistence
+
+    def test_corrupt_truncated_and_missing_files_read_as_miss(
+            self, tmp_path):
+        root = str(tmp_path)
+        persistence = TranslationPersistence(root)
+        emu, program, __ = run_with_persistence(persistence)
+        emu.persist_code_regions()
+        persistence.flush()
+        path = self._cache_file(root)
+
+        with open(path) as handle:
+            payload = handle.read()
+
+        # Truncated mid-payload (a torn write, were writes not atomic).
+        with open(path, "w") as handle:
+            handle.write(payload[:len(payload) // 2])
+        seeded, p1 = self._seeded(root, program)
+        assert seeded == 0 and p1.counters["tb"]["misses"] == 1
+
+        # Valid JSON, wrong content for the digest-named file.
+        with open(path, "w") as handle:
+            json.dump({"digest": "0" * 64, "entries": []}, handle)
+        seeded, p2 = self._seeded(root, program)
+        assert seeded == 0 and p2.counters["tb"]["misses"] == 1
+
+        # Gone entirely.
+        os.unlink(path)
+        seeded, p3 = self._seeded(root, program)
+        assert seeded == 0 and p3.counters["tb"]["misses"] == 1
+
+    def test_damaged_entry_payload_is_a_miss(self, tmp_path):
+        root = str(tmp_path)
+        persistence = TranslationPersistence(root)
+        emu, program, __ = run_with_persistence(persistence)
+        emu.persist_code_regions()
+        persistence.flush()
+        path = self._cache_file(root)
+        digest = os.path.basename(path)[:-len(".json")]
+        # Entries of the wrong shape under the *correct* digest header:
+        # read_verified_json passes, descriptor decoding must not blow up.
+        with open(path, "w") as handle:
+            json.dump({"digest": digest, "format": 1,
+                       "entries": [["NotAnInstruction", {}]]}, handle)
+        fresh = TranslationPersistence(root)
+        assert fresh.load_region(digest) is None
+
+
+class TestSmallLayers:
+    def test_method_starts_round_trip(self, tmp_path):
+        root = str(tmp_path)
+        first = TranslationPersistence(root)
+        digest = content_digest(b"method-bytecode")
+        assert first.update_method_starts(digest, {0, 4, 9}) == 3
+        assert first.update_method_starts(digest, {4}) == 0  # merge
+        first.flush()
+        second = TranslationPersistence(root)
+        assert second.load_method_starts(digest) == {0, 4, 9}
+
+    def test_trampoline_plan_round_trip(self, tmp_path):
+        root = str(tmp_path)
+        first = TranslationPersistence(root)
+        digest = content_digest(b"(II)J|0")
+        first.record_trampoline(digest, {"arg_refs": [False, False],
+                                         "returns_ref": False})
+        first.flush()
+        second = TranslationPersistence(root)
+        plan = second.load_trampoline(digest)
+        assert plan == {"arg_refs": [False, False], "returns_ref": False}
+
+    def test_counter_items_names(self, tmp_path):
+        persistence = TranslationPersistence(str(tmp_path))
+        names = {name for name, __ in persistence.counter_items()}
+        assert "tb.persist.hits" in names
+        assert "tbc.persist.misses" in names
+        assert "jni.persist.rebind_us" in names
